@@ -1,0 +1,12 @@
+//! Example applications for the AVMEM reproduction.
+//!
+//! This crate exists to host the runnable examples in the repository's
+//! top-level `examples/` directory; it exposes no library API of its own.
+//! Run them with:
+//!
+//! ```text
+//! cargo run -p avmem-examples --example quickstart
+//! cargo run -p avmem-examples --example supernode_selection
+//! cargo run -p avmem-examples --example avcast_publish
+//! cargo run -p avmem-examples --example fingerprint_survey
+//! ```

@@ -1,0 +1,161 @@
+//! Consistent monitor assignment.
+//!
+//! AVMON's contribution (leveraged as a black box by AVMEM) is selecting,
+//! for every node `x`, a small random-but-*consistent* set of monitor
+//! nodes: `m` monitors `x` iff `H(id(m), id(x)) ≤ cms / N*`. Consistency
+//! means the relation is a pure function of identities, so a selfish node
+//! can neither choose its monitors nor deny the relationship; randomness
+//! (via the hash) spreads monitoring load uniformly.
+//!
+//! The hash is drawn from a keyed family (domain tag `"avmon"`) so it is
+//! independent of the AVMEM membership predicate's hash.
+
+use avmem_util::{consistent_hash_keyed, NodeId};
+use serde::{Deserialize, Serialize};
+
+const DOMAIN: &[u8] = b"avmon";
+
+/// The consistent monitor-assignment rule.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_avmon::MonitorAssignment;
+/// use avmem_util::NodeId;
+///
+/// let assignment = MonitorAssignment::new(8.0, 1000.0);
+/// let x = NodeId::new(42);
+/// // The relation is consistent: any evaluation agrees.
+/// let m = NodeId::new(7);
+/// assert_eq!(assignment.is_monitor(m, x), assignment.is_monitor(m, x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorAssignment {
+    /// Target expected number of monitors per node (`cms` in AVMON).
+    cms: f64,
+    /// The stable system size estimate `N*`.
+    n_star: f64,
+}
+
+impl MonitorAssignment {
+    /// Creates an assignment rule with expected `cms` monitors per node
+    /// in a system of `n_star` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cms > 0` and `n_star > 0`.
+    pub fn new(cms: f64, n_star: f64) -> Self {
+        assert!(cms > 0.0, "cms must be positive");
+        assert!(n_star > 0.0, "n_star must be positive");
+        MonitorAssignment { cms, n_star }
+    }
+
+    /// The monitor-set probability threshold `cms / N*` (capped at 1).
+    pub fn threshold(&self) -> f64 {
+        (self.cms / self.n_star).min(1.0)
+    }
+
+    /// Whether `monitor` is assigned to observe `target`.
+    ///
+    /// Consistent: depends only on the two identities.
+    pub fn is_monitor(&self, monitor: NodeId, target: NodeId) -> bool {
+        monitor != target && consistent_hash_keyed(DOMAIN, monitor, target) <= self.threshold()
+    }
+
+    /// All monitors of `target` within `population`.
+    pub fn monitors_of<'a, I>(&'a self, target: NodeId, population: I) -> Vec<NodeId>
+    where
+        I: IntoIterator<Item = NodeId> + 'a,
+    {
+        population
+            .into_iter()
+            .filter(|&m| self.is_monitor(m, target))
+            .collect()
+    }
+
+    /// All targets that `monitor` is responsible for within `population`.
+    pub fn targets_of<'a, I>(&'a self, monitor: NodeId, population: I) -> Vec<NodeId>
+    where
+        I: IntoIterator<Item = NodeId> + 'a,
+    {
+        population
+            .into_iter()
+            .filter(|&x| self.is_monitor(monitor, x))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u64) -> impl Iterator<Item = NodeId> + Clone {
+        (0..n).map(NodeId::new)
+    }
+
+    #[test]
+    fn expected_monitor_count_is_cms() {
+        let n = 2000u64;
+        let assignment = MonitorAssignment::new(10.0, n as f64);
+        let total: usize = ids(200)
+            .map(|x| assignment.monitors_of(x, ids(n)).len())
+            .sum();
+        let mean = total as f64 / 200.0;
+        assert!(
+            (8.0..12.0).contains(&mean),
+            "mean monitor count {mean}, expected ~10"
+        );
+    }
+
+    #[test]
+    fn assignment_is_consistent() {
+        let assignment = MonitorAssignment::new(5.0, 100.0);
+        let x = NodeId::new(3);
+        let first = assignment.monitors_of(x, ids(100));
+        let second = assignment.monitors_of(x, ids(100));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn no_self_monitoring() {
+        let assignment = MonitorAssignment::new(100.0, 100.0); // threshold 1.0
+        let x = NodeId::new(9);
+        let monitors = assignment.monitors_of(x, ids(100));
+        assert!(!monitors.contains(&x));
+        assert_eq!(monitors.len(), 99); // everyone else qualifies
+    }
+
+    #[test]
+    fn monitors_and_targets_are_duals() {
+        let assignment = MonitorAssignment::new(10.0, 300.0);
+        let m = NodeId::new(17);
+        let targets = assignment.targets_of(m, ids(300));
+        for &t in &targets {
+            assert!(assignment.monitors_of(t, ids(300)).contains(&m));
+        }
+    }
+
+    #[test]
+    fn monitoring_load_is_balanced() {
+        let n = 1000u64;
+        let assignment = MonitorAssignment::new(8.0, n as f64);
+        let loads: Vec<usize> = ids(n)
+            .map(|m| assignment.targets_of(m, ids(n)).len())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        // Binomial(1000, 8/1000): max load should stay modest.
+        assert!(max < 30, "max monitoring load {max}");
+    }
+
+    #[test]
+    fn threshold_caps_at_one() {
+        let assignment = MonitorAssignment::new(50.0, 10.0);
+        assert_eq!(assignment.threshold(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cms must be positive")]
+    fn zero_cms_panics() {
+        let _ = MonitorAssignment::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Ping-based availability estimation.
+//!
+//! A monitor pings each of its targets once per probe period and records
+//! hit/miss. The paper's availability-monitoring contract mentions "raw,
+//! or aged" long-term availability; [`PingEstimator`] offers both:
+//!
+//! * **raw** — lifetime fraction of answered pings, the maximum-likelihood
+//!   estimate of fraction uptime;
+//! * **aged** — an exponentially weighted moving average that discounts
+//!   old behaviour, tracking availability *changes* faster at the cost of
+//!   higher variance.
+
+use avmem_util::Availability;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated ping statistics about one target.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_avmon::PingEstimator;
+///
+/// let mut est = PingEstimator::new(0.05);
+/// for _ in 0..3 {
+///     est.record(true);
+/// }
+/// est.record(false);
+/// assert_eq!(est.raw().unwrap().value(), 0.75);
+/// assert_eq!(est.samples(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PingEstimator {
+    hits: u64,
+    attempts: u64,
+    aged: f64,
+    alpha: f64,
+}
+
+impl PingEstimator {
+    /// Creates an estimator with EWMA smoothing factor `alpha ∈ (0, 1]`
+    /// (weight given to the newest observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1]"
+        );
+        PingEstimator {
+            hits: 0,
+            attempts: 0,
+            aged: 0.0,
+            alpha,
+        }
+    }
+
+    /// Records one ping outcome.
+    pub fn record(&mut self, answered: bool) {
+        let obs = if answered { 1.0 } else { 0.0 };
+        if self.attempts == 0 {
+            self.aged = obs;
+        } else {
+            self.aged = self.alpha * obs + (1.0 - self.alpha) * self.aged;
+        }
+        self.attempts += 1;
+        if answered {
+            self.hits += 1;
+        }
+    }
+
+    /// Number of pings recorded.
+    pub fn samples(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Raw estimate: lifetime fraction of answered pings. `None` before
+    /// the first ping.
+    pub fn raw(&self) -> Option<Availability> {
+        if self.attempts == 0 {
+            None
+        } else {
+            Some(Availability::saturating(
+                self.hits as f64 / self.attempts as f64,
+            ))
+        }
+    }
+
+    /// Aged (EWMA) estimate. `None` before the first ping.
+    pub fn aged(&self) -> Option<Availability> {
+        if self.attempts == 0 {
+            None
+        } else {
+            Some(Availability::saturating(self.aged))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_samples_means_no_estimate() {
+        let est = PingEstimator::new(0.1);
+        assert!(est.raw().is_none());
+        assert!(est.aged().is_none());
+    }
+
+    #[test]
+    fn raw_is_hit_fraction() {
+        let mut est = PingEstimator::new(0.1);
+        for i in 0..10 {
+            est.record(i % 2 == 0);
+        }
+        assert_eq!(est.raw().unwrap().value(), 0.5);
+    }
+
+    #[test]
+    fn aged_tracks_recent_behaviour_faster_than_raw() {
+        let mut est = PingEstimator::new(0.3);
+        // Long up history, then a down streak.
+        for _ in 0..100 {
+            est.record(true);
+        }
+        for _ in 0..10 {
+            est.record(false);
+        }
+        let raw = est.raw().unwrap().value();
+        let aged = est.aged().unwrap().value();
+        assert!(aged < raw, "aged {aged} should fall below raw {raw}");
+        assert!(aged < 0.05, "aged {aged} should be near zero after streak");
+        assert!(raw > 0.85, "raw {raw} still dominated by history");
+    }
+
+    #[test]
+    fn first_observation_initializes_ewma() {
+        let mut est = PingEstimator::new(0.01);
+        est.record(true);
+        assert_eq!(est.aged().unwrap().value(), 1.0);
+    }
+
+    #[test]
+    fn estimates_stay_in_unit_interval() {
+        let mut est = PingEstimator::new(1.0);
+        est.record(true);
+        est.record(false);
+        assert!((0.0..=1.0).contains(&est.raw().unwrap().value()));
+        assert!((0.0..=1.0).contains(&est.aged().unwrap().value()));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_panics() {
+        let _ = PingEstimator::new(0.0);
+    }
+}

@@ -1,0 +1,337 @@
+//! The full simulation-backed AVMON service.
+//!
+//! [`AvmonService`] runs the complete monitoring pipeline over a churn
+//! trace: consistent monitor assignment, per-slot pinging by online
+//! monitors, per-target estimate aggregation (median of monitor
+//! estimates), and caching of the last aggregate for targets whose
+//! monitors are all offline. Queries therefore exhibit the exact
+//! imperfections the paper's §4.1 attack analysis attributes to AVMON:
+//! estimates are stale (refreshed once per probe slot), noisy (monitors
+//! ping at finite rate, pings can be lost), and slightly inconsistent
+//! over time.
+
+use avmem_sim::{SimDuration, SimTime};
+use avmem_trace::ChurnTrace;
+use avmem_util::{Availability, NodeId, Rng, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+use crate::assignment::MonitorAssignment;
+use crate::estimator::PingEstimator;
+use crate::oracle::AvailabilityOracle;
+
+/// Configuration of the AVMON service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvmonConfig {
+    /// Expected number of monitors per node (`cms`).
+    pub cms: f64,
+    /// EWMA smoothing factor for aged estimates.
+    pub alpha: f64,
+    /// Probability that a ping to an *online* target is lost anyway.
+    pub ping_loss: f64,
+    /// Serve aged (EWMA) estimates instead of raw lifetime fractions.
+    pub use_aged: bool,
+}
+
+impl Default for AvmonConfig {
+    fn default() -> Self {
+        AvmonConfig {
+            cms: 8.0,
+            alpha: 0.05,
+            ping_loss: 0.0,
+            use_aged: false,
+        }
+    }
+}
+
+/// A ping-based availability monitoring service over a churn trace.
+///
+/// Drive it forward with [`AvmonService::step_to`]; query it through the
+/// [`AvailabilityOracle`] impl. Estimates reflect only the slots
+/// processed so far.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_avmon::{AvailabilityOracle, AvmonConfig, AvmonService};
+/// use avmem_sim::{SimDuration, SimTime};
+/// use avmem_trace::OvernetModel;
+/// use avmem_util::NodeId;
+///
+/// let trace = OvernetModel::default().hosts(60).days(1).generate(3);
+/// let mut service = AvmonService::new(&trace, AvmonConfig::default(), 42);
+/// let noon = SimTime::ZERO + SimDuration::from_hours(12);
+/// service.step_to(&trace, noon);
+/// // After half a day of pinging, most nodes have estimates.
+/// let known = (0..60)
+///     .filter(|&i| service.estimate(NodeId::new(0), NodeId::new(i), noon).is_some())
+///     .count();
+/// assert!(known > 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AvmonService {
+    config: AvmonConfig,
+    assignment: MonitorAssignment,
+    /// `targets[m]` = indices of the nodes monitor `m` observes.
+    targets: Vec<Vec<usize>>,
+    /// `estimators[m][k]` = estimator of monitor `m` for `targets[m][k]`.
+    estimators: Vec<Vec<PingEstimator>>,
+    /// Aggregated (median) estimate per target, refreshed each processed
+    /// slot from the monitors online in that slot; retains the previous
+    /// value when no monitor is online (staleness).
+    aggregate: Vec<Option<Availability>>,
+    next_slot: usize,
+    rng: SplitMix64,
+}
+
+impl AvmonService {
+    /// Builds the service for a trace population: computes the consistent
+    /// monitor assignment and empty estimators. `seed` drives ping-loss
+    /// randomness only.
+    pub fn new(trace: &ChurnTrace, config: AvmonConfig, seed: u64) -> Self {
+        let n = trace.num_nodes();
+        let assignment = MonitorAssignment::new(config.cms, n as f64);
+        let mut targets = vec![Vec::new(); n];
+        for (m, monitor_targets) in targets.iter_mut().enumerate() {
+            let m_id = trace.node_id(m);
+            for x in 0..n {
+                if assignment.is_monitor(m_id, trace.node_id(x)) {
+                    monitor_targets.push(x);
+                }
+            }
+        }
+        let estimators = targets
+            .iter()
+            .map(|ts| ts.iter().map(|_| PingEstimator::new(config.alpha)).collect())
+            .collect();
+        AvmonService {
+            config,
+            assignment,
+            targets,
+            estimators,
+            aggregate: vec![None; n],
+            next_slot: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The monitor-assignment rule in force.
+    pub fn assignment(&self) -> MonitorAssignment {
+        self.assignment
+    }
+
+    /// The monitors of `target` (by index) in this population.
+    pub fn monitors_of_index(&self, target: usize) -> Vec<usize> {
+        (0..self.targets.len())
+            .filter(|&m| self.targets[m].contains(&target))
+            .collect()
+    }
+
+    /// Processes all trace slots with start time `< now` that have not
+    /// been processed yet: every online monitor pings its targets once
+    /// per slot, then per-target aggregates are refreshed.
+    pub fn step_to(&mut self, trace: &ChurnTrace, now: SimTime) {
+        let slot_ms = trace.slot_duration().as_millis();
+        let last_slot = ((now.as_millis() / slot_ms) as usize).min(trace.num_slots() - 1);
+        while self.next_slot <= last_slot {
+            self.process_slot(trace, self.next_slot);
+            self.next_slot += 1;
+        }
+    }
+
+    fn process_slot(&mut self, trace: &ChurnTrace, slot: usize) {
+        let n = trace.num_nodes();
+        // Ping phase.
+        for m in 0..n {
+            if !trace.is_online_in_slot(m, slot) {
+                continue;
+            }
+            for (k, &t) in self.targets[m].clone().iter().enumerate() {
+                let target_online = trace.is_online_in_slot(t, slot);
+                let answered =
+                    target_online && !(self.config.ping_loss > 0.0 && self.rng.chance(self.config.ping_loss));
+                self.estimators[m][k].record(answered);
+            }
+        }
+        // Aggregation phase: median over online monitors' estimates.
+        for target in 0..n {
+            let mut values: Vec<f64> = Vec::new();
+            for m in 0..n {
+                if !trace.is_online_in_slot(m, slot) {
+                    continue;
+                }
+                if let Some(k) = self.targets[m].iter().position(|&t| t == target) {
+                    let est = if self.config.use_aged {
+                        self.estimators[m][k].aged()
+                    } else {
+                        self.estimators[m][k].raw()
+                    };
+                    if let Some(av) = est {
+                        values.push(av.value());
+                    }
+                }
+            }
+            if !values.is_empty() {
+                values.sort_by(|a, b| a.partial_cmp(b).expect("estimates are never NaN"));
+                let median = values[values.len() / 2];
+                self.aggregate[target] = Some(Availability::saturating(median));
+            }
+            // else: keep the stale cached aggregate (or None).
+        }
+    }
+
+    /// Number of slots processed so far.
+    pub fn slots_processed(&self) -> usize {
+        self.next_slot
+    }
+
+    /// Mean absolute estimation error against the trace's ground truth,
+    /// over targets with an estimate.
+    pub fn mean_absolute_error(&self, trace: &ChurnTrace) -> Option<f64> {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (i, est) in self.aggregate.iter().enumerate() {
+            if let Some(av) = est {
+                total += (av.value() - trace.long_term_availability(i).value()).abs();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(total / count as f64)
+        }
+    }
+}
+
+impl AvailabilityOracle for AvmonService {
+    fn estimate(&self, _querier: NodeId, target: NodeId, _now: SimTime) -> Option<Availability> {
+        self.aggregate.get(target.raw() as usize).copied().flatten()
+    }
+}
+
+/// Staleness period helper: the paper refreshes AVMEM entries every 20
+/// minutes; AVMON estimates refresh once per trace slot. This constant is
+/// the paper's default refresh period.
+pub const DEFAULT_REFRESH_PERIOD: SimDuration = SimDuration::from_mins(20);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avmem_trace::OvernetModel;
+
+    fn small_trace() -> ChurnTrace {
+        OvernetModel::default().hosts(80).days(2).generate(5)
+    }
+
+    #[test]
+    fn estimates_appear_after_stepping() {
+        let trace = small_trace();
+        let mut service = AvmonService::new(&trace, AvmonConfig::default(), 1);
+        let q = NodeId::new(0);
+        assert!(service.estimate(q, NodeId::new(1), SimTime::ZERO).is_none());
+        service.step_to(&trace, SimTime::ZERO + SimDuration::from_hours(24));
+        let known = (0..trace.num_nodes())
+            .filter(|&i| service.estimate(q, trace.node_id(i), SimTime::ZERO).is_some())
+            .count();
+        assert!(known > trace.num_nodes() / 2, "only {known} known");
+    }
+
+    #[test]
+    fn estimates_converge_to_truth() {
+        let trace = small_trace();
+        let mut service = AvmonService::new(&trace, AvmonConfig::default(), 1);
+        service.step_to(&trace, SimTime::ZERO + trace.duration());
+        let mae = service.mean_absolute_error(&trace).unwrap();
+        assert!(mae < 0.12, "mean absolute error {mae} too large");
+    }
+
+    #[test]
+    fn ping_loss_biases_estimates_down() {
+        let trace = small_trace();
+        let mut clean = AvmonService::new(&trace, AvmonConfig::default(), 1);
+        let lossy_cfg = AvmonConfig {
+            ping_loss: 0.4,
+            ..AvmonConfig::default()
+        };
+        let mut lossy = AvmonService::new(&trace, lossy_cfg, 1);
+        let end = SimTime::ZERO + trace.duration();
+        clean.step_to(&trace, end);
+        lossy.step_to(&trace, end);
+        let q = NodeId::new(0);
+        let mut clean_sum = 0.0;
+        let mut lossy_sum = 0.0;
+        let mut count = 0;
+        for i in 0..trace.num_nodes() {
+            let x = trace.node_id(i);
+            if let (Some(c), Some(l)) = (
+                clean.estimate(q, x, end),
+                lossy.estimate(q, x, end),
+            ) {
+                clean_sum += c.value();
+                lossy_sum += l.value();
+                count += 1;
+            }
+        }
+        assert!(count > 0);
+        assert!(
+            lossy_sum < clean_sum,
+            "loss should depress estimates: lossy {lossy_sum} vs clean {clean_sum}"
+        );
+    }
+
+    #[test]
+    fn stepping_is_idempotent_for_same_time() {
+        let trace = small_trace();
+        let mut service = AvmonService::new(&trace, AvmonConfig::default(), 1);
+        let t = SimTime::ZERO + SimDuration::from_hours(6);
+        service.step_to(&trace, t);
+        let processed = service.slots_processed();
+        service.step_to(&trace, t);
+        assert_eq!(service.slots_processed(), processed);
+    }
+
+    #[test]
+    fn aggregates_persist_when_monitors_go_offline() {
+        // Even in harsh churn some aggregate survives via caching.
+        let trace = OvernetModel::default()
+            .hosts(60)
+            .days(1)
+            .mixture(1.0, (0.05, 0.2), 0.0, (0.5, 0.5), (0.9, 1.0))
+            .generate(8);
+        let mut service = AvmonService::new(&trace, AvmonConfig::default(), 2);
+        service.step_to(&trace, SimTime::ZERO + trace.duration());
+        let q = NodeId::new(0);
+        let known = (0..trace.num_nodes())
+            .filter(|&i| service.estimate(q, trace.node_id(i), SimTime::ZERO).is_some())
+            .count();
+        assert!(known > 0, "no estimates survived");
+    }
+
+    #[test]
+    fn aged_mode_serves_estimates() {
+        let trace = small_trace();
+        let cfg = AvmonConfig {
+            use_aged: true,
+            ..AvmonConfig::default()
+        };
+        let mut service = AvmonService::new(&trace, cfg, 1);
+        service.step_to(&trace, SimTime::ZERO + SimDuration::from_hours(12));
+        let q = NodeId::new(0);
+        let known = (0..trace.num_nodes())
+            .filter(|&i| service.estimate(q, trace.node_id(i), SimTime::ZERO).is_some())
+            .count();
+        assert!(known > 0);
+    }
+
+    #[test]
+    fn monitors_of_index_matches_assignment() {
+        let trace = small_trace();
+        let service = AvmonService::new(&trace, AvmonConfig::default(), 1);
+        let monitors = service.monitors_of_index(5);
+        for m in monitors {
+            assert!(service
+                .assignment()
+                .is_monitor(trace.node_id(m), trace.node_id(5)));
+        }
+    }
+}

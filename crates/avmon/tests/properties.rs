@@ -1,0 +1,122 @@
+//! Property-based tests for the monitoring substrate.
+
+use proptest::prelude::*;
+
+use avmem_avmon::{
+    AvailabilityOracle, MonitorAssignment, NoisyOracle, PingEstimator, TraceOracle,
+};
+use avmem_sim::{SimDuration, SimTime};
+use avmem_trace::OvernetModel;
+use avmem_util::NodeId;
+
+proptest! {
+    #[test]
+    fn assignment_is_symmetric_between_views(
+        cms in 1.0f64..20.0,
+        n in 10.0f64..1000.0,
+        m in any::<u64>(),
+        x in any::<u64>(),
+    ) {
+        let assignment = MonitorAssignment::new(cms, n);
+        // is_monitor is a pure function: same answer on re-evaluation.
+        prop_assert_eq!(
+            assignment.is_monitor(NodeId::new(m), NodeId::new(x)),
+            assignment.is_monitor(NodeId::new(m), NodeId::new(x))
+        );
+        // Never self-monitoring.
+        prop_assert!(!assignment.is_monitor(NodeId::new(m), NodeId::new(m)));
+    }
+
+    #[test]
+    fn assignment_threshold_monotone_in_cms(
+        cms1 in 0.5f64..10.0,
+        cms2 in 0.5f64..10.0,
+        n in 20.0f64..500.0,
+        m in any::<u64>(),
+        x in any::<u64>(),
+    ) {
+        prop_assume!(m != x);
+        let (lo, hi) = if cms1 <= cms2 { (cms1, cms2) } else { (cms2, cms1) };
+        let tight = MonitorAssignment::new(lo, n);
+        let loose = MonitorAssignment::new(hi, n);
+        // A monitor under the tighter rule is also one under the looser.
+        if tight.is_monitor(NodeId::new(m), NodeId::new(x)) {
+            prop_assert!(loose.is_monitor(NodeId::new(m), NodeId::new(x)));
+        }
+    }
+
+    #[test]
+    fn estimator_raw_matches_counts(outcomes in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut est = PingEstimator::new(0.1);
+        for &answered in &outcomes {
+            est.record(answered);
+        }
+        let hits = outcomes.iter().filter(|&&b| b).count();
+        let expected = hits as f64 / outcomes.len() as f64;
+        prop_assert!((est.raw().unwrap().value() - expected).abs() < 1e-12);
+        prop_assert_eq!(est.samples(), outcomes.len() as u64);
+    }
+
+    #[test]
+    fn estimator_aged_stays_in_unit_interval(
+        alpha in 0.01f64..=1.0,
+        outcomes in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut est = PingEstimator::new(alpha);
+        for &answered in &outcomes {
+            est.record(answered);
+            let aged = est.aged().unwrap().value();
+            prop_assert!((0.0..=1.0).contains(&aged));
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_error_is_bounded(
+        error in 0.0f64..0.3,
+        seed in any::<u64>(),
+        target in 0u64..30,
+        querier in 0u64..30,
+        at in 0u64..100_000_000,
+    ) {
+        let trace = OvernetModel::default().hosts(30).days(1).generate(3);
+        let truth = TraceOracle::new(&trace);
+        let noisy = NoisyOracle::new(
+            TraceOracle::new(&trace),
+            error,
+            SimDuration::from_mins(20),
+            seed,
+        );
+        let t = SimTime::from_millis(at);
+        let q = NodeId::new(querier);
+        let x = NodeId::new(target);
+        let true_v = truth.estimate(q, x, t).unwrap().value();
+        let noisy_v = noisy.estimate(q, x, t).unwrap().value();
+        // Error bounded by amplitude, modulo the [0,1] clamp.
+        prop_assert!((noisy_v - true_v).abs() <= error + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&noisy_v));
+    }
+
+    #[test]
+    fn shared_noise_is_querier_invariant(
+        error in 0.0f64..0.3,
+        seed in any::<u64>(),
+        target in 0u64..30,
+        q1 in 0u64..30,
+        q2 in 0u64..30,
+        at in 0u64..100_000_000,
+    ) {
+        let trace = OvernetModel::default().hosts(30).days(1).generate(3);
+        let oracle = NoisyOracle::shared(
+            TraceOracle::new(&trace),
+            error,
+            SimDuration::from_mins(20),
+            seed,
+        );
+        let t = SimTime::from_millis(at);
+        let x = NodeId::new(target);
+        prop_assert_eq!(
+            oracle.estimate(NodeId::new(q1), x, t),
+            oracle.estimate(NodeId::new(q2), x, t)
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Benchmarks of overlay construction and maintenance: the converged
+//! rebuild (Fig. 2's warm-up), the event-driven discovery/refresh ticks,
+//! and the CYCLON shuffle round that feeds discovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use avmem::harness::{AvmemSim, MaintenanceMode, SimConfig};
+use avmem_shuffle::{sim::RoundSim, ShuffleConfig};
+use avmem_sim::SimDuration;
+use avmem_trace::OvernetModel;
+
+fn bench_converged_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("converged_rebuild");
+    group.sample_size(10);
+    for &hosts in &[100usize, 300, 600] {
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            let trace = OvernetModel::default().hosts(hosts).days(1).generate(1);
+            let mut sim = AvmemSim::new(trace, SimConfig::paper_default(1));
+            b.iter(|| {
+                sim.warm_up(SimDuration::from_mins(20));
+                black_box(sim.now())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_driven_hour(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_driven_hour");
+    group.sample_size(10);
+    for &hosts in &[100usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            let trace = OvernetModel::default().hosts(hosts).days(1).generate(1);
+            let mut config = SimConfig::paper_default(1);
+            config.maintenance = MaintenanceMode::paper_event_driven();
+            let mut sim = AvmemSim::new(trace, config);
+            b.iter(|| {
+                sim.warm_up(SimDuration::from_hours(1));
+                black_box(sim.now())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shuffle_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle_round");
+    for &n in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sim = RoundSim::new(n, ShuffleConfig::for_system_size(n), 3);
+            sim.run_rounds(10);
+            b.iter(|| {
+                sim.run_round();
+                black_box(sim.rounds())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_converged_rebuild,
+    bench_event_driven_hour,
+    bench_shuffle_round
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Regenerates the data series behind every figure of the paper's
+//! evaluation (§4).
+//!
+//! ```text
+//! cargo run --release -p avmem-bench --bin figures -- all
+//! cargo run --release -p avmem-bench --bin figures -- fig9 fig10
+//! cargo run --release -p avmem-bench --bin figures -- --small all
+//! ```
+//!
+//! Experiment ids: `fig2 fig3 fig4 fig56 fig7 fig8 fig9 fig10 fig11`
+//! (`fig12`/`fig13` alias `fig11` — one run produces all three CDFs),
+//! `discovery`, `theorems`.
+
+use std::env;
+use std::process::ExitCode;
+
+use avmem_bench::{ablations, figures};
+use avmem_bench::PaperSetup;
+
+const ALL: [&str; 10] = [
+    "fig2", "fig3", "fig4", "fig56", "fig7", "fig8", "fig9", "fig10", "fig11", "discovery",
+];
+
+const ABLATIONS: [&str; 5] = [
+    "ablation-predicates",
+    "ablation-cushion",
+    "ablation-gossip",
+    "ablation-workload",
+    "ablation-aged",
+];
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    args.retain(|a| a != "--small");
+    if args.is_empty() {
+        eprintln!("usage: figures [--small] <experiment-id>... | all | ablations");
+        eprintln!("experiments: {} theorems", ALL.join(" "));
+        eprintln!("ablations:   {}", ABLATIONS.join(" "));
+        return ExitCode::FAILURE;
+    }
+
+    let setup = if small {
+        PaperSetup::small()
+    } else {
+        PaperSetup::paper()
+    };
+    println!(
+        "# AVMEM figure harness: {} hosts, {} days, {} runs × {} messages{}",
+        setup.hosts,
+        setup.days,
+        setup.runs,
+        setup.messages_per_run,
+        if small { " (small mode)" } else { "" }
+    );
+    println!();
+
+    let mut requested: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "all" => {
+                requested.extend(ALL.iter().map(|s| (*s).to_owned()));
+                requested.push("theorems".to_owned());
+            }
+            "ablations" => requested.extend(ABLATIONS.iter().map(|s| (*s).to_owned())),
+            other => requested.push(other.to_owned()),
+        }
+    }
+
+    for experiment in &requested {
+        match experiment.as_str() {
+            "fig2" => println!("{}", figures::fig2(&setup)),
+            "fig3" => println!("{}", figures::fig3(&setup)),
+            "fig4" => println!("{}", figures::fig4(&setup)),
+            "fig5" | "fig6" | "fig56" => println!("{}", figures::fig56(&setup)),
+            "fig7" => println!("{}", figures::fig7(&setup)),
+            "fig8" => println!("{}", figures::fig8(&setup)),
+            "fig9" => println!("{}", figures::fig9(&setup)),
+            "fig10" => {
+                for sweep in figures::fig10(&setup) {
+                    println!("{sweep}");
+                }
+            }
+            "fig11" | "fig12" | "fig13" => println!("{}", figures::fig111213(&setup)),
+            "discovery" => {
+                let n = if small { 128 } else { 1024 };
+                println!("{}", figures::discovery_micro(n, 30));
+            }
+            "theorems" => println!("{}", figures::theorem_checks(&setup)),
+            "ablation-predicates" => println!("{}", ablations::ablation_predicates(&setup)),
+            "ablation-cushion" => println!("{}", ablations::ablation_cushion(&setup)),
+            "ablation-gossip" => println!("{}", ablations::ablation_gossip(&setup)),
+            "ablation-workload" => println!("{}", ablations::ablation_workload(&setup)),
+            "ablation-aged" => println!("{}", ablations::ablation_aged(&setup)),
+            other => {
+                eprintln!("unknown experiment id {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

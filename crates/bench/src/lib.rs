@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness for the AVMEM reproduction.
+//!
+//! [`setup`] builds paper-scale simulations (1442 hosts, 7 days, 20-minute
+//! slots); [`figures`] implements one experiment per table/figure of the
+//! paper's §4, each returning a printable, machine-checkable result
+//! struct. The `figures` binary dispatches on experiment id; the
+//! Criterion benches in `benches/` cover the per-operation costs.
+
+pub mod ablations;
+pub mod figures;
+pub mod setup;
+
+pub use setup::PaperSetup;

@@ -1,0 +1,169 @@
+//! Paper-scale experiment setup.
+//!
+//! The evaluation methodology of §4: Overnet churn traces (1442 hosts,
+//! 7 days, 20-minute slots), a 24-hour warm-up before snapshots, default
+//! predicates I.B + II.B with ε = 0.1, hop latency uniform in
+//! [20 ms, 80 ms], and "each point … the average of 5 different protocol
+//! runs, each with 50 messages".
+
+use std::sync::{Arc, OnceLock};
+
+use avmem::harness::{
+    AvmemSim, MaintenanceMode, OracleChoice, PairHashes, PredicateChoice, SimConfig,
+};
+use avmem_sim::SimDuration;
+use avmem_trace::{ChurnTrace, OvernetModel};
+
+/// Builder for paper-scale simulations.
+#[derive(Debug, Clone)]
+pub struct PaperSetup {
+    /// Number of hosts (paper: 1442).
+    pub hosts: usize,
+    /// Trace length in days (paper: 7).
+    pub days: u64,
+    /// Trace generation seed.
+    pub trace_seed: u64,
+    /// Warm-up before measurements (paper: 24 h).
+    pub warmup: SimDuration,
+    /// Protocol runs per data point (paper: 5).
+    pub runs: u64,
+    /// Messages per run (paper: 50).
+    pub messages_per_run: usize,
+    /// Shared pair-hash matrix; computed once per setup, reused by every
+    /// simulation in a sweep (the matrix depends only on `hosts`).
+    /// Public only so struct-update syntax (`..PaperSetup::default()`)
+    /// works; leave it defaulted.
+    #[doc(hidden)]
+    pub hashes: OnceLock<Arc<PairHashes>>,
+}
+
+impl Default for PaperSetup {
+    fn default() -> Self {
+        PaperSetup {
+            hosts: 1442,
+            days: 7,
+            trace_seed: 20070101,
+            warmup: SimDuration::from_hours(24),
+            runs: 5,
+            messages_per_run: 50,
+            hashes: OnceLock::new(),
+        }
+    }
+}
+
+impl PaperSetup {
+    /// Full paper scale.
+    pub fn paper() -> Self {
+        PaperSetup::default()
+    }
+
+    /// A reduced-scale setup for tests and smoke runs (fast in debug
+    /// builds).
+    pub fn small() -> Self {
+        PaperSetup {
+            hosts: 200,
+            days: 2,
+            runs: 2,
+            messages_per_run: 20,
+            ..PaperSetup::default()
+        }
+    }
+
+    /// Generates the churn trace for this setup.
+    pub fn trace(&self) -> ChurnTrace {
+        OvernetModel::default()
+            .hosts(self.hosts)
+            .days(self.days)
+            .generate(self.trace_seed)
+    }
+
+    /// The shared pair-hash matrix for this population size (computed on
+    /// first use). Custom experiments building their own [`AvmemSim`]
+    /// over a different trace of the *same* population can reuse it.
+    pub fn shared_hashes(&self) -> Arc<PairHashes> {
+        self.hashes
+            .get_or_init(|| Arc::new(PairHashes::compute(self.hosts)))
+            .clone()
+    }
+
+    /// Builds a warmed-up simulation with the paper-default config and
+    /// the given protocol seed.
+    pub fn sim(&self, seed: u64) -> AvmemSim {
+        self.sim_with(seed, |_| {})
+    }
+
+    /// Builds a warmed-up simulation, letting `customize` adjust the
+    /// config first (e.g. switch predicate or oracle).
+    pub fn sim_with(&self, seed: u64, customize: impl FnOnce(&mut SimConfig)) -> AvmemSim {
+        self.sim_over_trace(self.trace(), seed, customize)
+    }
+
+    /// Builds a warmed-up simulation over a caller-supplied trace of the
+    /// same population size (e.g. a [`avmem_trace::GridModel`] workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace population differs from `self.hosts`.
+    pub fn sim_over_trace(
+        &self,
+        trace: ChurnTrace,
+        seed: u64,
+        customize: impl FnOnce(&mut SimConfig),
+    ) -> AvmemSim {
+        assert_eq!(
+            trace.num_nodes(),
+            self.hosts,
+            "trace population must match the setup"
+        );
+        let mut config = SimConfig::paper_default(seed);
+        customize(&mut config);
+        let mut sim = AvmemSim::with_hashes(trace, config, self.shared_hashes());
+        sim.warm_up(self.warmup);
+        sim
+    }
+
+    /// A noisy-oracle variant (for the attack analysis figures).
+    pub fn noisy_sim(&self, seed: u64) -> AvmemSim {
+        self.sim_with(seed, |config| {
+            config.oracle = OracleChoice::paper_noise();
+        })
+    }
+
+    /// A random-overlay baseline variant (Fig. 10), degree-matched to
+    /// `expected_degree`.
+    pub fn random_overlay_sim(&self, seed: u64, expected_degree: f64) -> AvmemSim {
+        self.sim_with(seed, |config| {
+            config.predicate = PredicateChoice::Random { expected_degree };
+        })
+    }
+
+    /// An event-driven maintenance variant (ablation: protocol dynamics
+    /// instead of the converged overlay).
+    pub fn event_driven_sim(&self, seed: u64) -> AvmemSim {
+        self.sim_with(seed, |config| {
+            config.maintenance = MaintenanceMode::paper_event_driven();
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_methodology() {
+        let setup = PaperSetup::paper();
+        assert_eq!(setup.hosts, 1442);
+        assert_eq!(setup.days, 7);
+        assert_eq!(setup.runs, 5);
+        assert_eq!(setup.messages_per_run, 50);
+        assert_eq!(setup.warmup, SimDuration::from_hours(24));
+    }
+
+    #[test]
+    fn small_setup_builds_and_warms_up() {
+        let setup = PaperSetup::small();
+        let sim = setup.sim(1);
+        assert!(sim.snapshot().mean_degree() > 0.0);
+    }
+}

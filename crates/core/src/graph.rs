@@ -1,0 +1,646 @@
+//! Overlay snapshots and graph analysis.
+//!
+//! The microbenchmarks of §4.1 inspect the overlay at an instant: sliver
+//! sizes versus availability (Figs. 2b/2c), horizontal-sliver scaling
+//! against band population (Fig. 3), incoming vertical-sliver link
+//! distribution (Fig. 4), and — behind Theorems 2 and 3 — connectivity of
+//! the band sub-overlays and the whole graph. [`OverlaySnapshot`] captures
+//! the state and answers those questions.
+
+use std::collections::VecDeque;
+
+use avmem_util::{Availability, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One node's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSnapshot {
+    /// The node.
+    pub id: NodeId,
+    /// Whether the node was online at snapshot time.
+    pub online: bool,
+    /// The availability estimate the overlay was built from.
+    pub estimated_availability: Availability,
+    /// Ground-truth long-term availability (for measurement).
+    pub true_availability: Availability,
+    /// Horizontal-sliver neighbor ids.
+    pub hs: Vec<NodeId>,
+    /// Vertical-sliver neighbor ids.
+    pub vs: Vec<NodeId>,
+}
+
+/// A frozen view of the whole overlay.
+///
+/// Nodes are stored densely; `id.raw()` indexes into the vector (the
+/// population is fixed, as in the Overnet trace).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlaySnapshot {
+    nodes: Vec<NodeSnapshot>,
+    epsilon: f64,
+}
+
+impl OverlaySnapshot {
+    /// Wraps per-node snapshots. `epsilon` is the band half-width the
+    /// overlay was built with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or ids are not dense `0..n`.
+    pub fn new(nodes: Vec<NodeSnapshot>, epsilon: f64) -> Self {
+        assert!(!nodes.is_empty(), "snapshot needs at least one node");
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(
+                node.id.raw() as usize,
+                i,
+                "snapshot ids must be dense 0..n"
+            );
+        }
+        OverlaySnapshot { nodes, epsilon }
+    }
+
+    /// All nodes (online and offline).
+    pub fn nodes(&self) -> &[NodeSnapshot] {
+        &self.nodes
+    }
+
+    /// The band half-width `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Online nodes only.
+    pub fn online_nodes(&self) -> impl Iterator<Item = &NodeSnapshot> + '_ {
+        self.nodes.iter().filter(|n| n.online)
+    }
+
+    /// Number of online nodes.
+    pub fn online_count(&self) -> usize {
+        self.online_nodes().count()
+    }
+
+    /// Histogram of online nodes by true availability (Fig. 2a).
+    pub fn availability_histogram(&self, buckets: usize) -> avmem_util::stats::Histogram {
+        let mut h = avmem_util::stats::Histogram::new(buckets);
+        for node in self.online_nodes() {
+            h.add(node.true_availability.value());
+        }
+        h
+    }
+
+    fn online_member_count(&self, members: &[NodeId]) -> usize {
+        members
+            .iter()
+            .filter(|id| self.nodes[id.raw() as usize].online)
+            .count()
+    }
+
+    /// `(availability, online |HS|)` points for online nodes (Fig. 2b).
+    ///
+    /// Counts only *online* sliver members: the paper's snapshot (and
+    /// Theorems 1–3) measure online neighbors. Stored lists legitimately
+    /// retain offline entries — see [`OverlaySnapshot::hs_stored_sizes`].
+    pub fn hs_sizes(&self) -> Vec<(f64, usize)> {
+        self.online_nodes()
+            .map(|n| {
+                (
+                    n.estimated_availability.value(),
+                    self.online_member_count(&n.hs),
+                )
+            })
+            .collect()
+    }
+
+    /// `(availability, online |VS|)` points for online nodes (Fig. 2c).
+    pub fn vs_sizes(&self) -> Vec<(f64, usize)> {
+        self.online_nodes()
+            .map(|n| {
+                (
+                    n.estimated_availability.value(),
+                    self.online_member_count(&n.vs),
+                )
+            })
+            .collect()
+    }
+
+    /// `(availability, stored |HS|)` including offline entries.
+    pub fn hs_stored_sizes(&self) -> Vec<(f64, usize)> {
+        self.online_nodes()
+            .map(|n| (n.estimated_availability.value(), n.hs.len()))
+            .collect()
+    }
+
+    /// `(availability, stored |VS|)` including offline entries.
+    pub fn vs_stored_sizes(&self) -> Vec<(f64, usize)> {
+        self.online_nodes()
+            .map(|n| (n.estimated_availability.value(), n.vs.len()))
+            .collect()
+    }
+
+    /// For each online node: `(candidates within ±ε, online |HS|)` —
+    /// Fig. 3's axes. Candidates are other *online* nodes whose estimated
+    /// availability lies within the band.
+    pub fn hs_scaling_points(&self) -> Vec<(f64, f64)> {
+        let online: Vec<&NodeSnapshot> = self.online_nodes().collect();
+        online
+            .iter()
+            .map(|node| {
+                let candidates = online
+                    .iter()
+                    .filter(|other| {
+                        other.id != node.id
+                            && other
+                                .estimated_availability
+                                .distance(node.estimated_availability)
+                                < self.epsilon
+                    })
+                    .count();
+                (
+                    candidates as f64,
+                    self.online_member_count(&node.hs) as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// Incoming vertical-sliver link count per availability bucket of the
+    /// *target* node (Fig. 4): how many online nodes' VS lists reference a
+    /// node in each bucket.
+    pub fn incoming_vs_links(&self, buckets: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; buckets];
+        for node in self.online_nodes() {
+            for &target in &node.vs {
+                let target_node = &self.nodes[target.raw() as usize];
+                if !target_node.online {
+                    continue;
+                }
+                let b = ((target_node.true_availability.value() * buckets as f64).floor()
+                    as usize)
+                    .min(buckets - 1);
+                counts[b] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Per-bucket *average* incoming VS links per online node in the
+    /// bucket (normalizes Fig. 4 against Fig. 2a's node distribution).
+    pub fn incoming_vs_links_per_node(&self, buckets: usize) -> Vec<f64> {
+        let links = self.incoming_vs_links(buckets);
+        let population = self.availability_histogram(buckets);
+        links
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                let n = population.count(i);
+                if n == 0 {
+                    0.0
+                } else {
+                    l as f64 / n as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Fraction of online nodes inside the largest weakly connected
+    /// component of the overlay restricted to `scope` edges among online
+    /// nodes. `1.0` means fully connected.
+    pub fn largest_component_fraction(&self, scope: crate::membership::SliverScope) -> f64 {
+        let online: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.online)
+            .map(|(i, _)| i)
+            .collect();
+        if online.is_empty() {
+            return 0.0;
+        }
+        let allowed = |i: usize| self.nodes[i].online;
+        // Undirected adjacency over the chosen slivers.
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.online {
+                continue;
+            }
+            let hs = matches!(
+                scope,
+                crate::membership::SliverScope::HsOnly | crate::membership::SliverScope::Both
+            );
+            let vs = matches!(
+                scope,
+                crate::membership::SliverScope::VsOnly | crate::membership::SliverScope::Both
+            );
+            let edges = node
+                .hs
+                .iter()
+                .filter(|_| hs)
+                .chain(node.vs.iter().filter(|_| vs));
+            for &peer in edges {
+                let j = peer.raw() as usize;
+                if allowed(j) {
+                    adjacency[i].push(j);
+                    adjacency[j].push(i);
+                }
+            }
+        }
+        let mut visited = vec![false; self.nodes.len()];
+        let mut best = 0usize;
+        for &start in &online {
+            if visited[start] {
+                continue;
+            }
+            // BFS.
+            let mut size = 0usize;
+            let mut queue = VecDeque::from([start]);
+            visited[start] = true;
+            while let Some(u) = queue.pop_front() {
+                size += 1;
+                for &v in &adjacency[u] {
+                    if !visited[v] {
+                        visited[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            best = best.max(size);
+        }
+        best as f64 / online.len() as f64
+    }
+
+    /// Theorem 2 check: connectivity of the sub-overlay of online nodes
+    /// whose estimated availability lies within `±ε` of `center`, using
+    /// HS edges only. Returns `None` if the band holds fewer than two
+    /// online nodes.
+    pub fn band_component_fraction(&self, center: Availability) -> Option<f64> {
+        let in_band: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                n.online && n.estimated_availability.distance(center) <= self.epsilon
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if in_band.len() < 2 {
+            return None;
+        }
+        let member = |i: usize| in_band.contains(&i);
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for &i in &in_band {
+            for &peer in &self.nodes[i].hs {
+                let j = peer.raw() as usize;
+                if member(j) {
+                    adjacency[i].push(j);
+                    adjacency[j].push(i);
+                }
+            }
+        }
+        let mut visited = vec![false; self.nodes.len()];
+        let start = in_band[0];
+        let mut queue = VecDeque::from([start]);
+        visited[start] = true;
+        let mut size = 0usize;
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in &adjacency[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        Some(size as f64 / in_band.len() as f64)
+    }
+
+    /// BFS hop distances from `start` over the overlay restricted to
+    /// `scope` edges among online nodes, following edges in both
+    /// directions (messages flow along out-edges, but the paper's
+    /// connectivity analysis treats the graph as undirected).
+    ///
+    /// Returns one entry per node: `None` for offline or unreachable
+    /// nodes, `Some(hops)` otherwise (`Some(0)` for `start` itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not in the snapshot or is offline.
+    pub fn hops_from(
+        &self,
+        start: NodeId,
+        scope: crate::membership::SliverScope,
+    ) -> Vec<Option<u32>> {
+        let s = start.raw() as usize;
+        assert!(s < self.nodes.len(), "unknown start node {start}");
+        assert!(self.nodes[s].online, "start node {start} is offline");
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.online {
+                continue;
+            }
+            let hs = matches!(
+                scope,
+                crate::membership::SliverScope::HsOnly | crate::membership::SliverScope::Both
+            );
+            let vs = matches!(
+                scope,
+                crate::membership::SliverScope::VsOnly | crate::membership::SliverScope::Both
+            );
+            let edges = node
+                .hs
+                .iter()
+                .filter(|_| hs)
+                .chain(node.vs.iter().filter(|_| vs));
+            for &peer in edges {
+                let j = peer.raw() as usize;
+                if self.nodes[j].online {
+                    adjacency[i].push(j);
+                    adjacency[j].push(i);
+                }
+            }
+        }
+        let mut hops: Vec<Option<u32>> = vec![None; self.nodes.len()];
+        hops[s] = Some(0);
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            let d = hops[u].expect("queued nodes have distances");
+            for &v in &adjacency[u] {
+                if hops[v].is_none() {
+                    hops[v] = Some(d + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        hops
+    }
+
+    /// Summary of hop distances from `start` to all other reachable
+    /// online nodes (diameter estimates; the paper's O(log N) routing
+    /// claims rest on these being small).
+    pub fn path_length_summary(
+        &self,
+        start: NodeId,
+        scope: crate::membership::SliverScope,
+    ) -> avmem_util::stats::Summary {
+        let hops = self.hops_from(start, scope);
+        avmem_util::stats::Summary::from_values(
+            hops.iter()
+                .flatten()
+                .filter(|&&h| h > 0)
+                .map(|&h| h as f64),
+        )
+    }
+
+    /// Out-degree summary (stored |HS| + |VS|) over online nodes.
+    pub fn degree_summary(&self) -> avmem_util::stats::Summary {
+        avmem_util::stats::Summary::from_values(
+            self.online_nodes().map(|n| (n.hs.len() + n.vs.len()) as f64),
+        )
+    }
+
+    /// Mean total degree (|HS| + |VS|) over online nodes.
+    pub fn mean_degree(&self) -> f64 {
+        let online: Vec<&NodeSnapshot> = self.online_nodes().collect();
+        if online.is_empty() {
+            return 0.0;
+        }
+        online
+            .iter()
+            .map(|n| (n.hs.len() + n.vs.len()) as f64)
+            .sum::<f64>()
+            / online.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::SliverScope;
+
+    fn snap(
+        specs: &[(bool, f64, &[u64], &[u64])], // (online, av, hs, vs)
+    ) -> OverlaySnapshot {
+        let nodes = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (online, av, hs, vs))| NodeSnapshot {
+                id: NodeId::new(i as u64),
+                online: *online,
+                estimated_availability: Availability::saturating(*av),
+                true_availability: Availability::saturating(*av),
+                hs: hs.iter().map(|&h| NodeId::new(h)).collect(),
+                vs: vs.iter().map(|&v| NodeId::new(v)).collect(),
+            })
+            .collect();
+        OverlaySnapshot::new(nodes, 0.1)
+    }
+
+    #[test]
+    fn online_filtering() {
+        let s = snap(&[
+            (true, 0.5, &[], &[]),
+            (false, 0.6, &[], &[]),
+            (true, 0.7, &[], &[]),
+        ]);
+        assert_eq!(s.online_count(), 2);
+    }
+
+    #[test]
+    fn availability_histogram_counts_online_only() {
+        let s = snap(&[
+            (true, 0.05, &[], &[]),
+            (false, 0.05, &[], &[]),
+            (true, 0.95, &[], &[]),
+        ]);
+        let h = s.availability_histogram(10);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn sliver_size_points() {
+        let s = snap(&[
+            (true, 0.5, &[1], &[2]),
+            (true, 0.55, &[], &[]),
+            (true, 0.9, &[], &[]),
+        ]);
+        let hs = s.hs_sizes();
+        assert!(hs.contains(&(0.5, 1)));
+        let vs = s.vs_sizes();
+        assert!(vs.contains(&(0.5, 1)));
+    }
+
+    #[test]
+    fn hs_scaling_counts_band_candidates() {
+        // Node 0 at .5 with two online in-band candidates and one far node.
+        let s = snap(&[
+            (true, 0.50, &[1, 2], &[]),
+            (true, 0.55, &[], &[]),
+            (true, 0.45, &[], &[]),
+            (true, 0.90, &[], &[]),
+        ]);
+        let points = s.hs_scaling_points();
+        let p0 = points[0];
+        assert_eq!(p0, (2.0, 2.0));
+    }
+
+    #[test]
+    fn incoming_vs_links_follow_targets() {
+        let s = snap(&[
+            (true, 0.5, &[], &[2]),
+            (true, 0.6, &[], &[2]),
+            (true, 0.95, &[], &[]),
+        ]);
+        let links = s.incoming_vs_links(10);
+        assert_eq!(links[9], 2);
+        assert_eq!(links.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn incoming_vs_links_skip_offline_targets() {
+        let s = snap(&[(true, 0.5, &[], &[1]), (false, 0.9, &[], &[])]);
+        assert_eq!(s.incoming_vs_links(10).iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn per_node_normalization() {
+        let s = snap(&[
+            (true, 0.5, &[], &[2, 3]),
+            (true, 0.6, &[], &[2]),
+            (true, 0.95, &[], &[]),
+            (true, 0.96, &[], &[]),
+        ]);
+        let per_node = s.incoming_vs_links_per_node(10);
+        // Bucket 9 has 2 online nodes and 3 incoming links: 1.5 per node.
+        assert!((per_node[9] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_full_graph() {
+        // 0-1-2 chain via VS edges: connected.
+        let s = snap(&[
+            (true, 0.1, &[], &[1]),
+            (true, 0.5, &[], &[2]),
+            (true, 0.9, &[], &[]),
+        ]);
+        assert_eq!(s.largest_component_fraction(SliverScope::Both), 1.0);
+        // HS-only: no edges at all → singletons.
+        assert!((s.largest_component_fraction(SliverScope::HsOnly) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_ignores_offline() {
+        let s = snap(&[
+            (true, 0.1, &[], &[1]),
+            (false, 0.5, &[], &[2]), // bridge offline
+            (true, 0.9, &[], &[]),
+        ]);
+        assert_eq!(s.largest_component_fraction(SliverScope::Both), 0.5);
+    }
+
+    #[test]
+    fn band_connectivity() {
+        // Band around 0.5: nodes 0, 1 linked by HS; node 2 outside band.
+        let s = snap(&[
+            (true, 0.50, &[1], &[]),
+            (true, 0.55, &[], &[]),
+            (true, 0.90, &[], &[]),
+        ]);
+        assert_eq!(
+            s.band_component_fraction(Availability::saturating(0.5)),
+            Some(1.0)
+        );
+        // Band around 0.9 has a single node.
+        assert_eq!(
+            s.band_component_fraction(Availability::saturating(0.9)),
+            None
+        );
+    }
+
+    #[test]
+    fn mean_degree_over_online() {
+        let s = snap(&[
+            (true, 0.5, &[1], &[2]),
+            (true, 0.55, &[], &[]),
+            (false, 0.6, &[0, 1], &[2]),
+        ]);
+        assert_eq!(s.mean_degree(), 1.0);
+    }
+
+    #[test]
+    fn hops_from_walks_the_chain() {
+        // 0 → 1 → 2 chain via VS edges.
+        let s = snap(&[
+            (true, 0.1, &[], &[1]),
+            (true, 0.5, &[], &[2]),
+            (true, 0.9, &[], &[]),
+        ]);
+        let hops = s.hops_from(NodeId::new(0), SliverScope::Both);
+        assert_eq!(hops, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn hops_from_skips_offline_and_unreachable() {
+        let s = snap(&[
+            (true, 0.1, &[], &[1]),
+            (false, 0.5, &[], &[2]), // offline bridge
+            (true, 0.9, &[], &[]),
+        ]);
+        let hops = s.hops_from(NodeId::new(0), SliverScope::Both);
+        assert_eq!(hops, vec![Some(0), None, None]);
+    }
+
+    #[test]
+    fn hops_are_undirected() {
+        // Edge only 1 → 0; BFS from 0 still reaches 1.
+        let s = snap(&[(true, 0.1, &[], &[]), (true, 0.5, &[], &[0])]);
+        let hops = s.hops_from(NodeId::new(0), SliverScope::Both);
+        assert_eq!(hops[1], Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "offline")]
+    fn hops_from_offline_start_panics() {
+        let s = snap(&[(false, 0.1, &[], &[]), (true, 0.5, &[], &[])]);
+        let _ = s.hops_from(NodeId::new(0), SliverScope::Both);
+    }
+
+    #[test]
+    fn path_length_summary_excludes_start() {
+        let s = snap(&[
+            (true, 0.1, &[], &[1]),
+            (true, 0.5, &[], &[2]),
+            (true, 0.9, &[], &[]),
+        ]);
+        let summary = s.path_length_summary(NodeId::new(0), SliverScope::Both);
+        assert_eq!(summary.count(), 2);
+        assert_eq!(summary.min(), 1.0);
+        assert_eq!(summary.max(), 2.0);
+    }
+
+    #[test]
+    fn degree_summary_counts_stored_entries() {
+        let s = snap(&[
+            (true, 0.5, &[1], &[2]),
+            (true, 0.55, &[], &[]),
+            (false, 0.6, &[0, 1], &[]),
+        ]);
+        let summary = s.degree_summary();
+        assert_eq!(summary.count(), 2);
+        assert_eq!(summary.max(), 2.0);
+        assert_eq!(summary.min(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_panic() {
+        let nodes = vec![NodeSnapshot {
+            id: NodeId::new(5),
+            online: true,
+            estimated_availability: Availability::ZERO,
+            true_availability: Availability::ZERO,
+            hs: vec![],
+            vs: vec![],
+        }];
+        let _ = OverlaySnapshot::new(nodes, 0.1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Full-system simulation configuration.
+
+use avmem_avmon::AvmonConfig;
+use avmem_sim::{LatencyModel, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::predicate::{HorizontalRule, VerticalRule};
+
+/// Which membership predicate builds the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PredicateChoice {
+    /// The AVMEM predicate family (the paper's contribution). `N*` and
+    /// the availability PDF are derived from the trace at build time.
+    Avmem {
+        /// Horizontal-band half-width (paper: 0.1).
+        epsilon: f64,
+        /// Vertical-sliver sub-predicate.
+        vertical: VerticalRule,
+        /// Horizontal-sliver sub-predicate.
+        horizontal: HorizontalRule,
+    },
+    /// The availability-agnostic consistent-random baseline (Fig. 10):
+    /// expected out-degree `expected_degree`.
+    Random {
+        /// Target expected out-degree.
+        expected_degree: f64,
+    },
+}
+
+impl PredicateChoice {
+    /// The paper's default predicates: ε = 0.1, I.B + II.B with
+    /// [`crate::predicate::DEFAULT_C1`] / [`crate::predicate::DEFAULT_C2`].
+    pub fn paper_default() -> Self {
+        PredicateChoice::Avmem {
+            epsilon: 0.1,
+            vertical: VerticalRule::Logarithmic {
+                c1: crate::predicate::DEFAULT_C1,
+            },
+            horizontal: HorizontalRule::LogarithmicConstant {
+                c2: crate::predicate::DEFAULT_C2,
+            },
+        }
+    }
+}
+
+/// Which availability oracle the overlay queries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OracleChoice {
+    /// Ground truth from the trace (a perfect monitoring service).
+    Exact,
+    /// Ground truth plus per-querier noise and staleness — the model the
+    /// attack analysis (Figs. 5–6) uses: divergent caches are the worst
+    /// case for receiver-side verification.
+    Noisy {
+        /// Uniform error amplitude.
+        error: f64,
+        /// How long a (querier, target) answer stays cached.
+        staleness: SimDuration,
+    },
+    /// Ground truth plus noise *shared across queriers* (re-drawn each
+    /// staleness epoch) — models AVMON's aggregated answers, which every
+    /// client receives identically. Used by the multicast spam analysis
+    /// (Fig. 12).
+    NoisyShared {
+        /// Uniform error amplitude.
+        error: f64,
+        /// How long an aggregate answer stays fixed.
+        staleness: SimDuration,
+    },
+    /// The full ping-based AVMON service.
+    Avmon {
+        /// AVMON parameters.
+        config: AvmonConfig,
+    },
+}
+
+impl OracleChoice {
+    /// The default fault model used for attack experiments: ±0.05 error,
+    /// 20-minute staleness.
+    pub fn paper_noise() -> Self {
+        OracleChoice::Noisy {
+            error: 0.05,
+            staleness: SimDuration::from_mins(20),
+        }
+    }
+}
+
+/// How the overlay is maintained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaintenanceMode {
+    /// Compute the converged overlay directly from the predicate over the
+    /// whole population — the state the discovery protocol reaches after
+    /// running long enough (§3.1's discovery-time analysis shows full
+    /// convergence in `O(N/v)` periods, well inside the paper's 24 h
+    /// warm-up).
+    Converged,
+    /// Run the actual sub-protocols through the event engine: per-period
+    /// CYCLON shuffling + discovery over the coarse view, and periodic
+    /// refresh.
+    EventDriven {
+        /// Discovery/shuffle period (paper: 1 minute).
+        protocol_period: SimDuration,
+        /// Refresh period (paper: 20 minutes).
+        refresh_period: SimDuration,
+    },
+}
+
+impl MaintenanceMode {
+    /// The paper's event-driven parameters: 1-minute protocol period,
+    /// 20-minute refresh period.
+    pub fn paper_event_driven() -> Self {
+        MaintenanceMode::EventDriven {
+            protocol_period: SimDuration::from_mins(1),
+            refresh_period: SimDuration::from_mins(20),
+        }
+    }
+}
+
+/// Complete configuration of an [`crate::harness::AvmemSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master seed for all protocol randomness (latencies, gossip,
+    /// annealing, shuffling). The trace carries its own seed.
+    pub seed: u64,
+    /// Overlay predicate.
+    pub predicate: PredicateChoice,
+    /// Availability oracle.
+    pub oracle: OracleChoice,
+    /// Maintenance mode.
+    pub maintenance: MaintenanceMode,
+    /// Per-hop latency model (paper: uniform 20–80 ms).
+    pub latency: LatencyModel,
+    /// Buckets for the discretized availability PDF (paper-scale: 10,
+    /// i.e. 0.1-wide buckets).
+    pub pdf_buckets: usize,
+}
+
+impl SimConfig {
+    /// The paper's evaluation setup: default predicates, exact oracle,
+    /// converged maintenance, uniform 20–80 ms hops, 10 PDF buckets.
+    pub fn paper_default(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            predicate: PredicateChoice::paper_default(),
+            oracle: OracleChoice::Exact,
+            maintenance: MaintenanceMode::Converged,
+            latency: LatencyModel::PAPER,
+            pdf_buckets: 10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_paper_constants() {
+        let cfg = SimConfig::paper_default(1);
+        let PredicateChoice::Avmem {
+            epsilon,
+            vertical,
+            horizontal,
+        } = cfg.predicate
+        else {
+            panic!("paper default must be the AVMEM predicate");
+        };
+        assert_eq!(epsilon, 0.1);
+        assert_eq!(
+            vertical,
+            VerticalRule::Logarithmic {
+                c1: crate::predicate::DEFAULT_C1
+            }
+        );
+        assert_eq!(
+            horizontal,
+            HorizontalRule::LogarithmicConstant {
+                c2: crate::predicate::DEFAULT_C2
+            }
+        );
+        assert_eq!(cfg.latency, LatencyModel::PAPER);
+    }
+
+    #[test]
+    fn paper_event_driven_periods() {
+        let MaintenanceMode::EventDriven {
+            protocol_period,
+            refresh_period,
+        } = MaintenanceMode::paper_event_driven()
+        else {
+            panic!("expected event driven");
+        };
+        assert_eq!(protocol_period, SimDuration::from_mins(1));
+        assert_eq!(refresh_period, SimDuration::from_mins(20));
+    }
+}

@@ -1,0 +1,100 @@
+//! Precomputed pair-hash matrix.
+//!
+//! Eq. 1 evaluates `H(id(x), id(y))` for ordered node pairs. A full
+//! overlay rebuild touches all `N²` ordered pairs; hashing each pair once
+//! into a dense matrix turns every later evaluation into an array read.
+//! The values are exactly [`avmem_util::consistent_hash`] outputs, so
+//! cached and uncached evaluation agree bit-for-bit.
+
+use avmem_util::{consistent_hash, NodeId};
+
+/// Dense `N × N` matrix of `H(id(x), id(y))` for the trace population
+/// `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use avmem::harness::PairHashes;
+/// use avmem_util::{consistent_hash, NodeId};
+///
+/// let hashes = PairHashes::compute(10);
+/// assert_eq!(
+///     hashes.get(3, 7),
+///     consistent_hash(NodeId::new(3), NodeId::new(7))
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct PairHashes {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl PairHashes {
+    /// Computes hashes for all ordered pairs of the population `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn compute(n: usize) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        let mut values = vec![0.0; n * n];
+        for x in 0..n {
+            let xid = NodeId::new(x as u64);
+            for y in 0..n {
+                values[x * n + y] = consistent_hash(xid, NodeId::new(y as u64));
+            }
+        }
+        PairHashes { n, values }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `H(id(x), id(y))` by dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.n && y < self.n, "pair index out of range");
+        self.values[x * self.n + y]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_direct_hashing() {
+        let hashes = PairHashes::compute(20);
+        for x in 0..20 {
+            for y in 0..20 {
+                assert_eq!(
+                    hashes.get(x, y),
+                    consistent_hash(NodeId::new(x as u64), NodeId::new(y as u64))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directedness_is_preserved() {
+        let hashes = PairHashes::compute(5);
+        assert_ne!(hashes.get(1, 2), hashes.get(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let hashes = PairHashes::compute(3);
+        let _ = hashes.get(3, 0);
+    }
+}

@@ -1,0 +1,844 @@
+//! The full-system simulation harness.
+//!
+//! [`AvmemSim`] binds every substrate together the way the paper's
+//! evaluation does (§4): a churn trace drives node up/down state; an
+//! availability oracle (exact, noisy, or full AVMON) answers availability
+//! queries; the membership predicate builds each node's HS/VS lists —
+//! either directly ("converged", the post-warm-up state the paper
+//! snapshots) or by actually running the shuffle + discovery + refresh
+//! sub-protocols through the event engine; and the management operations
+//! execute over the resulting overlay with per-hop latencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use avmem::harness::{AvmemSim, SimConfig};
+//! use avmem::ops::{AnycastConfig, AvailabilityTarget};
+//! use avmem_sim::SimDuration;
+//! use avmem_trace::OvernetModel;
+//!
+//! let trace = OvernetModel::default().hosts(120).days(1).generate(7);
+//! let mut sim = AvmemSim::new(trace, SimConfig::paper_default(1));
+//! sim.warm_up(SimDuration::from_hours(24));
+//!
+//! let initiator = sim
+//!     .random_online_initiator(avmem::harness::InitiatorBand::Mid)
+//!     .expect("some MID node online");
+//! let outcome = sim.anycast(
+//!     initiator,
+//!     AvailabilityTarget::range(0.85, 0.95),
+//!     AnycastConfig::paper_default(),
+//! );
+//! println!("delivered: {}", outcome.is_delivered());
+//! ```
+
+pub mod attack;
+pub mod config;
+pub mod hashes;
+pub mod oracle;
+
+pub use attack::AttackSeries;
+pub use config::{MaintenanceMode, OracleChoice, PredicateChoice, SimConfig};
+pub use hashes::PairHashes;
+pub use oracle::SimOracle;
+
+use std::sync::Arc;
+
+use avmem_avmon::AvailabilityOracle;
+use avmem_shuffle::{ShuffleConfig, ShuffleNode};
+use avmem_sim::{Engine, Network, SimDuration, SimTime};
+use avmem_trace::{AvailabilityPdf, ChurnTrace};
+use avmem_util::{Availability, NodeId, Rng, SplitMix64, Xoshiro256};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{NodeSnapshot, OverlaySnapshot};
+use crate::membership::{Membership, Neighbor, SliverScope};
+use crate::ops::anycast::{run_anycast, AnycastConfig, AnycastOutcome};
+use crate::ops::multicast::{run_multicast, MulticastConfig, MulticastOutcome};
+use crate::ops::target::AvailabilityTarget;
+use crate::ops::world::OverlayWorld;
+use crate::predicate::{AvmemPredicate, MembershipPredicate, NodeInfo, RandomPredicate};
+
+/// The predicate actually in force inside a simulation.
+#[derive(Debug, Clone)]
+pub enum SimPredicate {
+    /// AVMEM slivers.
+    Avmem(AvmemPredicate),
+    /// Consistent-random baseline.
+    Random(RandomPredicate),
+}
+
+impl MembershipPredicate for SimPredicate {
+    fn threshold(&self, x: Availability, y: Availability) -> f64 {
+        match self {
+            SimPredicate::Avmem(p) => p.threshold(x, y),
+            SimPredicate::Random(p) => p.threshold(x, y),
+        }
+    }
+
+    fn epsilon(&self) -> f64 {
+        match self {
+            SimPredicate::Avmem(p) => p.epsilon(),
+            SimPredicate::Random(p) => p.epsilon(),
+        }
+    }
+}
+
+/// Initiator selection bands used throughout §4.2: LOW ∈ [0, ⅓),
+/// MID ∈ [⅓, ⅔), HIGH ∈ [⅔, 1].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InitiatorBand {
+    /// True availability in `[0, 1/3)`.
+    Low,
+    /// True availability in `[1/3, 2/3)`.
+    Mid,
+    /// True availability in `[2/3, 1]`.
+    High,
+}
+
+impl InitiatorBand {
+    /// The availability interval of the band.
+    pub fn bounds(self) -> (f64, f64) {
+        match self {
+            InitiatorBand::Low => (0.0, 1.0 / 3.0),
+            InitiatorBand::Mid => (1.0 / 3.0, 2.0 / 3.0),
+            InitiatorBand::High => (2.0 / 3.0, 1.0 + f64::EPSILON),
+        }
+    }
+
+    /// Whether an availability falls inside the band.
+    pub fn contains(self, av: Availability) -> bool {
+        let (lo, hi) = self.bounds();
+        av.value() >= lo && av.value() < hi
+    }
+}
+
+/// Internal maintenance events (event-driven mode).
+#[derive(Debug, Clone, Copy)]
+enum MaintEvent {
+    /// Per-period shuffle + discovery at node `i`.
+    Tick(usize),
+    /// Periodic refresh at node `i`.
+    Refresh(usize),
+}
+
+/// The full-system simulation.
+pub struct AvmemSim {
+    trace: ChurnTrace,
+    config: SimConfig,
+    predicate: SimPredicate,
+    oracle: SimOracle,
+    hashes: Arc<PairHashes>,
+    memberships: Vec<Membership>,
+    shuffles: Vec<ShuffleNode>,
+    now: SimTime,
+    net: Network,
+    rng: Xoshiro256,
+    n_star: f64,
+    /// Seed for the per-node randomized candidate order used by the
+    /// converged rebuild (see [`AvmemSim::rebuild_converged`]).
+    member_order_seed: u64,
+}
+
+impl std::fmt::Debug for AvmemSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AvmemSim")
+            .field("nodes", &self.trace.num_nodes())
+            .field("now", &self.now)
+            .field("n_star", &self.n_star)
+            .field("predicate", &self.predicate)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AvmemSim {
+    /// Builds a simulation over `trace` with the given configuration.
+    ///
+    /// `N*` is derived as the trace's mean online population and the
+    /// availability PDF as the (availability-weighted) distribution of
+    /// online nodes — both quantities the paper assumes are computed
+    /// offline by a crawler and distributed consistently to all nodes.
+    pub fn new(trace: ChurnTrace, config: SimConfig) -> Self {
+        let hashes = Arc::new(PairHashes::compute(trace.num_nodes()));
+        AvmemSim::with_hashes(trace, config, hashes)
+    }
+
+    /// Like [`AvmemSim::new`] but reusing a precomputed pair-hash matrix
+    /// — experiment sweeps building many simulations over the same
+    /// population share the `O(N²)` hashing work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix size does not match the trace population.
+    pub fn with_hashes(trace: ChurnTrace, config: SimConfig, hashes: Arc<PairHashes>) -> Self {
+        let n = trace.num_nodes();
+        assert_eq!(hashes.len(), n, "hash matrix size must match population");
+        let stats = trace.stats();
+        let n_star = stats.mean_online.max(2.0);
+
+        let weighted: Vec<(Availability, f64)> = (0..n)
+            .map(|i| {
+                let av = trace.long_term_availability(i);
+                (av, av.value())
+            })
+            .collect();
+        let pdf = AvailabilityPdf::from_weighted_sample(&weighted, config.pdf_buckets);
+
+        let predicate = match config.predicate {
+            PredicateChoice::Avmem {
+                epsilon,
+                vertical,
+                horizontal,
+            } => SimPredicate::Avmem(AvmemPredicate::new(
+                epsilon, n_star, vertical, horizontal, pdf,
+            )),
+            PredicateChoice::Random { expected_degree } => {
+                SimPredicate::Random(RandomPredicate::with_expected_degree(
+                    expected_degree,
+                    n as f64,
+                ))
+            }
+        };
+
+        let mut seeder = SplitMix64::new(config.seed);
+        let oracle = SimOracle::build(config.oracle, &trace, seeder.next_u64());
+        let net = Network::new(config.latency, 0.0, seeder.next_u64());
+        let rng = Xoshiro256::new(seeder.next_u64());
+
+        let shuffle_config = ShuffleConfig::for_system_size(n);
+        let mut shuffle_seeder = SplitMix64::new(seeder.next_u64());
+        let shuffles = (0..n)
+            .map(|i| {
+                ShuffleNode::new(
+                    NodeId::new(i as u64),
+                    shuffle_config,
+                    shuffle_seeder.fork(i as u64).next_u64(),
+                )
+            })
+            .collect();
+
+        AvmemSim {
+            hashes,
+            memberships: (0..n).map(|i| Membership::new(NodeId::new(i as u64))).collect(),
+            trace,
+            config,
+            predicate,
+            oracle,
+            shuffles,
+            now: SimTime::ZERO,
+            net,
+            rng,
+            n_star,
+            member_order_seed: seeder.next_u64(),
+        }
+    }
+
+    /// The churn trace driving the simulation.
+    pub fn trace(&self) -> &ChurnTrace {
+        &self.trace
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The derived stable-system-size parameter `N*`.
+    pub fn n_star(&self) -> f64 {
+        self.n_star
+    }
+
+    /// The predicate in force.
+    pub fn predicate(&self) -> &SimPredicate {
+        &self.predicate
+    }
+
+    /// The availability oracle in force.
+    pub fn oracle(&self) -> &SimOracle {
+        &self.oracle
+    }
+
+    /// A node's membership lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the population.
+    pub fn membership(&self, id: NodeId) -> &Membership {
+        &self.memberships[self.index(id)]
+    }
+
+    fn index(&self, id: NodeId) -> usize {
+        let i = id.raw() as usize;
+        assert!(i < self.trace.num_nodes(), "unknown node {id}");
+        i
+    }
+
+    fn estimated_availability(&self, querier: usize, target: usize) -> Option<Availability> {
+        self.oracle.estimate(
+            NodeId::new(querier as u64),
+            NodeId::new(target as u64),
+            self.now,
+        )
+    }
+
+    /// Advances simulation time by `duration`, running maintenance.
+    ///
+    /// In [`MaintenanceMode::Converged`] the membership lists are rebuilt
+    /// from the predicate at the end of the interval. In
+    /// [`MaintenanceMode::EventDriven`] the shuffle/discovery/refresh
+    /// sub-protocols run period by period through the event engine.
+    pub fn warm_up(&mut self, duration: SimDuration) {
+        let target = self.now + duration;
+        match self.config.maintenance {
+            MaintenanceMode::Converged => {
+                self.oracle.advance(&self.trace, target);
+                self.now = target;
+                self.rebuild_converged();
+            }
+            MaintenanceMode::EventDriven {
+                protocol_period,
+                refresh_period,
+            } => {
+                self.run_event_driven(target, protocol_period, refresh_period);
+            }
+        }
+    }
+
+    /// Rebuilds every node's lists directly from the predicate — the
+    /// fixed point the discovery protocol converges to.
+    ///
+    /// Candidates are inserted in a *per-node randomized order*, not
+    /// index order: real discovery meets candidates in shuffled-view
+    /// order, and the deterministic gossip iteration of §3.2 relies on
+    /// different nodes having decorrelated list orders (identical
+    /// prefixes would make every gossiper target the same few nodes).
+    fn rebuild_converged(&mut self) {
+        let n = self.trace.num_nodes();
+        for x in 0..n {
+            let mut order: Vec<usize> = (0..n).collect();
+            let mut order_rng =
+                SplitMix64::new(self.member_order_seed ^ (x as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            order_rng.shuffle(&mut order);
+            let mut membership = Membership::new(NodeId::new(x as u64));
+            if let Some(own_av) = self.estimated_availability(x, x) {
+                let own = NodeInfo::new(NodeId::new(x as u64), own_av);
+                for y in order {
+                    if x == y {
+                        continue;
+                    }
+                    let Some(y_av) = self.estimated_availability(x, y) else {
+                        continue;
+                    };
+                    let candidate = NodeInfo::new(NodeId::new(y as u64), y_av);
+                    if let Some(sliver) = self.predicate.classify_hashed(
+                        own,
+                        candidate,
+                        self.hashes.get(x, y),
+                        0.0,
+                    ) {
+                        membership.insert(
+                            Neighbor {
+                                id: candidate.id,
+                                cached_availability: y_av,
+                                added_at: self.now,
+                                refreshed_at: self.now,
+                            },
+                            sliver,
+                        );
+                    }
+                }
+            }
+            self.memberships[x] = membership;
+        }
+    }
+
+    fn run_event_driven(
+        &mut self,
+        target: SimTime,
+        protocol_period: SimDuration,
+        refresh_period: SimDuration,
+    ) {
+        let n = self.trace.num_nodes();
+        let mut engine: Engine<MaintEvent> = Engine::new();
+        // Stagger node ticks uniformly across one period to avoid
+        // thundering herds (real deployments are unsynchronized).
+        for i in 0..n {
+            let tick_offset = SimDuration::from_millis(
+                self.rng.range_u64(protocol_period.as_millis().max(1)),
+            );
+            let refresh_offset = SimDuration::from_millis(
+                self.rng.range_u64(refresh_period.as_millis().max(1)),
+            );
+            engine.schedule(self.now + tick_offset, MaintEvent::Tick(i));
+            engine.schedule(self.now + refresh_offset, MaintEvent::Refresh(i));
+        }
+        while let Some((t, event)) = engine.pop_until(target) {
+            self.oracle.advance(&self.trace, t);
+            self.now = self.now.max(t);
+            match event {
+                MaintEvent::Tick(i) => {
+                    if self.trace.is_online(i, t) {
+                        self.shuffle_step(i, t);
+                        self.discover_step(i, t);
+                    }
+                    engine.schedule(t + protocol_period, MaintEvent::Tick(i));
+                }
+                MaintEvent::Refresh(i) => {
+                    if self.trace.is_online(i, t) {
+                        self.refresh_step(i, t);
+                    }
+                    engine.schedule(t + refresh_period, MaintEvent::Refresh(i));
+                }
+            }
+        }
+        self.oracle.advance(&self.trace, target);
+        self.now = target;
+    }
+
+    /// One shuffle exchange for node `i` (bootstrapping an empty view
+    /// from random online peers, standing in for a bootstrap service).
+    fn shuffle_step(&mut self, i: usize, now: SimTime) {
+        if self.shuffles[i].view().is_empty() {
+            let online = self.trace.online_at(now);
+            let seeds: Vec<NodeId> = self
+                .rng
+                .sample(online.into_iter().filter(|&j| j != i), 3)
+                .into_iter()
+                .map(|j| NodeId::new(j as u64))
+                .collect();
+            self.shuffles[i].bootstrap(seeds);
+        }
+        let Some((target, request)) = self.shuffles[i].initiate() else {
+            return;
+        };
+        let t = target.raw() as usize;
+        if t < self.shuffles.len() && self.trace.is_online(t, now) {
+            let (initiator, responder) = two_mut(&mut self.shuffles, i, t);
+            let reply = responder.handle_request(request);
+            initiator.handle_reply(reply);
+        } else {
+            self.shuffles[i].handle_timeout(target);
+        }
+    }
+
+    /// Discovery pass over node `i`'s coarse view.
+    fn discover_step(&mut self, i: usize, now: SimTime) {
+        let Some(own_av) = self.estimated_availability(i, i) else {
+            return;
+        };
+        let own = NodeInfo::new(NodeId::new(i as u64), own_av);
+        let candidates: Vec<NodeId> = self.shuffles[i].view().ids().collect();
+        for candidate in candidates {
+            let y = candidate.raw() as usize;
+            if y == i || self.memberships[i].contains(candidate) {
+                continue;
+            }
+            let Some(y_av) = self.estimated_availability(i, y) else {
+                continue;
+            };
+            let info = NodeInfo::new(candidate, y_av);
+            if let Some(sliver) =
+                self.predicate
+                    .classify_hashed(own, info, self.hashes.get(i, y), 0.0)
+            {
+                self.memberships[i].insert(
+                    Neighbor {
+                        id: candidate,
+                        cached_availability: y_av,
+                        added_at: now,
+                        refreshed_at: now,
+                    },
+                    sliver,
+                );
+            }
+        }
+    }
+
+    /// Refresh pass over node `i`'s lists.
+    fn refresh_step(&mut self, i: usize, now: SimTime) {
+        let Some(own_av) = self.estimated_availability(i, i) else {
+            return;
+        };
+        let own = NodeInfo::new(NodeId::new(i as u64), own_av);
+        let current: Vec<NodeId> = self.memberships[i]
+            .neighbors(SliverScope::Both)
+            .map(|nb| nb.id)
+            .collect();
+        for id in current {
+            let y = id.raw() as usize;
+            let (mut entry, _old_sliver) = self.memberships[i]
+                .remove(id)
+                .expect("neighbor listed but missing");
+            let Some(y_av) = self.estimated_availability(i, y) else {
+                continue; // oracle lost track: evict
+            };
+            let info = NodeInfo::new(id, y_av);
+            if let Some(sliver) =
+                self.predicate
+                    .classify_hashed(own, info, self.hashes.get(i, y), 0.0)
+            {
+                entry.cached_availability = y_av;
+                entry.refreshed_at = now;
+                self.memberships[i].insert(entry, sliver);
+            }
+        }
+    }
+
+    /// Captures the current overlay state for analysis.
+    pub fn snapshot(&self) -> OverlaySnapshot {
+        let n = self.trace.num_nodes();
+        let nodes = (0..n)
+            .map(|i| {
+                let estimated = self
+                    .estimated_availability(i, i)
+                    .unwrap_or_else(|| self.trace.long_term_availability(i));
+                NodeSnapshot {
+                    id: NodeId::new(i as u64),
+                    online: self.trace.is_online(i, self.now),
+                    estimated_availability: estimated,
+                    true_availability: self.trace.long_term_availability(i),
+                    hs: self.memberships[i].hs().iter().map(|nb| nb.id).collect(),
+                    vs: self.memberships[i].vs().iter().map(|nb| nb.id).collect(),
+                }
+            })
+            .collect();
+        OverlaySnapshot::new(nodes, self.predicate.epsilon())
+    }
+
+    /// Picks a uniformly random *online* node whose true availability
+    /// lies in `band`, or `None` if no such node is online.
+    pub fn random_online_initiator(&mut self, band: InitiatorBand) -> Option<NodeId> {
+        let online = self.trace.online_at(self.now);
+        let eligible: Vec<usize> = online
+            .into_iter()
+            .filter(|&i| band.contains(self.trace.long_term_availability(i)))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let pick = eligible[self.rng.index(eligible.len())];
+        Some(NodeId::new(pick as u64))
+    }
+
+    /// All online nodes whose true availability lies in `target`.
+    pub fn online_nodes_in(&self, target: AvailabilityTarget) -> Vec<NodeId> {
+        self.trace
+            .online_at(self.now)
+            .into_iter()
+            .filter(|&i| target.contains(self.trace.long_term_availability(i)))
+            .map(|i| NodeId::new(i as u64))
+            .collect()
+    }
+
+    /// Runs one anycast from `initiator` at the current time.
+    pub fn anycast(
+        &mut self,
+        initiator: NodeId,
+        target: AvailabilityTarget,
+        config: AnycastConfig,
+    ) -> AnycastOutcome {
+        let world = WorldView {
+            trace: &self.trace,
+            oracle: &self.oracle,
+            memberships: &self.memberships,
+            now: self.now,
+        };
+        run_anycast(&world, &mut self.net, &mut self.rng, initiator, target, config)
+    }
+
+    /// Runs one multicast from `initiator` at the current time.
+    pub fn multicast(
+        &mut self,
+        initiator: NodeId,
+        target: AvailabilityTarget,
+        config: MulticastConfig,
+    ) -> MulticastOutcome {
+        let world = WorldView {
+            trace: &self.trace,
+            oracle: &self.oracle,
+            memberships: &self.memberships,
+            now: self.now,
+        };
+        run_multicast(&world, &mut self.net, &mut self.rng, initiator, target, config)
+    }
+
+    /// A borrowed [`OverlayWorld`] view of the current state, for custom
+    /// measurements.
+    pub fn world(&self) -> impl OverlayWorld + '_ {
+        WorldView {
+            trace: &self.trace,
+            oracle: &self.oracle,
+            memberships: &self.memberships,
+            now: self.now,
+        }
+    }
+}
+
+/// Borrowed world view over the simulation state.
+struct WorldView<'a> {
+    trace: &'a ChurnTrace,
+    oracle: &'a SimOracle,
+    memberships: &'a [Membership],
+    now: SimTime,
+}
+
+impl OverlayWorld for WorldView<'_> {
+    fn node_ids(&self) -> Vec<NodeId> {
+        self.trace.node_ids().collect()
+    }
+
+    fn is_online(&self, id: NodeId) -> bool {
+        self.trace.is_online(id.raw() as usize, self.now)
+    }
+
+    fn believed_availability(&self, id: NodeId) -> Availability {
+        self.oracle
+            .estimate(id, id, self.now)
+            .unwrap_or_else(|| self.trace.long_term_availability(id.raw() as usize))
+    }
+
+    fn true_availability(&self, id: NodeId) -> Availability {
+        self.trace.long_term_availability(id.raw() as usize)
+    }
+
+    fn neighbors(&self, id: NodeId, scope: SliverScope) -> Vec<Neighbor> {
+        self.memberships[id.raw() as usize]
+            .neighbors(scope)
+            .copied()
+            .collect()
+    }
+}
+
+/// Borrows two distinct elements of a slice mutably.
+///
+/// # Panics
+///
+/// Panics if `a == b` or either index is out of bounds.
+fn two_mut<T>(slice: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b, "two_mut needs distinct indices");
+    if a < b {
+        let (lo, hi) = slice.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = slice.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avmem_trace::OvernetModel;
+
+    fn small_sim(seed: u64) -> AvmemSim {
+        let trace = OvernetModel::default().hosts(120).days(1).generate(3);
+        AvmemSim::new(trace, SimConfig::paper_default(seed))
+    }
+
+    #[test]
+    fn converged_warm_up_builds_lists() {
+        let mut sim = small_sim(1);
+        sim.warm_up(SimDuration::from_hours(24));
+        let snapshot = sim.snapshot();
+        assert!(snapshot.mean_degree() > 1.0, "overlay should have edges");
+    }
+
+    #[test]
+    fn warm_up_advances_clock() {
+        let mut sim = small_sim(1);
+        sim.warm_up(SimDuration::from_hours(2));
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn same_seed_same_overlay() {
+        let mut a = small_sim(9);
+        let mut b = small_sim(9);
+        a.warm_up(SimDuration::from_hours(24));
+        b.warm_up(SimDuration::from_hours(24));
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn event_driven_approaches_converged() {
+        let trace = OvernetModel::default().hosts(80).days(1).generate(5);
+        let mut converged = AvmemSim::new(trace.clone(), SimConfig::paper_default(2));
+        converged.warm_up(SimDuration::from_hours(12));
+
+        let mut config = SimConfig::paper_default(2);
+        config.maintenance = MaintenanceMode::paper_event_driven();
+        let mut event_driven = AvmemSim::new(trace, config);
+        event_driven.warm_up(SimDuration::from_hours(12));
+
+        // Event-driven discovery should have found a sizeable share of the
+        // converged overlay's edges for online nodes.
+        let conv_snapshot = converged.snapshot();
+        let ed_snapshot = event_driven.snapshot();
+        let conv_degree = conv_snapshot.mean_degree();
+        let ed_degree = ed_snapshot.mean_degree();
+        assert!(
+            ed_degree > conv_degree * 0.3,
+            "event-driven degree {ed_degree} too far below converged {conv_degree}"
+        );
+    }
+
+    #[test]
+    fn event_driven_lists_satisfy_predicate() {
+        let trace = OvernetModel::default().hosts(60).days(1).generate(7);
+        let mut config = SimConfig::paper_default(3);
+        config.maintenance = MaintenanceMode::paper_event_driven();
+        let mut sim = AvmemSim::new(trace, config);
+        sim.warm_up(SimDuration::from_hours(6));
+        // Every listed neighbor must satisfy the predicate under current
+        // (exact) availabilities — modulo entries not yet refreshed; with
+        // the exact oracle there is no divergence at all.
+        for i in 0..sim.trace().num_nodes() {
+            let own = NodeInfo::new(
+                NodeId::new(i as u64),
+                sim.trace().long_term_availability(i),
+            );
+            for nb in sim.memberships[i].neighbors(SliverScope::Both) {
+                let info = NodeInfo::new(nb.id, nb.cached_availability);
+                assert!(
+                    sim.predicate.member(own, info),
+                    "listed neighbor violates predicate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anycast_high_target_from_mid_usually_delivers() {
+        let mut sim = small_sim(11);
+        sim.warm_up(SimDuration::from_hours(24));
+        let mut delivered = 0;
+        let mut sent = 0;
+        for _ in 0..20 {
+            let Some(initiator) = sim.random_online_initiator(InitiatorBand::Mid) else {
+                continue;
+            };
+            sent += 1;
+            let outcome = sim.anycast(
+                initiator,
+                AvailabilityTarget::range(0.85, 0.95),
+                AnycastConfig::paper_default(),
+            );
+            if outcome.is_delivered() {
+                delivered += 1;
+            }
+        }
+        assert!(sent > 0);
+        assert!(
+            delivered * 2 >= sent,
+            "only {delivered}/{sent} delivered"
+        );
+    }
+
+    #[test]
+    fn multicast_reaches_most_of_range() {
+        let mut sim = small_sim(13);
+        sim.warm_up(SimDuration::from_hours(24));
+        let target = AvailabilityTarget::threshold(0.7);
+        let Some(initiator) = sim.random_online_initiator(InitiatorBand::High) else {
+            panic!("no high-availability initiator online");
+        };
+        let outcome = sim.multicast(initiator, target, MulticastConfig::paper_default());
+        let world = sim.world();
+        let reliability = outcome.reliability(&world, target);
+        assert!(
+            reliability.unwrap_or(0.0) > 0.5,
+            "reliability {reliability:?} too low"
+        );
+    }
+
+    #[test]
+    fn random_predicate_builds_flat_overlay() {
+        let trace = OvernetModel::default().hosts(100).days(1).generate(5);
+        let mut config = SimConfig::paper_default(4);
+        config.predicate = PredicateChoice::Random {
+            expected_degree: 12.0,
+        };
+        let mut sim = AvmemSim::new(trace, config);
+        sim.warm_up(SimDuration::from_hours(24));
+        let snapshot = sim.snapshot();
+        let degree = snapshot.mean_degree();
+        assert!(
+            (2.0..30.0).contains(&degree),
+            "random overlay degree {degree} out of expected range"
+        );
+    }
+
+    #[test]
+    fn initiator_band_respects_bounds() {
+        let mut sim = small_sim(15);
+        sim.warm_up(SimDuration::from_hours(1));
+        for band in [InitiatorBand::Low, InitiatorBand::Mid, InitiatorBand::High] {
+            if let Some(node) = sim.random_online_initiator(band) {
+                let av = sim.trace().long_term_availability(node.raw() as usize);
+                assert!(band.contains(av), "{band:?} initiator has availability {av}");
+            }
+        }
+    }
+
+    #[test]
+    fn world_view_is_consistent_with_trace() {
+        let mut sim = small_sim(21);
+        sim.warm_up(SimDuration::from_hours(2));
+        let now = sim.now();
+        let online_from_trace: Vec<usize> = sim.trace().online_at(now);
+        let world = sim.world();
+        for i in 0..sim.trace().num_nodes() {
+            let id = NodeId::new(i as u64);
+            assert_eq!(world.is_online(id), online_from_trace.contains(&i));
+            assert_eq!(
+                world.true_availability(id),
+                sim.trace().long_term_availability(i)
+            );
+            // Exact oracle: belief equals truth.
+            assert_eq!(
+                world.believed_availability(id),
+                sim.trace().long_term_availability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn online_nodes_in_filters_by_truth() {
+        let mut sim = small_sim(22);
+        sim.warm_up(SimDuration::from_hours(2));
+        let target = AvailabilityTarget::threshold(0.7);
+        for id in sim.online_nodes_in(target) {
+            let i = id.raw() as usize;
+            assert!(sim.trace().is_online(i, sim.now()));
+            assert!(target.contains(sim.trace().long_term_availability(i)));
+        }
+    }
+
+    #[test]
+    fn membership_accessor_matches_snapshot() {
+        let mut sim = small_sim(23);
+        sim.warm_up(SimDuration::from_hours(4));
+        let snapshot = sim.snapshot();
+        for node in snapshot.nodes() {
+            let membership = sim.membership(node.id);
+            assert_eq!(membership.hs().len(), node.hs.len());
+            assert_eq!(membership.vs().len(), node.vs.len());
+        }
+    }
+
+    #[test]
+    fn two_mut_returns_distinct_elements() {
+        let mut v = vec![1, 2, 3, 4];
+        let (a, b) = two_mut(&mut v, 3, 1);
+        *a += 10;
+        *b += 20;
+        assert_eq!(v, vec![1, 22, 3, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn two_mut_same_index_panics() {
+        let mut v = vec![1, 2];
+        let _ = two_mut(&mut v, 1, 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! The harness's concrete oracle: a closed enum over the fidelity levels
+//! so the simulation can both query (`&self`) and advance (`&mut self`,
+//! for the ping-based AVMON service) without trait-object gymnastics.
+
+use avmem_avmon::{AvailabilityOracle, AvmonService, NoisyOracle, TraceOracle};
+use avmem_sim::SimTime;
+use avmem_trace::ChurnTrace;
+use avmem_util::{Availability, NodeId};
+
+use crate::harness::config::OracleChoice;
+
+/// The oracle behind a running simulation.
+#[derive(Debug, Clone)]
+pub enum SimOracle {
+    /// Ground truth.
+    Exact(TraceOracle),
+    /// Ground truth + per-querier noise/staleness.
+    Noisy(NoisyOracle<TraceOracle>),
+    /// Full ping-based monitoring.
+    Avmon(AvmonService),
+}
+
+impl SimOracle {
+    /// Builds the oracle selected by `choice`.
+    pub fn build(choice: OracleChoice, trace: &ChurnTrace, seed: u64) -> Self {
+        match choice {
+            OracleChoice::Exact => SimOracle::Exact(TraceOracle::new(trace)),
+            OracleChoice::Noisy { error, staleness } => SimOracle::Noisy(NoisyOracle::new(
+                TraceOracle::new(trace),
+                error,
+                staleness,
+                seed,
+            )),
+            OracleChoice::NoisyShared { error, staleness } => SimOracle::Noisy(
+                NoisyOracle::shared(TraceOracle::new(trace), error, staleness, seed),
+            ),
+            OracleChoice::Avmon { config } => {
+                SimOracle::Avmon(AvmonService::new(trace, config, seed))
+            }
+        }
+    }
+
+    /// Advances time-dependent oracles (the AVMON service processes all
+    /// pings up to `now`; the others are time-indexed functions).
+    pub fn advance(&mut self, trace: &ChurnTrace, now: SimTime) {
+        if let SimOracle::Avmon(service) = self {
+            service.step_to(trace, now);
+        }
+    }
+}
+
+impl AvailabilityOracle for SimOracle {
+    fn estimate(&self, querier: NodeId, target: NodeId, now: SimTime) -> Option<Availability> {
+        match self {
+            SimOracle::Exact(o) => o.estimate(querier, target, now),
+            SimOracle::Noisy(o) => o.estimate(querier, target, now),
+            SimOracle::Avmon(o) => o.estimate(querier, target, now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avmem_avmon::AvmonConfig;
+    use avmem_sim::SimDuration;
+    use avmem_trace::OvernetModel;
+
+    fn trace() -> ChurnTrace {
+        OvernetModel::default().hosts(40).days(1).generate(2)
+    }
+
+    #[test]
+    fn exact_oracle_matches_truth() {
+        let t = trace();
+        let oracle = SimOracle::build(OracleChoice::Exact, &t, 1);
+        let est = oracle
+            .estimate(NodeId::new(0), NodeId::new(5), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(est, t.long_term_availability(5));
+    }
+
+    #[test]
+    fn noisy_oracle_perturbs_within_amplitude() {
+        let t = trace();
+        let oracle = SimOracle::build(
+            OracleChoice::Noisy {
+                error: 0.02,
+                staleness: SimDuration::from_mins(20),
+            },
+            &t,
+            1,
+        );
+        let est = oracle
+            .estimate(NodeId::new(0), NodeId::new(5), SimTime::ZERO)
+            .unwrap();
+        let diff = (est.value() - t.long_term_availability(5).value()).abs();
+        assert!(diff <= 0.02 + 1e-12);
+    }
+
+    #[test]
+    fn avmon_oracle_needs_advancing() {
+        let t = trace();
+        let mut oracle = SimOracle::build(
+            OracleChoice::Avmon {
+                config: AvmonConfig::default(),
+            },
+            &t,
+            1,
+        );
+        assert!(oracle
+            .estimate(NodeId::new(0), NodeId::new(5), SimTime::ZERO)
+            .is_none());
+        oracle.advance(&t, SimTime::ZERO + SimDuration::from_hours(12));
+        let known = (0..t.num_nodes())
+            .filter(|&i| {
+                oracle
+                    .estimate(NodeId::new(0), t.node_id(i), SimTime::ZERO)
+                    .is_some()
+            })
+            .count();
+        assert!(known > 0);
+    }
+}

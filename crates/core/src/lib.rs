@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+
+//! # AVMEM — availability-aware membership overlays
+//!
+//! A production-quality Rust reproduction of *"AVMEM — Availability-Aware
+//! Overlays for Management Operations in Non-cooperative Distributed
+//! Systems"* (Cho, Morales & Gupta, ACM/IFIP/USENIX Middleware 2007).
+//!
+//! AVMEM is a membership overlay in which every node `x` keeps two small
+//! neighbor lists selected by a **random and consistent** predicate over
+//! node identities and availabilities (Eq. 1 of the paper):
+//!
+//! ```text
+//! M(x, y) ≡ { H(id(x), id(y)) ≤ f(av(x), av(y)) }
+//! ```
+//!
+//! * the **horizontal sliver** holds a random subset of nodes with
+//!   availability within `±ε` of `av(x)`;
+//! * the **vertical sliver** holds a random sample across the whole
+//!   availability spectrum.
+//!
+//! Consistency makes the relation verifiable by any third party, which
+//! contains selfish nodes; randomness keeps the overlay connected with
+//! `O(log N*)` degree. On top of the overlay, four availability-based
+//! management operations run efficiently: threshold-/range-anycast and
+//! threshold-/range-multicast.
+//!
+//! ## Module map
+//!
+//! | module | paper section | contents |
+//! |--------|---------------|----------|
+//! | [`predicate`] | §2 | Eq. 1 framework, sub-predicates I.A–I.C / II.A–II.B, random baseline |
+//! | [`membership`] | §3.1 | HS/VS lists, discovery & refresh sub-protocols |
+//! | [`verify`] | §4.1 | receiver-side admission checks + cushion |
+//! | [`ops`] | §3.2 | anycast (greedy/retried/annealing) and multicast (flood/gossip) |
+//! | [`graph`] | §4.1 | overlay snapshots and graph analysis |
+//! | [`harness`] | §4 | the full-system simulation binding every substrate |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use avmem::harness::{AvmemSim, InitiatorBand, SimConfig};
+//! use avmem::ops::{AnycastConfig, AvailabilityTarget};
+//! use avmem_sim::SimDuration;
+//! use avmem_trace::OvernetModel;
+//!
+//! // A synthetic Overnet-like churn trace (the paper's workload).
+//! let trace = OvernetModel::default().hosts(150).days(1).generate(42);
+//!
+//! // Build and warm up the overlay with the paper's default predicates.
+//! let mut sim = AvmemSim::new(trace, SimConfig::paper_default(7));
+//! sim.warm_up(SimDuration::from_hours(24));
+//!
+//! // Range-anycast into high availability from a mid-availability node.
+//! if let Some(initiator) = sim.random_online_initiator(InitiatorBand::Mid) {
+//!     let outcome = sim.anycast(
+//!         initiator,
+//!         AvailabilityTarget::range(0.85, 0.95),
+//!         AnycastConfig::paper_default(),
+//!     );
+//!     println!("delivered in {} hops", outcome.hops);
+//! }
+//! ```
+
+pub mod graph;
+pub mod harness;
+pub mod membership;
+pub mod ops;
+pub mod predicate;
+pub mod verify;
+
+pub use graph::{NodeSnapshot, OverlaySnapshot};
+pub use harness::{AvmemSim, InitiatorBand, SimConfig};
+pub use membership::{Membership, Neighbor, SliverScope};
+pub use ops::{
+    AnycastConfig, AnycastOutcome, AvailabilityTarget, ForwardPolicy, MulticastConfig,
+    MulticastOutcome, MulticastStrategy,
+};
+pub use predicate::{
+    AvmemPredicate, HorizontalRule, MembershipPredicate, NodeInfo, RandomPredicate, Sliver,
+    VerticalRule,
+};
+pub use verify::AdmissionPolicy;

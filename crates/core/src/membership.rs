@@ -1,0 +1,549 @@
+//! AVMEM membership lists and their maintenance (§3.1 of the paper).
+//!
+//! Every node keeps two small lists — the horizontal sliver (HS) and
+//! vertical sliver (VS) — discovered and maintained by two sub-protocols:
+//!
+//! * **Discovery** ([`Membership::discover`]): periodically iterate the
+//!   shuffled coarse view; for each entry not already a neighbor, query
+//!   the availability service and evaluate the AVMEM predicate; insert
+//!   into HS or VS on success.
+//! * **Refresh** ([`Membership::refresh`]): periodically re-query the
+//!   availability of every existing neighbor and re-evaluate the
+//!   predicate; evict entries for which `M(x, y)` has become false, and
+//!   migrate entries whose sliver changed (availabilities drift over
+//!   time). Refresh also re-caches each neighbor's availability — the
+//!   cached values are what anycast/multicast forwarding decisions use
+//!   ("node x … uses cached values of availabilities for its neighbors",
+//!   §3.2).
+
+use avmem_avmon::AvailabilityOracle;
+use avmem_sim::SimTime;
+use avmem_util::{Availability, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::predicate::{MembershipPredicate, NodeInfo, Sliver};
+
+/// Which sliver lists an operation may use (§3.2 gives each operation
+/// HS-only / VS-only / HS+VS flavors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SliverScope {
+    /// Only horizontal-sliver neighbors.
+    HsOnly,
+    /// Only vertical-sliver neighbors.
+    VsOnly,
+    /// Both lists.
+    Both,
+}
+
+impl SliverScope {
+    /// Whether the scope includes the given sliver.
+    pub fn includes(self, sliver: Sliver) -> bool {
+        match self {
+            SliverScope::HsOnly => sliver == Sliver::Horizontal,
+            SliverScope::VsOnly => sliver == Sliver::Vertical,
+            SliverScope::Both => true,
+        }
+    }
+}
+
+/// One entry of a sliver list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The neighbor's identity.
+    pub id: NodeId,
+    /// The availability cached at the last discovery/refresh; forwarding
+    /// decisions read this, *not* a live query (§3.2).
+    pub cached_availability: Availability,
+    /// When the neighbor entered the list.
+    pub added_at: SimTime,
+    /// When the cached availability was last validated.
+    pub refreshed_at: SimTime,
+}
+
+/// Outcome of a refresh pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefreshOutcome {
+    /// Neighbors evicted because the predicate no longer holds (or the
+    /// oracle lost track of them).
+    pub evicted: usize,
+    /// Neighbors moved between HS and VS because their availability
+    /// drifted across the band boundary.
+    pub migrated: usize,
+    /// Neighbors kept (cached availability updated).
+    pub kept: usize,
+}
+
+/// The HS + VS membership state of one node.
+///
+/// # Examples
+///
+/// ```
+/// use avmem::membership::{Membership, SliverScope};
+/// use avmem::predicate::{AvmemPredicate, NodeInfo};
+/// use avmem_avmon::TraceOracle;
+/// use avmem_sim::SimTime;
+/// use avmem_trace::{AvailabilityPdf, OvernetModel};
+/// use avmem_util::NodeId;
+///
+/// let trace = OvernetModel::default().hosts(100).days(1).generate(1);
+/// let oracle = TraceOracle::new(&trace);
+/// let sample: Vec<_> = (0..100).map(|i| trace.long_term_availability(i)).collect();
+/// let pred = AvmemPredicate::paper_default(100.0, AvailabilityPdf::from_sample(&sample, 10));
+///
+/// let me = NodeInfo::new(NodeId::new(0), trace.long_term_availability(0));
+/// let mut membership = Membership::new(me.id);
+/// membership.discover(me, trace.node_ids(), &oracle, &pred, SimTime::ZERO);
+/// // Discovery over the full population yields the converged lists.
+/// let total = membership.neighbors(SliverScope::Both).count();
+/// assert!(total > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Membership {
+    owner: NodeId,
+    hs: Vec<Neighbor>,
+    vs: Vec<Neighbor>,
+}
+
+impl Membership {
+    /// Creates empty lists for `owner`.
+    pub fn new(owner: NodeId) -> Self {
+        Membership {
+            owner,
+            hs: Vec::new(),
+            vs: Vec::new(),
+        }
+    }
+
+    /// The owning node.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// The horizontal sliver.
+    pub fn hs(&self) -> &[Neighbor] {
+        &self.hs
+    }
+
+    /// The vertical sliver.
+    pub fn vs(&self) -> &[Neighbor] {
+        &self.vs
+    }
+
+    /// Total neighbor count (HS + VS).
+    pub fn len(&self) -> usize {
+        self.hs.len() + self.vs.len()
+    }
+
+    /// Whether both lists are empty.
+    pub fn is_empty(&self) -> bool {
+        self.hs.is_empty() && self.vs.is_empty()
+    }
+
+    /// Whether `id` is currently a neighbor (either sliver).
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.hs.iter().any(|n| n.id == id) || self.vs.iter().any(|n| n.id == id)
+    }
+
+    /// Iterates neighbors in the given scope (HS first, then VS, each in
+    /// insertion order — the deterministic order gossip target selection
+    /// relies on).
+    pub fn neighbors(&self, scope: SliverScope) -> impl Iterator<Item = &Neighbor> + '_ {
+        let hs = matches!(scope, SliverScope::HsOnly | SliverScope::Both);
+        let vs = matches!(scope, SliverScope::VsOnly | SliverScope::Both);
+        self.hs
+            .iter()
+            .filter(move |_| hs)
+            .chain(self.vs.iter().filter(move |_| vs))
+    }
+
+    /// Drops all neighbors (a node that lost its soft state).
+    pub fn clear(&mut self) {
+        self.hs.clear();
+        self.vs.clear();
+    }
+
+    /// Inserts an already-classified neighbor, skipping duplicates and
+    /// self-entries. Returns whether the entry was inserted.
+    ///
+    /// This is the low-level hook used by drivers that evaluate the
+    /// predicate themselves (e.g. with a precomputed hash matrix);
+    /// [`Membership::discover`] is the self-contained path.
+    pub fn insert(&mut self, neighbor: Neighbor, sliver: Sliver) -> bool {
+        if neighbor.id == self.owner || self.contains(neighbor.id) {
+            return false;
+        }
+        match sliver {
+            Sliver::Horizontal => self.hs.push(neighbor),
+            Sliver::Vertical => self.vs.push(neighbor),
+        }
+        true
+    }
+
+    /// Removes a neighbor from whichever list holds it, returning the
+    /// entry and the sliver it occupied.
+    pub fn remove(&mut self, id: NodeId) -> Option<(Neighbor, Sliver)> {
+        if let Some(pos) = self.hs.iter().position(|n| n.id == id) {
+            return Some((self.hs.remove(pos), Sliver::Horizontal));
+        }
+        if let Some(pos) = self.vs.iter().position(|n| n.id == id) {
+            return Some((self.vs.remove(pos), Sliver::Vertical));
+        }
+        None
+    }
+
+    /// Discovery sub-protocol: for each candidate not already a neighbor,
+    /// query the oracle and evaluate the predicate; insert on success.
+    /// Returns the number of neighbors added.
+    ///
+    /// `own` is the owner's identity and *its own current availability
+    /// estimate* (also obtained from the monitoring service, so the
+    /// predicate evaluation is consistent with what third parties see).
+    pub fn discover<O, P, I>(
+        &mut self,
+        own: NodeInfo,
+        candidates: I,
+        oracle: &O,
+        predicate: &P,
+        now: SimTime,
+    ) -> usize
+    where
+        O: AvailabilityOracle + ?Sized,
+        P: MembershipPredicate + ?Sized,
+        I: IntoIterator<Item = NodeId>,
+    {
+        debug_assert_eq!(own.id, self.owner, "discover called with foreign identity");
+        let mut added = 0;
+        for candidate in candidates {
+            if candidate == self.owner || self.contains(candidate) {
+                continue;
+            }
+            let Some(candidate_av) = oracle.estimate(self.owner, candidate, now) else {
+                continue;
+            };
+            let candidate_info = NodeInfo::new(candidate, candidate_av);
+            if let Some(sliver) = predicate.classify(own, candidate_info) {
+                let neighbor = Neighbor {
+                    id: candidate,
+                    cached_availability: candidate_av,
+                    added_at: now,
+                    refreshed_at: now,
+                };
+                match sliver {
+                    Sliver::Horizontal => self.hs.push(neighbor),
+                    Sliver::Vertical => self.vs.push(neighbor),
+                }
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Refresh sub-protocol: re-validate every neighbor against fresh
+    /// oracle estimates, evicting entries whose predicate became false
+    /// and migrating entries whose sliver changed.
+    pub fn refresh<O, P>(
+        &mut self,
+        own: NodeInfo,
+        oracle: &O,
+        predicate: &P,
+        now: SimTime,
+    ) -> RefreshOutcome
+    where
+        O: AvailabilityOracle + ?Sized,
+        P: MembershipPredicate + ?Sized,
+    {
+        debug_assert_eq!(own.id, self.owner, "refresh called with foreign identity");
+        let mut outcome = RefreshOutcome::default();
+        let owner = self.owner;
+        let mut revalidate = |list: &mut Vec<Neighbor>, expected: Sliver, migrants: &mut Vec<(Neighbor, Sliver)>| {
+            list.retain_mut(|neighbor| {
+                let Some(fresh_av) = oracle.estimate(owner, neighbor.id, now) else {
+                    outcome.evicted += 1;
+                    return false;
+                };
+                let info = NodeInfo::new(neighbor.id, fresh_av);
+                match predicate.classify(own, info) {
+                    None => {
+                        outcome.evicted += 1;
+                        false
+                    }
+                    Some(sliver) => {
+                        neighbor.cached_availability = fresh_av;
+                        neighbor.refreshed_at = now;
+                        if sliver == expected {
+                            outcome.kept += 1;
+                            true
+                        } else {
+                            migrants.push((*neighbor, sliver));
+                            outcome.migrated += 1;
+                            false
+                        }
+                    }
+                }
+            });
+        };
+
+        let mut migrants = Vec::new();
+        revalidate(&mut self.hs, Sliver::Horizontal, &mut migrants);
+        revalidate(&mut self.vs, Sliver::Vertical, &mut migrants);
+        for (neighbor, sliver) in migrants {
+            match sliver {
+                Sliver::Horizontal => self.hs.push(neighbor),
+                Sliver::Vertical => self.vs.push(neighbor),
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avmem_sim::SimTime;
+    use avmem_trace::AvailabilityPdf;
+    use avmem_util::Availability;
+
+    use crate::predicate::AvmemPredicate;
+
+    /// An oracle over a mutable table, for precise control in tests.
+    #[derive(Debug, Default)]
+    struct TableOracle {
+        table: std::collections::HashMap<u64, f64>,
+    }
+
+    impl TableOracle {
+        fn set(&mut self, id: u64, av: f64) {
+            self.table.insert(id, av);
+        }
+
+        fn remove(&mut self, id: u64) {
+            self.table.remove(&id);
+        }
+    }
+
+    impl AvailabilityOracle for TableOracle {
+        fn estimate(
+            &self,
+            _querier: NodeId,
+            target: NodeId,
+            _now: SimTime,
+        ) -> Option<Availability> {
+            self.table
+                .get(&target.raw())
+                .map(|&v| Availability::saturating(v))
+        }
+    }
+
+    fn take_all_predicate() -> AvmemPredicate {
+        // d1 = d2 = 1.0: every candidate passes; classification only by band.
+        AvmemPredicate::new(
+            0.1,
+            100.0,
+            crate::predicate::VerticalRule::Constant { d1: 1.0 },
+            crate::predicate::HorizontalRule::Constant { d2: 1.0 },
+            AvailabilityPdf::uniform(10),
+        )
+    }
+
+    fn me() -> NodeInfo {
+        NodeInfo::new(NodeId::new(0), Availability::saturating(0.5))
+    }
+
+    #[test]
+    fn discover_classifies_into_slivers() {
+        let mut oracle = TableOracle::default();
+        oracle.set(1, 0.52); // horizontal
+        oracle.set(2, 0.9); // vertical
+        let pred = take_all_predicate();
+        let mut m = Membership::new(NodeId::new(0));
+        let added = m.discover(
+            me(),
+            [NodeId::new(1), NodeId::new(2)],
+            &oracle,
+            &pred,
+            SimTime::ZERO,
+        );
+        assert_eq!(added, 2);
+        assert_eq!(m.hs().len(), 1);
+        assert_eq!(m.vs().len(), 1);
+        assert_eq!(m.hs()[0].id, NodeId::new(1));
+        assert_eq!(m.vs()[0].id, NodeId::new(2));
+    }
+
+    #[test]
+    fn discover_skips_self_unknown_and_duplicates() {
+        let mut oracle = TableOracle::default();
+        oracle.set(1, 0.5);
+        let pred = take_all_predicate();
+        let mut m = Membership::new(NodeId::new(0));
+        let added = m.discover(
+            me(),
+            [NodeId::new(0), NodeId::new(1), NodeId::new(1), NodeId::new(9)],
+            &oracle,
+            &pred,
+            SimTime::ZERO,
+        );
+        // self skipped, duplicate skipped, id 9 unknown to oracle.
+        assert_eq!(added, 1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn refresh_evicts_when_oracle_forgets() {
+        let mut oracle = TableOracle::default();
+        oracle.set(1, 0.52);
+        let pred = take_all_predicate();
+        let mut m = Membership::new(NodeId::new(0));
+        m.discover(me(), [NodeId::new(1)], &oracle, &pred, SimTime::ZERO);
+        oracle.remove(1);
+        let outcome = m.refresh(me(), &oracle, &pred, SimTime::from_millis(1));
+        assert_eq!(outcome.evicted, 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn refresh_migrates_across_band_boundary() {
+        let mut oracle = TableOracle::default();
+        oracle.set(1, 0.52);
+        let pred = take_all_predicate();
+        let mut m = Membership::new(NodeId::new(0));
+        m.discover(me(), [NodeId::new(1)], &oracle, &pred, SimTime::ZERO);
+        assert_eq!(m.hs().len(), 1);
+        // Availability drifts out of the ±0.1 band.
+        oracle.set(1, 0.8);
+        let outcome = m.refresh(me(), &oracle, &pred, SimTime::from_millis(1));
+        assert_eq!(outcome.migrated, 1);
+        assert_eq!(m.hs().len(), 0);
+        assert_eq!(m.vs().len(), 1);
+        assert_eq!(m.vs()[0].cached_availability.value(), 0.8);
+    }
+
+    #[test]
+    fn refresh_updates_cached_availability() {
+        let mut oracle = TableOracle::default();
+        oracle.set(1, 0.52);
+        let pred = take_all_predicate();
+        let mut m = Membership::new(NodeId::new(0));
+        m.discover(me(), [NodeId::new(1)], &oracle, &pred, SimTime::ZERO);
+        oracle.set(1, 0.55);
+        let later = SimTime::from_millis(60_000);
+        let outcome = m.refresh(me(), &oracle, &pred, later);
+        assert_eq!(outcome.kept, 1);
+        assert_eq!(m.hs()[0].cached_availability.value(), 0.55);
+        assert_eq!(m.hs()[0].refreshed_at, later);
+        assert_eq!(m.hs()[0].added_at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn refresh_evicts_on_predicate_violation() {
+        // Predicate that accepts only horizontal-band members.
+        let pred = AvmemPredicate::new(
+            0.1,
+            100.0,
+            crate::predicate::VerticalRule::Constant { d1: 0.0 },
+            crate::predicate::HorizontalRule::Constant { d2: 1.0 },
+            AvailabilityPdf::uniform(10),
+        );
+        let mut oracle = TableOracle::default();
+        oracle.set(1, 0.52);
+        let mut m = Membership::new(NodeId::new(0));
+        m.discover(me(), [NodeId::new(1)], &oracle, &pred, SimTime::ZERO);
+        assert_eq!(m.hs().len(), 1);
+        // Drift out of band: vertical rule rejects everything → eviction,
+        // within one refresh (the paper's "worst case 1 protocol period").
+        oracle.set(1, 0.9);
+        let outcome = m.refresh(me(), &oracle, &pred, SimTime::from_millis(1));
+        assert_eq!(outcome.evicted, 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn scope_filters_neighbors() {
+        let mut oracle = TableOracle::default();
+        oracle.set(1, 0.52);
+        oracle.set(2, 0.9);
+        let pred = take_all_predicate();
+        let mut m = Membership::new(NodeId::new(0));
+        m.discover(
+            me(),
+            [NodeId::new(1), NodeId::new(2)],
+            &oracle,
+            &pred,
+            SimTime::ZERO,
+        );
+        assert_eq!(m.neighbors(SliverScope::HsOnly).count(), 1);
+        assert_eq!(m.neighbors(SliverScope::VsOnly).count(), 1);
+        assert_eq!(m.neighbors(SliverScope::Both).count(), 2);
+    }
+
+    #[test]
+    fn scope_includes_matches_slivers() {
+        assert!(SliverScope::HsOnly.includes(Sliver::Horizontal));
+        assert!(!SliverScope::HsOnly.includes(Sliver::Vertical));
+        assert!(SliverScope::VsOnly.includes(Sliver::Vertical));
+        assert!(!SliverScope::VsOnly.includes(Sliver::Horizontal));
+        assert!(SliverScope::Both.includes(Sliver::Horizontal));
+        assert!(SliverScope::Both.includes(Sliver::Vertical));
+    }
+
+    #[test]
+    fn insert_rejects_self_and_duplicates() {
+        let mut m = Membership::new(NodeId::new(0));
+        let neighbor = |id: u64| Neighbor {
+            id: NodeId::new(id),
+            cached_availability: Availability::saturating(0.5),
+            added_at: SimTime::ZERO,
+            refreshed_at: SimTime::ZERO,
+        };
+        assert!(!m.insert(neighbor(0), Sliver::Horizontal)); // self
+        assert!(m.insert(neighbor(1), Sliver::Horizontal));
+        assert!(!m.insert(neighbor(1), Sliver::Vertical)); // duplicate
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn remove_reports_sliver() {
+        let mut m = Membership::new(NodeId::new(0));
+        let neighbor = |id: u64| Neighbor {
+            id: NodeId::new(id),
+            cached_availability: Availability::saturating(0.5),
+            added_at: SimTime::ZERO,
+            refreshed_at: SimTime::ZERO,
+        };
+        m.insert(neighbor(1), Sliver::Horizontal);
+        m.insert(neighbor(2), Sliver::Vertical);
+        assert_eq!(m.remove(NodeId::new(2)).unwrap().1, Sliver::Vertical);
+        assert_eq!(m.remove(NodeId::new(1)).unwrap().1, Sliver::Horizontal);
+        assert!(m.remove(NodeId::new(1)).is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn neighbors_iterate_hs_before_vs() {
+        let mut m = Membership::new(NodeId::new(0));
+        let neighbor = |id: u64| Neighbor {
+            id: NodeId::new(id),
+            cached_availability: Availability::saturating(0.5),
+            added_at: SimTime::ZERO,
+            refreshed_at: SimTime::ZERO,
+        };
+        m.insert(neighbor(5), Sliver::Vertical);
+        m.insert(neighbor(3), Sliver::Horizontal);
+        let order: Vec<u64> = m
+            .neighbors(SliverScope::Both)
+            .map(|n| n.id.raw())
+            .collect();
+        assert_eq!(order, vec![3, 5]);
+    }
+
+    #[test]
+    fn clear_empties_lists() {
+        let mut oracle = TableOracle::default();
+        oracle.set(1, 0.52);
+        let pred = take_all_predicate();
+        let mut m = Membership::new(NodeId::new(0));
+        m.discover(me(), [NodeId::new(1)], &oracle, &pred, SimTime::ZERO);
+        m.clear();
+        assert!(m.is_empty());
+    }
+}

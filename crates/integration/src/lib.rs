@@ -1,0 +1,6 @@
+//! Workspace-spanning integration tests for the AVMEM reproduction.
+//!
+//! This crate has no library API; the tests live in the repository's
+//! top-level `tests/` directory (see `Cargo.toml`'s `[[test]]` entries)
+//! and exercise the crates together: trace → monitoring → overlay →
+//! operations.

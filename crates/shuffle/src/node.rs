@@ -1,0 +1,351 @@
+//! The CYCLON shuffle state machine.
+//!
+//! Pure message-in/message-out: the host simulation decides when to call
+//! [`ShuffleNode::initiate`] (once per protocol period while online),
+//! routes [`ShuffleMessage`]s between nodes, and reports unresponsive
+//! targets with [`ShuffleNode::handle_timeout`].
+
+use avmem_util::{NodeId, SplitMix64};
+use serde::{Deserialize, Serialize};
+
+use crate::view::{View, ViewEntry};
+
+/// Configuration of the shuffle protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShuffleConfig {
+    /// Partial-view capacity (`v` in §3.1; `√N` is optimal).
+    pub view_size: usize,
+    /// Number of entries exchanged per shuffle (`ℓ`), self included.
+    pub shuffle_length: usize,
+}
+
+impl ShuffleConfig {
+    /// Creates a config, validating `0 < shuffle_length ≤ view_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant is violated.
+    pub fn new(view_size: usize, shuffle_length: usize) -> Self {
+        assert!(view_size > 0, "view size must be positive");
+        assert!(
+            (1..=view_size).contains(&shuffle_length),
+            "shuffle length must be in 1..=view_size"
+        );
+        ShuffleConfig {
+            view_size,
+            shuffle_length,
+        }
+    }
+
+    /// The paper-scale default for a system of `n` nodes: view `√N`,
+    /// exchanging half the view (min 4).
+    pub fn for_system_size(n: usize) -> Self {
+        let v = crate::optimal_view_size(n);
+        ShuffleConfig::new(v, (v / 2).max(4).min(v))
+    }
+}
+
+/// A shuffle exchange message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShuffleMessage {
+    /// Initiator → target: a random subset of the initiator's view
+    /// (including a fresh entry for the initiator itself).
+    Request {
+        /// Entries shipped to the target.
+        entries: Vec<ViewEntry>,
+    },
+    /// Target → initiator: a random subset of the target's view.
+    Reply {
+        /// Entries shipped back to the initiator.
+        entries: Vec<ViewEntry>,
+    },
+}
+
+/// Per-node CYCLON state.
+///
+/// # Examples
+///
+/// A complete exchange between two nodes:
+///
+/// ```
+/// use avmem_shuffle::{ShuffleConfig, ShuffleNode};
+/// use avmem_util::NodeId;
+///
+/// let cfg = ShuffleConfig::new(8, 4);
+/// let mut a = ShuffleNode::new(NodeId::new(1), cfg, 11);
+/// let mut b = ShuffleNode::new(NodeId::new(2), cfg, 22);
+/// a.bootstrap([NodeId::new(2)]);
+///
+/// let (target, request) = a.initiate().expect("view non-empty");
+/// assert_eq!(target, NodeId::new(2));
+/// let reply = b.handle_request(request);
+/// a.handle_reply(reply);
+///
+/// // After the exchange the target has learned about the initiator.
+/// assert!(b.view().contains(NodeId::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShuffleNode {
+    id: NodeId,
+    config: ShuffleConfig,
+    view: View,
+    rng: SplitMix64,
+    /// Entries sent in the in-flight exchange (for merge bookkeeping).
+    in_flight: Option<InFlight>,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    target: NodeId,
+    sent: Vec<ViewEntry>,
+    removed_target_entry: ViewEntry,
+}
+
+impl ShuffleNode {
+    /// Creates a node with an empty view.
+    pub fn new(id: NodeId, config: ShuffleConfig, seed: u64) -> Self {
+        ShuffleNode {
+            id,
+            config,
+            view: View::new(config.view_size),
+            rng: SplitMix64::new(seed),
+            in_flight: None,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Read access to the current view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Seeds the view with known peers (used on join/rejoin).
+    pub fn bootstrap<I>(&mut self, seeds: I)
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        for seed in seeds {
+            if seed != self.id {
+                self.view.insert(ViewEntry::fresh(seed));
+            }
+        }
+    }
+
+    /// Clears all state except identity (a node that crashed and lost its
+    /// soft state).
+    pub fn reset(&mut self) {
+        self.view = View::new(self.config.view_size);
+        self.in_flight = None;
+    }
+
+    /// Starts one shuffle period: ages the view, removes the oldest entry
+    /// as the exchange target, and produces the request to send to it.
+    ///
+    /// Returns `None` when the view is empty (nothing to exchange with) or
+    /// an exchange is already in flight.
+    pub fn initiate(&mut self) -> Option<(NodeId, ShuffleMessage)> {
+        if self.in_flight.is_some() {
+            return None;
+        }
+        self.view.age_all();
+        let target_entry = self.view.oldest()?;
+        let target = target_entry.id;
+        self.view.remove(target);
+
+        let mut entries = self
+            .view
+            .random_subset(&mut self.rng, self.config.shuffle_length - 1, Some(target));
+        entries.push(ViewEntry::fresh(self.id));
+        self.in_flight = Some(InFlight {
+            target,
+            sent: entries.clone(),
+            removed_target_entry: target_entry,
+        });
+        Some((target, ShuffleMessage::Request { entries }))
+    }
+
+    /// Handles an incoming request, returning the reply to send back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a [`ShuffleMessage::Reply`].
+    pub fn handle_request(&mut self, message: ShuffleMessage) -> ShuffleMessage {
+        let ShuffleMessage::Request { entries } = message else {
+            panic!("handle_request expects a Request message");
+        };
+        let reply = self
+            .view
+            .random_subset(&mut self.rng, self.config.shuffle_length, None);
+        self.view.merge(self.id, &entries, &reply);
+        ShuffleMessage::Reply { entries: reply }
+    }
+
+    /// Handles the reply to our in-flight request, completing the
+    /// exchange. A reply with no exchange in flight (e.g. from a target
+    /// already timed out) is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a [`ShuffleMessage::Request`].
+    pub fn handle_reply(&mut self, message: ShuffleMessage) {
+        let ShuffleMessage::Reply { entries } = message else {
+            panic!("handle_reply expects a Reply message");
+        };
+        let Some(in_flight) = self.in_flight.take() else {
+            return;
+        };
+        self.view.merge(self.id, &entries, &in_flight.sent);
+    }
+
+    /// Reports that the in-flight target never answered. CYCLON's
+    /// self-cleaning: the dead entry stays removed. Entries we planned to
+    /// trade are retained.
+    pub fn handle_timeout(&mut self, target: NodeId) {
+        if let Some(in_flight) = &self.in_flight {
+            if in_flight.target == target {
+                self.in_flight = None;
+            }
+        }
+    }
+
+    /// Reports that the exchange target was reachable but we want to undo
+    /// the removal (used when the host simulation knows the request was
+    /// lost before reaching the target, not that the target is dead).
+    pub fn restore_target(&mut self, target: NodeId) {
+        if let Some(in_flight) = self.in_flight.take() {
+            if in_flight.target == target {
+                self.view.insert(in_flight.removed_target_entry);
+            } else {
+                self.in_flight = Some(in_flight);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> NodeId {
+        NodeId::new(n)
+    }
+
+    fn node(n: u64) -> ShuffleNode {
+        ShuffleNode::new(id(n), ShuffleConfig::new(8, 4), n)
+    }
+
+    #[test]
+    fn bootstrap_skips_self() {
+        let mut a = node(1);
+        a.bootstrap([id(1), id(2), id(3)]);
+        assert_eq!(a.view().len(), 2);
+        assert!(!a.view().contains(id(1)));
+    }
+
+    #[test]
+    fn initiate_on_empty_view_returns_none() {
+        let mut a = node(1);
+        assert!(a.initiate().is_none());
+    }
+
+    #[test]
+    fn initiate_targets_oldest_and_removes_it() {
+        let mut a = node(1);
+        a.bootstrap([id(2)]);
+        // Age id(2), then add a fresh id(3): id(2) is oldest.
+        let _ = a.initiate(); // ages, targets 2, removes it
+        // After initiate, 2 removed.
+        assert!(!a.view().contains(id(2)));
+    }
+
+    #[test]
+    fn request_carries_fresh_self_entry() {
+        let mut a = node(1);
+        a.bootstrap([id(2), id(3)]);
+        let (_, msg) = a.initiate().unwrap();
+        let ShuffleMessage::Request { entries } = msg else {
+            panic!("expected request");
+        };
+        assert!(entries.iter().any(|e| e.id == id(1) && e.age == 0));
+    }
+
+    #[test]
+    fn exchange_spreads_knowledge_both_ways() {
+        let cfg = ShuffleConfig::new(8, 4);
+        let mut a = ShuffleNode::new(id(1), cfg, 10);
+        let mut b = ShuffleNode::new(id(2), cfg, 20);
+        a.bootstrap([id(2)]);
+        b.bootstrap([id(5), id(6)]);
+
+        let (target, req) = a.initiate().unwrap();
+        assert_eq!(target, id(2));
+        // Give a some more context for the assertion below.
+        a.bootstrap([id(3), id(4)]);
+        let reply = b.handle_request(req);
+        a.handle_reply(reply);
+
+        // b learned about a.
+        assert!(b.view().contains(id(1)));
+        // a learned something from b's view.
+        let knows_from_b = a.view().contains(id(5)) || a.view().contains(id(6));
+        assert!(knows_from_b, "a's view: {:?}", a.view());
+    }
+
+    #[test]
+    fn second_initiate_while_in_flight_is_noop() {
+        let mut a = node(1);
+        a.bootstrap([id(2), id(3)]);
+        let first = a.initiate();
+        assert!(first.is_some());
+        assert!(a.initiate().is_none());
+    }
+
+    #[test]
+    fn timeout_clears_in_flight_and_drops_dead_entry() {
+        let mut a = node(1);
+        a.bootstrap([id(2)]);
+        let (target, _) = a.initiate().unwrap();
+        a.handle_timeout(target);
+        assert!(!a.view().contains(target));
+        // Can initiate again (view empty now though).
+        assert!(a.initiate().is_none());
+    }
+
+    #[test]
+    fn restore_target_reinserts_entry() {
+        let mut a = node(1);
+        a.bootstrap([id(2)]);
+        let (target, _) = a.initiate().unwrap();
+        a.restore_target(target);
+        assert!(a.view().contains(id(2)));
+    }
+
+    #[test]
+    fn stray_reply_is_ignored() {
+        let mut a = node(1);
+        a.bootstrap([id(2)]);
+        a.handle_reply(ShuffleMessage::Reply {
+            entries: vec![ViewEntry::fresh(id(9))],
+        });
+        // No in-flight exchange: nothing merged.
+        assert!(!a.view().contains(id(9)));
+    }
+
+    #[test]
+    fn reset_clears_view() {
+        let mut a = node(1);
+        a.bootstrap([id(2), id(3)]);
+        a.reset();
+        assert!(a.view().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shuffle length")]
+    fn invalid_config_panics() {
+        let _ = ShuffleConfig::new(4, 5);
+    }
+}

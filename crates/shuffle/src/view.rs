@@ -1,0 +1,322 @@
+//! The partial view data structure.
+//!
+//! A [`View`] is a bounded set of [`ViewEntry`]s (node id + age) with the
+//! merge semantics CYCLON needs: no duplicates (keep the younger entry),
+//! bounded capacity with a controllable replacement order, and age-based
+//! selection of the exchange target.
+
+use avmem_util::{NodeId, Rng};
+use serde::{Deserialize, Serialize};
+
+/// One entry of a partial view: a node and the entry's age in protocol
+/// periods (freshness indicator — *not* the node's uptime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewEntry {
+    /// The referenced node.
+    pub id: NodeId,
+    /// Age in protocol periods since this entry was created.
+    pub age: u32,
+}
+
+impl ViewEntry {
+    /// Creates a fresh (age 0) entry.
+    pub fn fresh(id: NodeId) -> Self {
+        ViewEntry { id, age: 0 }
+    }
+}
+
+/// A bounded partial view of the system.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_shuffle::{View, ViewEntry};
+/// use avmem_util::NodeId;
+///
+/// let mut view = View::new(3);
+/// view.insert(ViewEntry::fresh(NodeId::new(1)));
+/// view.insert(ViewEntry { id: NodeId::new(2), age: 5 });
+/// assert_eq!(view.len(), 2);
+/// assert_eq!(view.oldest().unwrap().id, NodeId::new(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    entries: Vec<ViewEntry>,
+    capacity: usize,
+}
+
+impl View {
+    /// Creates an empty view with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "view capacity must be positive");
+        View {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the view holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &ViewEntry> + '_ {
+        self.entries.iter()
+    }
+
+    /// Returns the ids currently in the view.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|e| e.id)
+    }
+
+    /// Whether `id` appears in the view.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Increments every entry's age by one period.
+    pub fn age_all(&mut self) {
+        for e in &mut self.entries {
+            e.age = e.age.saturating_add(1);
+        }
+    }
+
+    /// The entry with the largest age (ties: first inserted), if any.
+    pub fn oldest(&self) -> Option<ViewEntry> {
+        self.entries.iter().copied().max_by_key(|e| e.age)
+    }
+
+    /// Removes and returns the entry for `id`, if present.
+    pub fn remove(&mut self, id: NodeId) -> Option<ViewEntry> {
+        let pos = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Inserts an entry. If `id` is already present the younger age wins.
+    /// If the view is full the entry is dropped (use [`View::merge`] for
+    /// CYCLON's replacement semantics). Returns whether the entry is now
+    /// present with the given (or younger) age.
+    pub fn insert(&mut self, entry: ViewEntry) -> bool {
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.id == entry.id) {
+            existing.age = existing.age.min(entry.age);
+            return true;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Selects up to `k` random entries (without replacement), excluding
+    /// `exclude` if given.
+    pub fn random_subset<R: Rng>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        exclude: Option<NodeId>,
+    ) -> Vec<ViewEntry> {
+        rng.sample(
+            self.entries
+                .iter()
+                .copied()
+                .filter(|e| Some(e.id) != exclude),
+            k,
+        )
+    }
+
+    /// CYCLON merge: incorporate `received` entries, preferring to fill
+    /// empty slots, then to replace the entries in `sent` (the ones we
+    /// shipped to the peer), and finally — if the view is somehow still
+    /// full — replacing the oldest entries.
+    ///
+    /// Entries for `self_id` and duplicates are skipped (younger age
+    /// wins on duplicates).
+    pub fn merge(&mut self, self_id: NodeId, received: &[ViewEntry], sent: &[ViewEntry]) {
+        let mut replaceable: Vec<NodeId> = sent.iter().map(|e| e.id).collect();
+        for &entry in received {
+            if entry.id == self_id {
+                continue;
+            }
+            if let Some(existing) = self.entries.iter_mut().find(|e| e.id == entry.id) {
+                existing.age = existing.age.min(entry.age);
+                continue;
+            }
+            if self.entries.len() < self.capacity {
+                self.entries.push(entry);
+                continue;
+            }
+            // Replace one of the entries we sent away, if still present.
+            let replaced = loop {
+                match replaceable.pop() {
+                    Some(victim) => {
+                        if let Some(pos) = self.entries.iter().position(|e| e.id == victim) {
+                            self.entries[pos] = entry;
+                            break true;
+                        }
+                    }
+                    None => break false,
+                }
+            };
+            if !replaced {
+                // Last resort: replace the oldest entry.
+                if let Some(pos) = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, e)| e.age)
+                    .map(|(i, _)| i)
+                {
+                    if self.entries[pos].age >= entry.age {
+                        self.entries[pos] = entry;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avmem_util::Xoshiro256;
+
+    fn id(n: u64) -> NodeId {
+        NodeId::new(n)
+    }
+
+    #[test]
+    fn insert_deduplicates_keeping_younger() {
+        let mut v = View::new(4);
+        v.insert(ViewEntry { id: id(1), age: 9 });
+        v.insert(ViewEntry { id: id(1), age: 2 });
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.oldest().unwrap().age, 2);
+    }
+
+    #[test]
+    fn insert_respects_capacity() {
+        let mut v = View::new(2);
+        assert!(v.insert(ViewEntry::fresh(id(1))));
+        assert!(v.insert(ViewEntry::fresh(id(2))));
+        assert!(!v.insert(ViewEntry::fresh(id(3))));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn oldest_picks_max_age() {
+        let mut v = View::new(4);
+        v.insert(ViewEntry { id: id(1), age: 3 });
+        v.insert(ViewEntry { id: id(2), age: 7 });
+        v.insert(ViewEntry { id: id(3), age: 5 });
+        assert_eq!(v.oldest().unwrap().id, id(2));
+    }
+
+    #[test]
+    fn age_all_increments() {
+        let mut v = View::new(4);
+        v.insert(ViewEntry { id: id(1), age: 0 });
+        v.age_all();
+        v.age_all();
+        assert_eq!(v.iter().next().unwrap().age, 2);
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut v = View::new(4);
+        v.insert(ViewEntry { id: id(1), age: 4 });
+        let removed = v.remove(id(1)).unwrap();
+        assert_eq!(removed.age, 4);
+        assert!(v.is_empty());
+        assert!(v.remove(id(1)).is_none());
+    }
+
+    #[test]
+    fn random_subset_excludes_and_bounds() {
+        let mut v = View::new(10);
+        for n in 0..10 {
+            v.insert(ViewEntry::fresh(id(n)));
+        }
+        let mut rng = Xoshiro256::new(1);
+        let subset = v.random_subset(&mut rng, 4, Some(id(3)));
+        assert_eq!(subset.len(), 4);
+        assert!(subset.iter().all(|e| e.id != id(3)));
+    }
+
+    #[test]
+    fn merge_fills_empty_slots_first() {
+        let mut v = View::new(4);
+        v.insert(ViewEntry::fresh(id(1)));
+        v.merge(id(0), &[ViewEntry::fresh(id(2)), ViewEntry::fresh(id(3))], &[]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn merge_skips_self_and_duplicates() {
+        let mut v = View::new(4);
+        v.insert(ViewEntry { id: id(1), age: 5 });
+        v.merge(
+            id(0),
+            &[ViewEntry::fresh(id(0)), ViewEntry { id: id(1), age: 1 }],
+            &[],
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.oldest().unwrap().age, 1); // younger duplicate won
+        assert!(!v.contains(id(0)));
+    }
+
+    #[test]
+    fn merge_replaces_sent_entries_when_full() {
+        let mut v = View::new(2);
+        v.insert(ViewEntry::fresh(id(1)));
+        v.insert(ViewEntry::fresh(id(2)));
+        let sent = vec![ViewEntry::fresh(id(1))];
+        v.merge(id(0), &[ViewEntry::fresh(id(9))], &sent);
+        assert!(v.contains(id(9)));
+        assert!(!v.contains(id(1)));
+        assert!(v.contains(id(2)));
+    }
+
+    #[test]
+    fn merge_full_view_replaces_oldest_as_last_resort() {
+        let mut v = View::new(2);
+        v.insert(ViewEntry { id: id(1), age: 9 });
+        v.insert(ViewEntry { id: id(2), age: 1 });
+        v.merge(id(0), &[ViewEntry::fresh(id(9))], &[]);
+        assert!(v.contains(id(9)));
+        assert!(!v.contains(id(1))); // oldest evicted
+        assert!(v.contains(id(2)));
+    }
+
+    #[test]
+    fn merge_keeps_newer_resident_over_older_incoming() {
+        let mut v = View::new(1);
+        v.insert(ViewEntry { id: id(1), age: 0 });
+        v.merge(id(0), &[ViewEntry { id: id(9), age: 8 }], &[]);
+        // Resident entry is younger than the incoming one; keep it.
+        assert!(v.contains(id(1)));
+        assert!(!v.contains(id(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = View::new(0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the shuffle substrate's invariants.
+
+use proptest::prelude::*;
+
+use avmem_shuffle::{sim::RoundSim, ShuffleConfig, ShuffleMessage, ShuffleNode, View, ViewEntry};
+use avmem_util::NodeId;
+
+proptest! {
+    #[test]
+    fn view_never_exceeds_capacity(
+        capacity in 1usize..16,
+        inserts in proptest::collection::vec((any::<u64>(), 0u32..100), 0..64),
+    ) {
+        let mut view = View::new(capacity);
+        for (id, age) in inserts {
+            view.insert(ViewEntry { id: NodeId::new(id), age });
+            prop_assert!(view.len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn view_never_holds_duplicates(
+        capacity in 1usize..16,
+        inserts in proptest::collection::vec((0u64..8, 0u32..100), 0..64),
+    ) {
+        let mut view = View::new(capacity);
+        for (id, age) in inserts {
+            view.insert(ViewEntry { id: NodeId::new(id), age });
+        }
+        let mut ids: Vec<u64> = view.ids().map(|i| i.raw()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn merge_never_introduces_self_or_overflows(
+        capacity in 1usize..12,
+        resident in proptest::collection::vec(0u64..20, 0..12),
+        incoming in proptest::collection::vec((0u64..20, 0u32..50), 0..24),
+    ) {
+        let me = NodeId::new(99);
+        let mut view = View::new(capacity);
+        for id in resident {
+            view.insert(ViewEntry::fresh(NodeId::new(id)));
+        }
+        let entries: Vec<ViewEntry> = incoming
+            .into_iter()
+            .map(|(id, age)| ViewEntry { id: NodeId::new(id), age })
+            .collect();
+        view.merge(me, &entries, &[]);
+        prop_assert!(view.len() <= capacity);
+        prop_assert!(!view.contains(me));
+    }
+
+    #[test]
+    fn exchange_preserves_population_invariants(seed in any::<u64>(), n in 2usize..40) {
+        // After arbitrary rounds, no view contains its owner or exceeds
+        // its capacity, and every referenced id is a real node.
+        let mut sim = RoundSim::new(n, ShuffleConfig::new(6.min(n), 3.min(n)), seed);
+        sim.run_rounds(15);
+        for (i, node) in sim.nodes().iter().enumerate() {
+            prop_assert!(node.view().len() <= 6.min(n));
+            prop_assert!(!node.view().contains(NodeId::new(i as u64)));
+            for entry in node.view().iter() {
+                prop_assert!((entry.id.raw() as usize) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn request_always_carries_fresh_self(seed in any::<u64>(), peers in 1u64..10) {
+        let cfg = ShuffleConfig::new(8, 4);
+        let mut node = ShuffleNode::new(NodeId::new(0), cfg, seed);
+        node.bootstrap((1..=peers).map(NodeId::new));
+        if let Some((_, ShuffleMessage::Request { entries })) = node.initiate() {
+            prop_assert!(entries.iter().any(|e| e.id == NodeId::new(0) && e.age == 0));
+            prop_assert!(entries.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn handle_request_reply_is_bounded(seed in any::<u64>(), peers in 0u64..12) {
+        let cfg = ShuffleConfig::new(8, 4);
+        let mut a = ShuffleNode::new(NodeId::new(0), cfg, seed);
+        let mut b = ShuffleNode::new(NodeId::new(1), cfg, seed.wrapping_add(1));
+        a.bootstrap([NodeId::new(1)]);
+        b.bootstrap((2..2 + peers).map(NodeId::new));
+        if let Some((_, request)) = a.initiate() {
+            let ShuffleMessage::Reply { entries } = b.handle_request(request) else {
+                panic!("expected reply");
+            };
+            prop_assert!(entries.len() <= 4);
+            a.handle_reply(ShuffleMessage::Reply { entries });
+            prop_assert!(a.view().len() <= 8);
+            prop_assert!(!a.view().contains(NodeId::new(0)));
+        }
+    }
+}

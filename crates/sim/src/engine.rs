@@ -1,0 +1,273 @@
+//! The event scheduler.
+//!
+//! [`Engine`] is a priority queue of `(time, event)` pairs with a strictly
+//! deterministic drain order: ties on time are broken by insertion
+//! sequence number, never by heap internals. Determinism matters because
+//! the whole evaluation methodology rests on reproducible runs — a figure
+//! regenerated from the same seed must be identical.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled event; ordered by `(time, seq)` so the heap pops in
+/// deterministic chronological order.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler, generic over the event type.
+///
+/// # Examples
+///
+/// Running a simple self-rescheduling clock:
+///
+/// ```
+/// use avmem_sim::{Engine, SimDuration, SimTime};
+///
+/// #[derive(Debug)]
+/// struct Tick;
+///
+/// let mut engine = Engine::new();
+/// engine.schedule(SimTime::ZERO, Tick);
+/// let mut ticks = 0;
+/// engine.run_until(SimTime::ZERO + SimDuration::from_secs(5), |eng, now, Tick| {
+///     ticks += 1;
+///     eng.schedule(now + SimDuration::from_secs(1), Tick);
+/// });
+/// assert_eq!(ticks, 6); // t = 0s, 1s, 2s, 3s, 4s, 5s
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+    dispatched: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// dispatched event (or the epoch before any dispatch).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Events scheduled in the past (before [`Engine::now`]) are dispatched
+    /// immediately on the next pop, still in deterministic order; this
+    /// mirrors a message that was already in flight.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_after(&mut self, delay: crate::time::SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the next event if its timestamp does not exceed `deadline`.
+    ///
+    /// Advances the clock to the event's time (clamped to be monotone).
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        let head_time = self.queue.peek()?.time;
+        if head_time > deadline {
+            return None;
+        }
+        let sched = self.queue.pop().expect("peeked entry exists");
+        // Clamp: late-scheduled events never move the clock backwards.
+        self.now = self.now.max(sched.time);
+        self.dispatched += 1;
+        Some((sched.time, sched.event))
+    }
+
+    /// Drains and dispatches events through `handler` until the queue is
+    /// empty or the next event lies beyond `deadline`.
+    ///
+    /// The handler receives the engine itself so it can schedule follow-up
+    /// events, the scheduled timestamp, and the event.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Engine<E>, SimTime, E),
+    {
+        while let Some((time, event)) = self.pop_until(deadline) {
+            handler(self, time, event);
+        }
+        // The clock reflects that the interval up to `deadline` elapsed
+        // even if no event was left in it.
+        self.now = self.now.max(deadline.min(SimTime::MAX));
+    }
+
+    /// Drops all pending events, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn events_dispatch_in_time_order() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_millis(30), 3);
+        engine.schedule(SimTime::from_millis(10), 1);
+        engine.schedule(SimTime::from_millis(20), 2);
+        let mut order = Vec::new();
+        engine.run_until(SimTime::MAX, |_, _, e| order.push(e));
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut engine = Engine::new();
+        for i in 0..100 {
+            engine.schedule(SimTime::from_millis(5), i);
+        }
+        let mut order = Vec::new();
+        engine.run_until(SimTime::MAX, |_, _, e| order.push(e));
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deadline_leaves_later_events_pending() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_millis(10), "early");
+        engine.schedule(SimTime::from_millis(1000), "late");
+        let mut seen = Vec::new();
+        engine.run_until(SimTime::from_millis(100), |_, _, e| seen.push(e));
+        assert_eq!(seen, vec!["early"]);
+        assert_eq!(engine.pending(), 1);
+        assert_eq!(engine.now(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn handler_can_schedule_follow_ups() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        engine.run_until(SimTime::from_millis(10), |eng, now, depth| {
+            count += 1;
+            if depth < 3 {
+                eng.schedule(now + SimDuration::from_millis(1), depth + 1);
+            }
+        });
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn clock_is_monotone_even_with_past_events() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_millis(100), "a");
+        let mut times = Vec::new();
+        engine.run_until(SimTime::MAX, |eng, _, e| {
+            if e == "a" {
+                // Schedule "in the past" — delivered next, clock unchanged.
+                eng.schedule(SimTime::from_millis(5), "b");
+            }
+            times.push(eng.now());
+        });
+        assert_eq!(times, vec![SimTime::from_millis(100), SimTime::from_millis(100)]);
+    }
+
+    #[test]
+    fn dispatched_counts_events() {
+        let mut engine = Engine::new();
+        for i in 0..5 {
+            engine.schedule(SimTime::from_millis(i), i);
+        }
+        engine.run_until(SimTime::MAX, |_, _, _| {});
+        assert_eq!(engine.dispatched(), 5);
+        assert_eq!(engine.pending(), 0);
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_millis(100), "first");
+        let mut seen = Vec::new();
+        engine.run_until(SimTime::MAX, |eng, _, e| {
+            seen.push((eng.now(), e));
+            if e == "first" {
+                eng.schedule_after(SimDuration::from_millis(50), "second");
+            }
+        });
+        assert_eq!(
+            seen,
+            vec![
+                (SimTime::from_millis(100), "first"),
+                (SimTime::from_millis(150), "second"),
+            ]
+        );
+    }
+
+    #[test]
+    fn clear_drops_pending() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_millis(1), ());
+        engine.clear();
+        assert_eq!(engine.pending(), 0);
+    }
+}

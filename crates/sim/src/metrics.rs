@@ -1,0 +1,136 @@
+//! Lightweight named counters.
+//!
+//! Protocols increment counters ("shuffle.requests", "anycast.forwarded",
+//! …) and the experiment harness reads them back when building a figure.
+//! A `BTreeMap` keeps iteration order stable so metric dumps are
+//! deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A set of monotonically increasing named counters.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_sim::Counters;
+///
+/// let mut c = Counters::new();
+/// c.incr("messages.sent");
+/// c.add("messages.sent", 2);
+/// assert_eq!(c.get("messages.sent"), 3);
+/// assert_eq!(c.get("messages.lost"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Increments `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments `name` by `delta`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.values.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Current value of `name` (zero if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` pairs in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another counter set into this one (summing values).
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, value) in &other.values {
+            *self.values.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+
+    /// Resets every counter to zero (forgetting names entirely).
+    pub fn reset(&mut self) {
+        self.values.clear();
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.values.is_empty() {
+            return write!(f, "(no counters)");
+        }
+        for (name, value) in &self.values {
+            writeln!(f, "{name} = {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_counter_reads_zero() {
+        let c = Counters::new();
+        assert_eq!(c.get("nope"), 0);
+    }
+
+    #[test]
+    fn incr_and_add_accumulate() {
+        let mut c = Counters::new();
+        c.incr("a");
+        c.incr("a");
+        c.add("a", 10);
+        assert_eq!(c.get("a"), 12);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_name() {
+        let mut c = Counters::new();
+        c.incr("zebra");
+        c.incr("alpha");
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zebra"]);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        let mut b = Counters::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Counters::new();
+        c.add("x", 5);
+        c.reset();
+        assert_eq!(c.get("x"), 0);
+        assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let c = Counters::new();
+        assert_eq!(c.to_string(), "(no counters)");
+    }
+}

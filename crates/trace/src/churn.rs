@@ -1,0 +1,391 @@
+//! The churn-trace representation.
+//!
+//! A [`ChurnTrace`] is a dense matrix: one row per node, one column per
+//! time slot (the Overnet trace uses 20-minute slots over 7 days — 504
+//! slots). Everything the simulation needs from a trace reduces to three
+//! questions this type answers: *is node i online at time t*, *who is
+//! online at time t*, and *what is node i's long-term availability*.
+
+use avmem_sim::{SimDuration, SimTime};
+use avmem_util::{Availability, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-population churn trace over uniform time slots.
+///
+/// Nodes are identified by dense indices `0..num_nodes`, with
+/// [`NodeId`]s equal to the index; this matches the fixed-population
+/// Overnet methodology (hosts are tracked even while offline).
+///
+/// # Examples
+///
+/// ```
+/// use avmem_sim::{SimDuration, SimTime};
+/// use avmem_trace::ChurnTrace;
+///
+/// // Two nodes over three 20-minute slots: node 0 always up, node 1 up
+/// // only in the middle slot.
+/// let trace = ChurnTrace::from_rows(
+///     SimDuration::from_mins(20),
+///     vec![vec![true, true, true], vec![false, true, false]],
+/// );
+/// assert!(trace.is_online(0, SimTime::ZERO));
+/// assert!(!trace.is_online(1, SimTime::ZERO));
+/// assert!(trace.is_online(1, SimTime::ZERO + SimDuration::from_mins(25)));
+/// assert_eq!(trace.long_term_availability(0).value(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnTrace {
+    slot: SimDuration,
+    slots: usize,
+    /// Row-major online matrix: `online[node * slots + slot]`.
+    online: Vec<bool>,
+}
+
+impl ChurnTrace {
+    /// Builds a trace from per-node slot rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths, if there are no rows, if
+    /// rows are empty, or if the slot duration is zero.
+    pub fn from_rows(slot: SimDuration, rows: Vec<Vec<bool>>) -> Self {
+        assert!(slot > SimDuration::ZERO, "slot duration must be positive");
+        assert!(!rows.is_empty(), "trace needs at least one node");
+        let slots = rows[0].len();
+        assert!(slots > 0, "trace needs at least one slot");
+        assert!(
+            rows.iter().all(|r| r.len() == slots),
+            "all rows must have the same number of slots"
+        );
+        let mut online = Vec::with_capacity(rows.len() * slots);
+        for row in &rows {
+            online.extend_from_slice(row);
+        }
+        ChurnTrace {
+            slot,
+            slots,
+            online,
+        }
+    }
+
+    /// Number of nodes (the fixed population size).
+    pub fn num_nodes(&self) -> usize {
+        self.online.len() / self.slots
+    }
+
+    /// Number of time slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Width of one slot.
+    pub fn slot_duration(&self) -> SimDuration {
+        self.slot
+    }
+
+    /// Total trace duration.
+    pub fn duration(&self) -> SimDuration {
+        self.slot.mul(self.slots as u64)
+    }
+
+    /// The [`NodeId`] of node index `i`.
+    pub fn node_id(&self, i: usize) -> NodeId {
+        NodeId::new(i as u64)
+    }
+
+    /// The node index of a [`NodeId`] produced by this trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is outside the population.
+    pub fn index_of(&self, id: NodeId) -> usize {
+        let idx = id.raw() as usize;
+        assert!(idx < self.num_nodes(), "unknown node id {id}");
+        idx
+    }
+
+    /// All node ids in the population.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(|i| NodeId::new(i as u64))
+    }
+
+    /// Maps a time to its slot index; times past the end clamp to the last
+    /// slot (the trace's final state persists).
+    pub fn slot_at(&self, time: SimTime) -> usize {
+        let idx = (time.as_millis() / self.slot.as_millis()) as usize;
+        idx.min(self.slots - 1)
+    }
+
+    /// Whether node `i` is online in the slot containing `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_online(&self, i: usize, time: SimTime) -> bool {
+        assert!(i < self.num_nodes(), "node index {i} out of range");
+        self.online[i * self.slots + self.slot_at(time)]
+    }
+
+    /// Whether node `i` is online in slot `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn is_online_in_slot(&self, i: usize, s: usize) -> bool {
+        assert!(i < self.num_nodes(), "node index {i} out of range");
+        assert!(s < self.slots, "slot index {s} out of range");
+        self.online[i * self.slots + s]
+    }
+
+    /// Indices of all nodes online in the slot containing `time`.
+    pub fn online_at(&self, time: SimTime) -> Vec<usize> {
+        let s = self.slot_at(time);
+        (0..self.num_nodes())
+            .filter(|&i| self.online[i * self.slots + s])
+            .collect()
+    }
+
+    /// Number of nodes online in the slot containing `time`.
+    pub fn online_count_at(&self, time: SimTime) -> usize {
+        let s = self.slot_at(time);
+        (0..self.num_nodes())
+            .filter(|&i| self.online[i * self.slots + s])
+            .count()
+    }
+
+    /// Node `i`'s long-term availability: fraction of all slots online.
+    ///
+    /// This is the ground-truth `av(x)` that the availability monitoring
+    /// service estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn long_term_availability(&self, i: usize) -> Availability {
+        assert!(i < self.num_nodes(), "node index {i} out of range");
+        let row = &self.online[i * self.slots..(i + 1) * self.slots];
+        let up = row.iter().filter(|&&b| b).count();
+        Availability::saturating(up as f64 / self.slots as f64)
+    }
+
+    /// Node `i`'s availability measured over slots `[0, slot_at(time)]`
+    /// inclusive — the "raw availability so far" a monitor could have
+    /// observed by `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn availability_up_to(&self, i: usize, time: SimTime) -> Availability {
+        assert!(i < self.num_nodes(), "node index {i} out of range");
+        let end = self.slot_at(time) + 1;
+        let row = &self.online[i * self.slots..i * self.slots + end];
+        let up = row.iter().filter(|&&b| b).count();
+        Availability::saturating(up as f64 / end as f64)
+    }
+
+    /// Node `i`'s availability over the slots intersecting `[from, to]` —
+    /// the "current behaviour" ground truth for drifting traces, where
+    /// the whole-trace long-term availability is stale by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `from > to`.
+    pub fn availability_between(&self, i: usize, from: SimTime, to: SimTime) -> Availability {
+        assert!(i < self.num_nodes(), "node index {i} out of range");
+        assert!(from <= to, "window must be ordered");
+        let first = self.slot_at(from);
+        let last = self.slot_at(to);
+        let row = &self.online[i * self.slots + first..=i * self.slots + last];
+        let up = row.iter().filter(|&&b| b).count();
+        Availability::saturating(up as f64 / row.len() as f64)
+    }
+
+    /// The next slot boundary strictly after `time`, or `None` if `time`
+    /// is in the final slot. Simulation drivers use this to schedule churn
+    /// (join/leave) events.
+    pub fn next_transition_after(&self, time: SimTime) -> Option<SimTime> {
+        let s = (time.as_millis() / self.slot.as_millis()) as usize;
+        if s + 1 >= self.slots {
+            None
+        } else {
+            Some(SimTime::from_millis((s as u64 + 1) * self.slot.as_millis()))
+        }
+    }
+
+    /// Summary statistics of the trace.
+    pub fn stats(&self) -> ChurnStats {
+        let n = self.num_nodes();
+        let mut sum_av = 0.0;
+        for i in 0..n {
+            sum_av += self.long_term_availability(i).value();
+        }
+        let mut transitions = 0u64;
+        for i in 0..n {
+            let row = &self.online[i * self.slots..(i + 1) * self.slots];
+            transitions += row.windows(2).filter(|w| w[0] != w[1]).count() as u64;
+        }
+        let mut min_online = usize::MAX;
+        let mut max_online = 0usize;
+        let mut sum_online = 0usize;
+        for s in 0..self.slots {
+            let count = (0..n).filter(|&i| self.online[i * self.slots + s]).count();
+            min_online = min_online.min(count);
+            max_online = max_online.max(count);
+            sum_online += count;
+        }
+        ChurnStats {
+            num_nodes: n,
+            num_slots: self.slots,
+            mean_availability: sum_av / n as f64,
+            transitions,
+            min_online,
+            max_online,
+            mean_online: sum_online as f64 / self.slots as f64,
+        }
+    }
+}
+
+/// Aggregate statistics over a [`ChurnTrace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnStats {
+    /// Population size.
+    pub num_nodes: usize,
+    /// Number of slots.
+    pub num_slots: usize,
+    /// Mean long-term availability across the population.
+    pub mean_availability: f64,
+    /// Total number of online/offline transitions across all nodes.
+    pub transitions: u64,
+    /// Fewest nodes online in any slot.
+    pub min_online: usize,
+    /// Most nodes online in any slot.
+    pub max_online: usize,
+    /// Average number of nodes online per slot.
+    pub mean_online: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ChurnTrace {
+        ChurnTrace::from_rows(
+            SimDuration::from_mins(20),
+            vec![
+                vec![true, true, true, true],
+                vec![false, true, true, false],
+                vec![false, false, false, false],
+            ],
+        )
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let t = toy();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_slots(), 4);
+        assert_eq!(t.duration(), SimDuration::from_mins(80));
+    }
+
+    #[test]
+    fn slot_mapping_and_clamping() {
+        let t = toy();
+        assert_eq!(t.slot_at(SimTime::ZERO), 0);
+        assert_eq!(t.slot_at(SimTime::from_millis(SimDuration::from_mins(20).as_millis())), 1);
+        // Past the end: clamps to final slot.
+        assert_eq!(t.slot_at(SimTime::from_millis(SimDuration::from_hours(100).as_millis())), 3);
+    }
+
+    #[test]
+    fn online_queries() {
+        let t = toy();
+        let mid = SimTime::ZERO + SimDuration::from_mins(30);
+        assert!(t.is_online(0, mid));
+        assert!(t.is_online(1, mid));
+        assert!(!t.is_online(2, mid));
+        assert_eq!(t.online_at(mid), vec![0, 1]);
+        assert_eq!(t.online_count_at(mid), 2);
+    }
+
+    #[test]
+    fn long_term_availability_is_slot_fraction() {
+        let t = toy();
+        assert_eq!(t.long_term_availability(0).value(), 1.0);
+        assert_eq!(t.long_term_availability(1).value(), 0.5);
+        assert_eq!(t.long_term_availability(2).value(), 0.0);
+    }
+
+    #[test]
+    fn availability_up_to_uses_prefix() {
+        let t = toy();
+        let after_two_slots = SimTime::ZERO + SimDuration::from_mins(25);
+        assert_eq!(t.availability_up_to(1, after_two_slots).value(), 0.5);
+        let end = SimTime::ZERO + SimDuration::from_mins(79);
+        assert_eq!(t.availability_up_to(1, end).value(), 0.5);
+    }
+
+    #[test]
+    fn availability_between_uses_window() {
+        let t = toy();
+        // Node 1 row: [false, true, true, false].
+        let slot = SimDuration::from_mins(20).as_millis();
+        let av = t.availability_between(
+            1,
+            SimTime::from_millis(slot),
+            SimTime::from_millis(2 * slot),
+        );
+        assert_eq!(av.value(), 1.0); // slots 1..=2 both online
+        let whole = t.availability_between(1, SimTime::ZERO, SimTime::from_millis(4 * slot));
+        assert_eq!(whole.value(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn availability_between_rejects_inverted_window() {
+        let t = toy();
+        let _ = t.availability_between(0, SimTime::from_millis(100), SimTime::ZERO);
+    }
+
+    #[test]
+    fn next_transition_walks_slot_boundaries() {
+        let t = toy();
+        let first = t.next_transition_after(SimTime::ZERO).unwrap();
+        assert_eq!(first, SimTime::from_millis(SimDuration::from_mins(20).as_millis()));
+        let last_slot = SimTime::ZERO + SimDuration::from_mins(70);
+        assert_eq!(t.next_transition_after(last_slot), None);
+    }
+
+    #[test]
+    fn stats_summarize_population() {
+        let s = toy().stats();
+        assert_eq!(s.num_nodes, 3);
+        assert_eq!(s.num_slots, 4);
+        assert!((s.mean_availability - 0.5).abs() < 1e-12);
+        assert_eq!(s.transitions, 2); // node 1: off->on, on->off
+        assert_eq!(s.min_online, 1);
+        assert_eq!(s.max_online, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of slots")]
+    fn inconsistent_rows_panic() {
+        let _ = ChurnTrace::from_rows(
+            SimDuration::from_mins(20),
+            vec![vec![true], vec![true, false]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_trace_panics() {
+        let _ = ChurnTrace::from_rows(SimDuration::from_mins(20), vec![]);
+    }
+
+    #[test]
+    fn node_id_round_trip() {
+        let t = toy();
+        for i in 0..t.num_nodes() {
+            assert_eq!(t.index_of(t.node_id(i)), i);
+        }
+    }
+}

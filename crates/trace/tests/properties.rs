@@ -1,0 +1,155 @@
+//! Property-based tests for churn traces and availability PDFs.
+
+use proptest::prelude::*;
+
+use avmem_sim::{SimDuration, SimTime};
+use avmem_trace::{AvailabilityPdf, ChurnTrace, OvernetModel};
+use avmem_util::Availability;
+
+fn arbitrary_rows() -> impl Strategy<Value = Vec<Vec<bool>>> {
+    (1usize..12, 1usize..48).prop_flat_map(|(nodes, slots)| {
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), slots..=slots), nodes..=nodes)
+    })
+}
+
+proptest! {
+    #[test]
+    fn trace_round_trips_through_io(rows in arbitrary_rows()) {
+        let trace = ChurnTrace::from_rows(SimDuration::from_mins(20), rows);
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let read = ChurnTrace::read_from(buf.as_slice()).unwrap();
+        prop_assert_eq!(trace, read);
+    }
+
+    #[test]
+    fn long_term_availability_matches_row_fraction(rows in arbitrary_rows()) {
+        let trace = ChurnTrace::from_rows(SimDuration::from_mins(20), rows.clone());
+        for (i, row) in rows.iter().enumerate() {
+            let up = row.iter().filter(|&&b| b).count();
+            let expected = up as f64 / row.len() as f64;
+            prop_assert!((trace.long_term_availability(i).value() - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn availability_prefix_converges_to_long_term(rows in arbitrary_rows()) {
+        let trace = ChurnTrace::from_rows(SimDuration::from_mins(20), rows);
+        let end = SimTime::from_millis(trace.duration().as_millis().saturating_sub(1));
+        for i in 0..trace.num_nodes() {
+            prop_assert_eq!(
+                trace.availability_up_to(i, end),
+                trace.long_term_availability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn online_counts_are_bounded(rows in arbitrary_rows()) {
+        let trace = ChurnTrace::from_rows(SimDuration::from_mins(20), rows);
+        let stats = trace.stats();
+        prop_assert!(stats.min_online <= stats.max_online);
+        prop_assert!(stats.mean_online <= stats.num_nodes as f64);
+        prop_assert!(stats.max_online <= stats.num_nodes);
+        for s in 0..trace.num_slots() {
+            let t = SimTime::from_millis(s as u64 * trace.slot_duration().as_millis());
+            let count = trace.online_count_at(t);
+            prop_assert!(count >= stats.min_online && count <= stats.max_online);
+        }
+    }
+
+    #[test]
+    fn overnet_trace_is_deterministic_and_valid(seed in any::<u64>(), hosts in 2usize..40) {
+        let a = OvernetModel::default().hosts(hosts).days(1).generate(seed);
+        let b = OvernetModel::default().hosts(hosts).days(1).generate(seed);
+        prop_assert_eq!(&a, &b);
+        for i in 0..a.num_nodes() {
+            let av = a.long_term_availability(i).value();
+            prop_assert!((0.0..=1.0).contains(&av));
+        }
+    }
+
+    #[test]
+    fn pdf_total_mass_is_one(masses in proptest::collection::vec(0.01f64..10.0, 1..24)) {
+        let pdf = AvailabilityPdf::from_bucket_mass(masses);
+        prop_assert!((pdf.mass_between(0.0, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_mass_is_additive(
+        masses in proptest::collection::vec(0.01f64..10.0, 1..24),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+        c in 0.0f64..1.0,
+    ) {
+        let pdf = AvailabilityPdf::from_bucket_mass(masses);
+        let mut points = [a, b, c];
+        points.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let [lo, mid, hi] = points;
+        let split = pdf.mass_between(lo, mid) + pdf.mass_between(mid, hi);
+        let whole = pdf.mass_between(lo, hi);
+        prop_assert!((split - whole).abs() < 1e-9, "split {split} vs whole {whole}");
+    }
+
+    #[test]
+    fn pdf_mass_is_monotone_in_interval(
+        masses in proptest::collection::vec(0.01f64..10.0, 1..24),
+        lo in 0.0f64..1.0,
+        hi in 0.0f64..1.0,
+        wider in 0.0f64..0.5,
+    ) {
+        let pdf = AvailabilityPdf::from_bucket_mass(masses);
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let narrow = pdf.mass_between(lo, hi);
+        let wide = pdf.mass_between((lo - wider).max(0.0), (hi + wider).min(1.0));
+        prop_assert!(wide + 1e-12 >= narrow);
+    }
+
+    #[test]
+    fn min_window_is_at_most_any_window(
+        masses in proptest::collection::vec(0.01f64..10.0, 4..16),
+        center in 0.0f64..1.0,
+        offset in -0.1f64..0.1,
+    ) {
+        let pdf = AvailabilityPdf::from_bucket_mass(masses);
+        let epsilon = 0.1;
+        let center_av = Availability::saturating(center);
+        let min = pdf.min_window_mass(1.0, center_av, epsilon);
+        // Any ε-window within the clamped band has at least `min` mass.
+        let band_lo = (center - epsilon).max(0.0);
+        let band_hi = (center + epsilon).min(1.0);
+        if band_hi - band_lo > epsilon {
+            let v = (band_lo + offset.abs()).min(band_hi - epsilon);
+            let window = pdf.mass_between(v, v + epsilon);
+            prop_assert!(window + 1e-9 >= min, "window {window} below min {min}");
+        }
+    }
+
+    #[test]
+    fn density_integrates_to_bucket_mass(
+        masses in proptest::collection::vec(0.01f64..10.0, 1..16),
+        bucket in 0usize..16,
+    ) {
+        let pdf = AvailabilityPdf::from_bucket_mass(masses);
+        let b = bucket % pdf.buckets();
+        let w = pdf.bucket_width();
+        let lo = b as f64 * w;
+        // Piecewise-constant density: mass = density × width.
+        let mid = Availability::saturating(lo + w / 2.0);
+        let integral = pdf.density(mid) * w;
+        prop_assert!((integral - pdf.bucket_mass(b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_pdf_total_is_one(
+        sample in proptest::collection::vec((0.0f64..=1.0, 0.0f64..5.0), 1..64),
+        buckets in 1usize..16,
+    ) {
+        let weighted: Vec<(Availability, f64)> = sample
+            .into_iter()
+            .map(|(a, w)| (Availability::saturating(a), w))
+            .collect();
+        let pdf = AvailabilityPdf::from_weighted_sample(&weighted, buckets);
+        prop_assert!((pdf.mass_between(0.0, 1.0) - 1.0).abs() < 1e-9);
+    }
+}

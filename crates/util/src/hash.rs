@@ -1,0 +1,290 @@
+//! Consistent, normalized hashing.
+//!
+//! The AVMEM predicate framework (Eq. 1 of the paper) is
+//!
+//! ```text
+//! M(x, y) ≡ { H(id(x), id(y)) ≤ f(av(x), av(y)) }
+//! ```
+//!
+//! where `H` is "a (consistent) normalized cryptographic hash function with
+//! range \[0, 1\] — a normalized version of SHA-1 or MD-5 could be used".
+//! This module provides exactly that: a from-scratch [SHA-256](sha256)
+//! implementation (FIPS 180-4) plus [`normalized_hash`] /
+//! [`consistent_hash`] helpers that map digests to the unit interval.
+//!
+//! The implementation is self-contained so the workspace needs no external
+//! cryptography crates; the predicate only requires a fixed, well-known
+//! function with uniformly distributed output.
+
+use crate::NodeId;
+
+/// A SHA-256 digest.
+pub type Digest = [u8; 32];
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Computes the SHA-256 digest of `data`.
+///
+/// This is a straightforward implementation of FIPS 180-4, validated
+/// against the official test vectors (see the module tests).
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::sha256;
+///
+/// let digest = sha256(b"abc");
+/// assert_eq!(digest[0], 0xba);
+/// assert_eq!(digest[31], 0xad);
+/// ```
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut state = H0;
+
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    // Message + 0x80 + zero padding + 8-byte length, padded to 64-byte blocks.
+    let total = data.len() + 1 + 8;
+    let padded_len = total.div_ceil(64) * 64;
+    let mut padded = vec![0u8; padded_len];
+    padded[..data.len()].copy_from_slice(data);
+    padded[data.len()] = 0x80;
+    padded[padded_len - 8..].copy_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in padded.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
+    }
+
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Maps a digest to the unit interval `[0, 1)` using its first 8 bytes.
+///
+/// The output is uniform on `[0, 1)` given a uniform digest, with 53 bits
+/// of effective precision (an `f64` mantissa).
+fn digest_to_unit(digest: &Digest) -> f64 {
+    let raw = u64::from_be_bytes(digest[..8].try_into().expect("digest has 32 bytes"));
+    // Keep 53 significant bits so the conversion to f64 is exact.
+    (raw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Computes a normalized hash of an arbitrary byte string: `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::normalized_hash;
+///
+/// let h = normalized_hash(b"hello");
+/// assert!((0.0..1.0).contains(&h));
+/// assert_eq!(h, normalized_hash(b"hello"));
+/// assert_ne!(h, normalized_hash(b"world"));
+/// ```
+pub fn normalized_hash(data: &[u8]) -> f64 {
+    digest_to_unit(&sha256(data))
+}
+
+/// The paper's `H(id(x), id(y))`: a consistent, normalized hash of an
+/// **ordered** pair of node identifiers.
+///
+/// The pair is ordered — `consistent_hash(x, y)` and `consistent_hash(y, x)`
+/// are independent values — because the membership relation `M(x, y)` is
+/// directed: `y` may be in `x`'s list while `x` is not in `y`'s.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::{consistent_hash, NodeId};
+///
+/// let h_xy = consistent_hash(NodeId::new(1), NodeId::new(2));
+/// let h_yx = consistent_hash(NodeId::new(2), NodeId::new(1));
+/// assert!((0.0..1.0).contains(&h_xy));
+/// // Directed: the two orientations hash independently.
+/// assert_ne!(h_xy, h_yx);
+/// ```
+pub fn consistent_hash(x: NodeId, y: NodeId) -> f64 {
+    let mut buf = [0u8; 16];
+    buf[..8].copy_from_slice(&x.to_bytes());
+    buf[8..].copy_from_slice(&y.to_bytes());
+    normalized_hash(&buf)
+}
+
+/// A keyed variant of [`consistent_hash`] for deriving independent
+/// consistent values from the same node pair (e.g. the AVMON monitor
+/// assignment needs a hash family independent from the AVMEM predicate's).
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::{consistent_hash_keyed, NodeId};
+///
+/// let a = consistent_hash_keyed(b"avmon", NodeId::new(1), NodeId::new(2));
+/// let b = consistent_hash_keyed(b"avmem", NodeId::new(1), NodeId::new(2));
+/// assert_ne!(a, b);
+/// ```
+pub fn consistent_hash_keyed(key: &[u8], x: NodeId, y: NodeId) -> f64 {
+    let mut buf = Vec::with_capacity(key.len() + 16);
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(&x.to_bytes());
+    buf.extend_from_slice(&y.to_bytes());
+    normalized_hash(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: &Digest) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // FIPS 180-4 / NIST CAVP test vectors.
+    #[test]
+    fn sha256_empty_string() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_abc() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_two_block_message() {
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha256(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha256_exact_block_boundaries() {
+        // Lengths 55, 56, 63, 64, 65 cross the padding boundary cases.
+        for len in [55usize, 56, 63, 64, 65] {
+            let data = vec![0x5au8; len];
+            let d = sha256(&data);
+            // Re-hashing must be deterministic.
+            assert_eq!(d, sha256(&data), "len={len}");
+        }
+    }
+
+    #[test]
+    fn normalized_hash_is_in_unit_interval() {
+        for i in 0..100u64 {
+            let h = normalized_hash(&i.to_be_bytes());
+            assert!((0.0..1.0).contains(&h));
+        }
+    }
+
+    #[test]
+    fn normalized_hash_looks_uniform() {
+        // Crude uniformity check: mean of many hashes near 0.5.
+        let n = 2000u64;
+        let sum: f64 = (0..n).map(|i| normalized_hash(&i.to_be_bytes())).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn consistent_hash_is_directed() {
+        let x = NodeId::new(10);
+        let y = NodeId::new(20);
+        assert_ne!(consistent_hash(x, y), consistent_hash(y, x));
+    }
+
+    #[test]
+    fn consistent_hash_is_stable_across_calls() {
+        let x = NodeId::new(123);
+        let y = NodeId::new(456);
+        assert_eq!(consistent_hash(x, y), consistent_hash(x, y));
+    }
+
+    #[test]
+    fn keyed_hash_separates_domains() {
+        let x = NodeId::new(1);
+        let y = NodeId::new(2);
+        assert_ne!(
+            consistent_hash_keyed(b"a", x, y),
+            consistent_hash_keyed(b"b", x, y)
+        );
+    }
+}

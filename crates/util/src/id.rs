@@ -1,0 +1,125 @@
+//! Node identifiers.
+//!
+//! The paper identifies a node `x` by `id(x)`, "the identifier (hash-based
+//! or IP-port) of node x". For the simulator we use a compact 64-bit
+//! identity; a real deployment would derive it from the IP:port pair. All
+//! the consistency arguments of the paper only require that identifiers are
+//! stable and globally agreed upon, which a newtype over `u64` provides.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque, stable identifier of a node (the paper's `id(x)`).
+///
+/// `NodeId` is deliberately small and `Copy`: overlay state at every node
+/// stores many of them, and the discrete-event simulator shuttles them
+/// around in messages.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::NodeId;
+///
+/// let a = NodeId::new(3);
+/// let b = NodeId::new(4);
+/// assert!(a < b);
+/// assert_eq!(a.raw(), 3);
+/// assert_eq!(format!("{a}"), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates an identifier from its raw 64-bit representation.
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw 64-bit representation.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the identifier as a canonical byte string, used as hash
+    /// input by the consistent predicate (Eq. 1 of the paper).
+    pub const fn to_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Derives an identifier from an IPv4 address and port, mirroring the
+    /// paper's "IP and port" identity option.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use avmem_util::NodeId;
+    ///
+    /// let id = NodeId::from_ip_port([10, 0, 0, 1], 9000);
+    /// assert_eq!(id, NodeId::from_ip_port([10, 0, 0, 1], 9000));
+    /// assert_ne!(id, NodeId::from_ip_port([10, 0, 0, 2], 9000));
+    /// ```
+    pub const fn from_ip_port(ip: [u8; 4], port: u16) -> Self {
+        let raw = ((ip[0] as u64) << 40)
+            | ((ip[1] as u64) << 32)
+            | ((ip[2] as u64) << 24)
+            | ((ip[3] as u64) << 16)
+            | (port as u64);
+        NodeId(raw)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5), NodeId::new(5));
+    }
+
+    #[test]
+    fn byte_encoding_is_big_endian() {
+        assert_eq!(NodeId::new(1).to_bytes(), [0, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn ip_port_identity_is_injective_for_distinct_hosts() {
+        let a = NodeId::from_ip_port([192, 168, 0, 1], 80);
+        let b = NodeId::from_ip_port([192, 168, 0, 1], 81);
+        let c = NodeId::from_ip_port([192, 168, 1, 1], 80);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::new(17).to_string(), "n17");
+    }
+
+    #[test]
+    fn round_trips_through_u64() {
+        let id = NodeId::new(0xdead_beef);
+        assert_eq!(NodeId::from(u64::from(id)), id);
+    }
+}

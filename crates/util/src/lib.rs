@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Shared utilities for the AVMEM reproduction.
+//!
+//! This crate hosts the small, dependency-free building blocks every other
+//! crate in the workspace leans on:
+//!
+//! * [`NodeId`] — opaque node identifiers (the paper's `id(x)`, an IP:port
+//!   or hash-based identity);
+//! * [`Availability`] — a validated `[0, 1]` availability value (the
+//!   paper's `av(x)`);
+//! * [`sha256`] — a from-scratch SHA-256 used to build the *normalized
+//!   consistent hash* `H(id(x), id(y)) ∈ [0, 1]` of the AVMEM predicate
+//!   framework (Eq. 1 of the paper);
+//! * [`rng`] — deterministic, seedable random number generators
+//!   (SplitMix64 and xoshiro256**) so that whole-system simulations are
+//!   bit-reproducible;
+//! * [`stats`] — summary statistics, histograms and empirical CDFs used by
+//!   the experiment harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use avmem_util::{consistent_hash, Availability, NodeId};
+//!
+//! let x = NodeId::new(42);
+//! let y = NodeId::new(7);
+//! let h = consistent_hash(x, y);
+//! assert!((0.0..=1.0).contains(&h));
+//! // Consistency: any party evaluating the hash gets the same value.
+//! assert_eq!(h, consistent_hash(x, y));
+//!
+//! let av = Availability::new(0.73).unwrap();
+//! assert_eq!(av.value(), 0.73);
+//! ```
+
+pub mod availability;
+pub mod hash;
+pub mod id;
+pub mod rng;
+pub mod stats;
+
+pub use availability::{Availability, AvailabilityError};
+pub use hash::{consistent_hash, consistent_hash_keyed, normalized_hash, sha256, Digest};
+pub use id::NodeId;
+pub use rng::{Rng, SplitMix64, Xoshiro256};

@@ -1,0 +1,299 @@
+//! Deterministic random number generation.
+//!
+//! Every protocol decision in the simulator that is *random but not
+//! consistent* (gossip target choice, latency draws, churn generation, …)
+//! flows through these generators so that a run is fully determined by its
+//! seed. We provide [`SplitMix64`] (seed expansion, cheap decorrelated
+//! streams) and [`Xoshiro256`] (xoshiro256**, the general-purpose
+//! generator), both behind the small [`Rng`] trait.
+//!
+//! These are textbook public-domain algorithms (Vigna et al.); implementing
+//! them here keeps the core protocol crates free of external RNG
+//! dependencies and bit-reproducible across platforms.
+
+/// Minimal random-source trait used across the workspace.
+///
+/// The provided combinators (`next_f64`, `range_u64`, `chance`, …) are
+/// implemented in terms of [`Rng::next_u64`], so implementors only supply
+/// the raw stream.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53-bit precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "range_u64 bound must be positive");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform `usize` index in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn index(&mut self, bound: usize) -> usize {
+        self.range_u64(bound as u64) as usize
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct elements uniformly without replacement
+    /// (reservoir sampling). Returns fewer than `k` if the iterator is
+    /// shorter than `k`.
+    fn sample<T, I>(&mut self, iter: I, k: usize) -> Vec<T>
+    where
+        I: IntoIterator<Item = T>,
+        Self: Sized,
+    {
+        let mut reservoir: Vec<T> = Vec::with_capacity(k);
+        if k == 0 {
+            return reservoir;
+        }
+        for (seen, item) in iter.into_iter().enumerate() {
+            if seen < k {
+                reservoir.push(item);
+            } else {
+                let j = self.index(seen + 1);
+                if j < k {
+                    reservoir[j] = item;
+                }
+            }
+        }
+        reservoir
+    }
+}
+
+/// SplitMix64: fast, tiny state; ideal for seed expansion and for deriving
+/// decorrelated per-node streams from a master seed.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::{Rng, SplitMix64};
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derives a decorrelated child generator, e.g. one stream per node.
+    pub fn fork(&mut self, tag: u64) -> SplitMix64 {
+        let mixed = self.next_u64() ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        SplitMix64::new(mixed)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workspace's general-purpose deterministic generator.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::{Rng, Xoshiro256};
+///
+/// let mut rng = Xoshiro256::new(7);
+/// let x = rng.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator, expanding the seed through SplitMix64 as
+    /// recommended by the xoshiro authors.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl Rng for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference output for seed 0 from the public-domain C code.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xe220a8397b1dcdaf);
+        assert_eq!(rng.next_u64(), 0x6e789e6aa1b965f4);
+        assert_eq!(rng.next_u64(), 0x06c45d188009454f);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic() {
+        let mut a = Xoshiro256::new(99);
+        let mut b = Xoshiro256::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mut a = Xoshiro256::new(1);
+        let mut b = Xoshiro256::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256::new(5);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_u64_respects_bound() {
+        let mut rng = Xoshiro256::new(11);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.range_u64(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_u64_is_roughly_uniform() {
+        let mut rng = Xoshiro256::new(13);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.range_u64(5) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn range_u64_zero_bound_panics() {
+        let mut rng = SplitMix64::new(0);
+        let _ = rng.range_u64(0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::new(21);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_without_replacement_has_distinct_items() {
+        let mut rng = Xoshiro256::new(33);
+        let picked = rng.sample(0..1000u32, 50);
+        assert_eq!(picked.len(), 50);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+    }
+
+    #[test]
+    fn sample_shorter_input_returns_everything() {
+        let mut rng = Xoshiro256::new(34);
+        let picked = rng.sample(0..3u32, 10);
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn forked_streams_are_decorrelated() {
+        let mut master = SplitMix64::new(77);
+        let mut a = master.fork(1);
+        let mut b = master.fork(2);
+        let matches = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Xoshiro256::new(55);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}
