@@ -1,12 +1,13 @@
 //! Example applications for the AVMEM reproduction.
 //!
-//! This crate exists to host the runnable examples in the repository's
-//! top-level `examples/` directory; it exposes no library API of its own.
-//! Run them with:
+//! The runnable examples live in the repository's top-level `examples/`
+//! directory and are wired in as `[[example]]` targets of the
+//! `avmem_integration` crate (alongside the workspace-spanning tests);
+//! this crate exposes no library API of its own. Run them with:
 //!
 //! ```text
-//! cargo run -p avmem-examples --example quickstart
-//! cargo run -p avmem-examples --example supernode_selection
-//! cargo run -p avmem-examples --example avcast_publish
-//! cargo run -p avmem-examples --example fingerprint_survey
+//! cargo run -p avmem_integration --release --example quickstart
+//! cargo run -p avmem_integration --release --example supernode_selection
+//! cargo run -p avmem_integration --release --example avcast_publish
+//! cargo run -p avmem_integration --release --example fingerprint_survey
 //! ```

@@ -2,9 +2,9 @@
 //! evaluation (§4).
 //!
 //! ```text
-//! cargo run --release -p avmem-bench --bin figures -- all
-//! cargo run --release -p avmem-bench --bin figures -- fig9 fig10
-//! cargo run --release -p avmem-bench --bin figures -- --small all
+//! cargo run --release -p avmem_bench --bin figures -- all
+//! cargo run --release -p avmem_bench --bin figures -- fig9 fig10
+//! cargo run --release -p avmem_bench --bin figures -- --small all
 //! ```
 //!
 //! Experiment ids: `fig2 fig3 fig4 fig56 fig7 fig8 fig9 fig10 fig11`

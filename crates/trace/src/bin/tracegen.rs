@@ -1,8 +1,8 @@
 //! Generates synthetic Overnet-like churn traces in `AVTRACE v1` format.
 //!
 //! ```text
-//! cargo run --release -p avmem-trace --bin tracegen -- --hosts 1442 --days 7 --seed 1 > trace.avt
-//! cargo run --release -p avmem-trace --bin tracegen -- --stats < trace.avt   # summarize a trace
+//! cargo run --release -p avmem_trace --bin tracegen -- --hosts 1442 --days 7 --seed 1 > trace.avt
+//! cargo run --release -p avmem_trace --bin tracegen -- --stats < trace.avt   # summarize a trace
 //! ```
 //!
 //! The output format is the same one [`avmem_trace::ChurnTrace::read_from`]

@@ -15,7 +15,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p avmem-examples --example avcast_publish
+//! cargo run -p avmem_integration --release --example avcast_publish
 //! ```
 
 use std::collections::HashMap;

@@ -15,7 +15,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p avmem-examples --example fingerprint_survey
+//! cargo run -p avmem_integration --release --example fingerprint_survey
 //! ```
 
 use avmem::harness::{AvmemSim, InitiatorBand, SimConfig};

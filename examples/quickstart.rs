@@ -4,7 +4,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p avmem-examples --example quickstart
+//! cargo run -p avmem_integration --release --example quickstart
 //! ```
 
 use avmem::harness::{AvmemSim, InitiatorBand, SimConfig};

@@ -12,7 +12,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p avmem-examples --example supernode_selection
+//! cargo run -p avmem_integration --release --example supernode_selection
 //! ```
 
 use std::collections::BTreeMap;

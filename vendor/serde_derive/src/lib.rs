@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The AVMEM workspace uses serde purely in derive position — no type is
+//! ever serialized at run time — so these derives accept the same input
+//! (including `#[serde(...)]` helper attributes) and expand to nothing.
+//! Swap in the real `serde`/`serde_derive` when a wire or disk format is
+//! actually needed.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepted and expanded to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepted and expanded to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
