@@ -1,19 +1,40 @@
 //! Benchmarks of overlay construction and maintenance: the converged
 //! rebuild (Fig. 2's warm-up), the event-driven discovery/refresh ticks,
-//! and the CYCLON shuffle round that feeds discovery.
+//! the CYCLON shuffle round that feeds discovery, and the pair-hash
+//! storage strategies.
+//!
+//! Set `AVMEM_BENCH_QUICK=1` (the CI bench-smoke setting) to shrink the
+//! size sweeps so every benchmark body still executes without paying for
+//! the large-population measurements.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use avmem::harness::{AvmemSim, MaintenanceMode, SimConfig};
+use avmem::harness::{AvmemSim, MaintenanceMode, PairHashes, SimConfig};
 use avmem_shuffle::{sim::RoundSim, ShuffleConfig};
 use avmem_sim::SimDuration;
 use avmem_trace::OvernetModel;
 
+/// Whether the quick (CI smoke) profile is requested.
+fn quick() -> bool {
+    std::env::var_os("AVMEM_BENCH_QUICK").is_some()
+}
+
 fn bench_converged_rebuild(c: &mut Criterion) {
     let mut group = c.benchmark_group("converged_rebuild");
-    group.sample_size(10);
-    for &hosts in &[100usize, 300, 600] {
+    // Size sweep toward the ROADMAP scale target; BENCH_2.json tracks the
+    // medians across PRs.
+    let sizes: &[usize] = if quick() {
+        &[100, 300]
+    } else {
+        &[100, 300, 600, 1500, 5000]
+    };
+    for &hosts in sizes {
+        group.sample_size(match hosts {
+            0..=600 => 10,
+            601..=1500 => 3,
+            _ => 2,
+        });
         group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
             let trace = OvernetModel::default().hosts(hosts).days(1).generate(1);
             let mut sim = AvmemSim::new(trace, SimConfig::paper_default(1));
@@ -44,6 +65,33 @@ fn bench_event_driven_hour(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lazy-vs-dense pair-hash storage: the dense build pays all `N²` SHA-256
+/// evaluations up front; the lazy cache and the direct (over-budget) mode
+/// pay one row on demand.
+fn bench_pair_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_hashes");
+    group.sample_size(10);
+    let sizes: &[usize] = if quick() { &[300] } else { &[600, 2000] };
+    for &n in sizes {
+        group.bench_with_input(BenchmarkId::new("dense_build", n), &n, |b, &n| {
+            b.iter(|| black_box(PairHashes::compute(n).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_one_row", n), &n, |b, &n| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                let hashes = PairHashes::lazy(n);
+                black_box(hashes.row(n / 2, &mut scratch)[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("direct_one_row", n), &n, |b, &n| {
+            let hashes = PairHashes::with_budget(n, 0);
+            let mut scratch = Vec::new();
+            b.iter(|| black_box(hashes.row(n / 2, &mut scratch)[0]))
+        });
+    }
+    group.finish();
+}
+
 fn bench_shuffle_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("shuffle_round");
     for &n in &[256usize, 1024] {
@@ -63,6 +111,7 @@ criterion_group!(
     benches,
     bench_converged_rebuild,
     bench_event_driven_hour,
+    bench_pair_hashes,
     bench_shuffle_round
 );
 criterion_main!(benches);

@@ -8,9 +8,12 @@
 //! the state and answers those questions.
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 use avmem_util::{Availability, NodeId};
 use serde::{Deserialize, Serialize};
+
+use crate::membership::SliverScope;
 
 /// One node's state at snapshot time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,14 +32,97 @@ pub struct NodeSnapshot {
     pub vs: Vec<NodeId>,
 }
 
+/// Compressed-sparse-row undirected adjacency over the online nodes of a
+/// snapshot, for one sliver scope. Built once per `(snapshot, scope)` and
+/// shared by every graph metric — the analytics in `figures.rs` call
+/// [`OverlaySnapshot::hops_from`] and the component metrics repeatedly,
+/// and rebuilding a `Vec<Vec<usize>>` per call dominated their cost.
+#[derive(Debug, Clone, PartialEq)]
+struct Csr {
+    /// `offsets[u]..offsets[u + 1]` indexes `u`'s slice of `targets`.
+    offsets: Vec<usize>,
+    /// Neighbor lists, concatenated. Parallel edges are kept (an edge
+    /// listed by both endpoints appears twice); BFS is unaffected.
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    fn build(nodes: &[NodeSnapshot], scope: SliverScope) -> Self {
+        let n = nodes.len();
+        let mut degree = vec![0usize; n];
+        visit_edges(nodes, scope, |i, j| {
+            degree[i] += 1;
+            degree[j] += 1;
+        });
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; offsets[n]];
+        visit_edges(nodes, scope, |i, j| {
+            targets[cursor[i]] = j as u32;
+            cursor[i] += 1;
+            targets[cursor[j]] = i as u32;
+            cursor[j] += 1;
+        });
+        Csr { offsets, targets }
+    }
+
+    fn neighbors(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+}
+
+/// Calls `f(i, j)` for every stored `scope` edge `i → j` with both
+/// endpoints online.
+fn visit_edges(nodes: &[NodeSnapshot], scope: SliverScope, mut f: impl FnMut(usize, usize)) {
+    let hs = matches!(scope, SliverScope::HsOnly | SliverScope::Both);
+    let vs = matches!(scope, SliverScope::VsOnly | SliverScope::Both);
+    for (i, node) in nodes.iter().enumerate() {
+        if !node.online {
+            continue;
+        }
+        let edges = node
+            .hs
+            .iter()
+            .filter(|_| hs)
+            .chain(node.vs.iter().filter(|_| vs));
+        for &peer in edges {
+            let j = peer.raw() as usize;
+            if nodes[j].online {
+                f(i, j);
+            }
+        }
+    }
+}
+
+fn scope_slot(scope: SliverScope) -> usize {
+    match scope {
+        SliverScope::HsOnly => 0,
+        SliverScope::VsOnly => 1,
+        SliverScope::Both => 2,
+    }
+}
+
 /// A frozen view of the whole overlay.
 ///
 /// Nodes are stored densely; `id.raw()` indexes into the vector (the
 /// population is fixed, as in the Overnet trace).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OverlaySnapshot {
     nodes: Vec<NodeSnapshot>,
     epsilon: f64,
+    /// Lazily built per-scope adjacency (HS-only / VS-only / both),
+    /// shared by all graph metrics. Not part of the snapshot's value:
+    /// equality ignores it.
+    adjacency: [OnceLock<Csr>; 3],
+}
+
+impl PartialEq for OverlaySnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.epsilon == other.epsilon
+    }
 }
 
 impl OverlaySnapshot {
@@ -55,7 +141,16 @@ impl OverlaySnapshot {
                 "snapshot ids must be dense 0..n"
             );
         }
-        OverlaySnapshot { nodes, epsilon }
+        OverlaySnapshot {
+            nodes,
+            epsilon,
+            adjacency: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+        }
+    }
+
+    /// The build-once adjacency for `scope`.
+    fn csr(&self, scope: SliverScope) -> &Csr {
+        self.adjacency[scope_slot(scope)].get_or_init(|| Csr::build(&self.nodes, scope))
     }
 
     /// All nodes (online and offline).
@@ -215,50 +310,25 @@ impl OverlaySnapshot {
         if online.is_empty() {
             return 0.0;
         }
-        let allowed = |i: usize| self.nodes[i].online;
-        // Undirected adjacency over the chosen slivers.
-        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
-        for (i, node) in self.nodes.iter().enumerate() {
-            if !node.online {
-                continue;
-            }
-            let hs = matches!(
-                scope,
-                crate::membership::SliverScope::HsOnly | crate::membership::SliverScope::Both
-            );
-            let vs = matches!(
-                scope,
-                crate::membership::SliverScope::VsOnly | crate::membership::SliverScope::Both
-            );
-            let edges = node
-                .hs
-                .iter()
-                .filter(|_| hs)
-                .chain(node.vs.iter().filter(|_| vs));
-            for &peer in edges {
-                let j = peer.raw() as usize;
-                if allowed(j) {
-                    adjacency[i].push(j);
-                    adjacency[j].push(i);
-                }
-            }
-        }
+        let csr = self.csr(scope);
         let mut visited = vec![false; self.nodes.len()];
         let mut best = 0usize;
+        let mut queue = VecDeque::new();
         for &start in &online {
             if visited[start] {
                 continue;
             }
             // BFS.
             let mut size = 0usize;
-            let mut queue = VecDeque::from([start]);
+            queue.clear();
+            queue.push_back(start);
             visited[start] = true;
             while let Some(u) = queue.pop_front() {
                 size += 1;
-                for &v in &adjacency[u] {
-                    if !visited[v] {
-                        visited[v] = true;
-                        queue.push_back(v);
+                for &v in csr.neighbors(u) {
+                    if !visited[v as usize] {
+                        visited[v as usize] = true;
+                        queue.push_back(v as usize);
                     }
                 }
             }
@@ -284,17 +354,14 @@ impl OverlaySnapshot {
         if in_band.len() < 2 {
             return None;
         }
-        let member = |i: usize| in_band.contains(&i);
-        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        // Walk the shared HS adjacency restricted to in-band nodes: band
+        // membership implies online, so the restriction of the online HS
+        // graph to the band is exactly the band sub-overlay.
+        let mut member = vec![false; self.nodes.len()];
         for &i in &in_band {
-            for &peer in &self.nodes[i].hs {
-                let j = peer.raw() as usize;
-                if member(j) {
-                    adjacency[i].push(j);
-                    adjacency[j].push(i);
-                }
-            }
+            member[i] = true;
         }
+        let csr = self.csr(SliverScope::HsOnly);
         let mut visited = vec![false; self.nodes.len()];
         let start = in_band[0];
         let mut queue = VecDeque::from([start]);
@@ -302,8 +369,9 @@ impl OverlaySnapshot {
         let mut size = 0usize;
         while let Some(u) = queue.pop_front() {
             size += 1;
-            for &v in &adjacency[u] {
-                if !visited[v] {
+            for &v in csr.neighbors(u) {
+                let v = v as usize;
+                if member[v] && !visited[v] {
                     visited[v] = true;
                     queue.push_back(v);
                 }
@@ -331,38 +399,14 @@ impl OverlaySnapshot {
         let s = start.raw() as usize;
         assert!(s < self.nodes.len(), "unknown start node {start}");
         assert!(self.nodes[s].online, "start node {start} is offline");
-        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
-        for (i, node) in self.nodes.iter().enumerate() {
-            if !node.online {
-                continue;
-            }
-            let hs = matches!(
-                scope,
-                crate::membership::SliverScope::HsOnly | crate::membership::SliverScope::Both
-            );
-            let vs = matches!(
-                scope,
-                crate::membership::SliverScope::VsOnly | crate::membership::SliverScope::Both
-            );
-            let edges = node
-                .hs
-                .iter()
-                .filter(|_| hs)
-                .chain(node.vs.iter().filter(|_| vs));
-            for &peer in edges {
-                let j = peer.raw() as usize;
-                if self.nodes[j].online {
-                    adjacency[i].push(j);
-                    adjacency[j].push(i);
-                }
-            }
-        }
+        let csr = self.csr(scope);
         let mut hops: Vec<Option<u32>> = vec![None; self.nodes.len()];
         hops[s] = Some(0);
         let mut queue = VecDeque::from([s]);
         while let Some(u) = queue.pop_front() {
             let d = hops[u].expect("queued nodes have distances");
-            for &v in &adjacency[u] {
+            for &v in csr.neighbors(u) {
+                let v = v as usize;
                 if hops[v].is_none() {
                     hops[v] = Some(d + 1);
                     queue.push_back(v);

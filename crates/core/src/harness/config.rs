@@ -133,6 +133,11 @@ pub struct SimConfig {
     /// Buckets for the discretized availability PDF (paper-scale: 10,
     /// i.e. 0.1-wide buckets).
     pub pdf_buckets: usize,
+    /// Memory budget (bytes) for the cached pair-hash rows. Populations
+    /// whose dense matrix (`8·N²` bytes) fits the budget cache hashed
+    /// rows lazily; larger ones hash pairs on the fly. See
+    /// [`crate::harness::PairHashes::with_budget`].
+    pub hash_budget: usize,
 }
 
 impl SimConfig {
@@ -146,6 +151,7 @@ impl SimConfig {
             maintenance: MaintenanceMode::Converged,
             latency: LatencyModel::PAPER,
             pdf_buckets: 10,
+            hash_budget: crate::harness::hashes::DEFAULT_HASH_BUDGET,
         }
     }
 }

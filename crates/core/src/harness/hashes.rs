@@ -1,15 +1,34 @@
-//! Precomputed pair-hash matrix.
+//! Pair-hash storage: lazy row cache with a memory budget.
 //!
 //! Eq. 1 evaluates `H(id(x), id(y))` for ordered node pairs. A full
-//! overlay rebuild touches all `N²` ordered pairs; hashing each pair once
-//! into a dense matrix turns every later evaluation into an array read.
-//! The values are exactly [`avmem_util::consistent_hash`] outputs, so
-//! cached and uncached evaluation agree bit-for-bit.
+//! overlay rebuild touches all `N²` ordered pairs, and SHA-256 dominates
+//! the per-pair cost, so caching pays — but a dense `N × N` `f64` matrix
+//! is `8·N²` bytes (80 GB at `N = 10⁵`), which caps the population the
+//! simulator can hold. [`PairHashes`] therefore stores hashes as *rows*
+//! materialized on first touch:
+//!
+//! * **cached** (fits the memory budget) — each row `x` is hashed once,
+//!   in the thread that first needs it, and kept; later reads are array
+//!   lookups. Untouched rows cost nothing, so sparse access patterns
+//!   (event-driven maintenance) no longer pay the `O(N²)` up-front
+//!   hashing the old eager matrix did.
+//! * **direct** (budget exceeded) — nothing is stored; single-pair reads
+//!   hash on the fly and bulk consumers ([`PairHashes::row`]) fill a
+//!   caller-provided scratch row, keeping memory `O(N)` per thread.
+//!
+//! Cached and uncached reads agree bit-for-bit with
+//! [`avmem_util::consistent_hash`].
 
+use std::sync::OnceLock;
+
+use avmem_util::parallel::{default_threads, par_chunks_mut};
 use avmem_util::{consistent_hash, NodeId};
 
-/// Dense `N × N` matrix of `H(id(x), id(y))` for the trace population
-/// `0..n`.
+/// Default memory budget for cached rows: 512 MiB, i.e. dense caching up
+/// to ~8 000 nodes; larger populations hash directly.
+pub const DEFAULT_HASH_BUDGET: usize = 512 << 20;
+
+/// Pair hashes `H(id(x), id(y))` for the trace population `0..n`.
 ///
 /// # Examples
 ///
@@ -22,29 +41,80 @@ use avmem_util::{consistent_hash, NodeId};
 ///     hashes.get(3, 7),
 ///     consistent_hash(NodeId::new(3), NodeId::new(7))
 /// );
+///
+/// // Above the memory budget the same API hashes on the fly.
+/// let direct = PairHashes::with_budget(10, 0);
+/// assert_eq!(direct.get(3, 7), hashes.get(3, 7));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PairHashes {
     n: usize,
-    values: Vec<f64>,
+    store: Store,
+}
+
+#[derive(Debug)]
+enum Store {
+    /// Rows hashed on first touch and kept. `OnceLock` makes
+    /// materialization thread-safe under the parallel rebuild.
+    Cached { rows: Vec<OnceLock<Box<[f64]>>> },
+    /// No storage: every read hashes.
+    Direct,
 }
 
 impl PairHashes {
-    /// Computes hashes for all ordered pairs of the population `0..n`.
+    /// Eagerly hashes all ordered pairs of the population `0..n`
+    /// (parallelized across rows). Use for sweeps that share one matrix
+    /// across many simulations of the same population.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn compute(n: usize) -> Self {
-        assert!(n > 0, "population must be non-empty");
-        let mut values = vec![0.0; n * n];
-        for x in 0..n {
-            let xid = NodeId::new(x as u64);
-            for y in 0..n {
-                values[x * n + y] = consistent_hash(xid, NodeId::new(y as u64));
+        let hashes = PairHashes::lazy(n);
+        let Store::Cached { rows } = &hashes.store else {
+            unreachable!("lazy storage is always cached");
+        };
+        // Materialize every row up front; rows are independent, so the
+        // chunk split cannot change any value.
+        let mut row_ids: Vec<usize> = (0..n).collect();
+        par_chunks_mut(&mut row_ids, 1, default_threads(), |_, chunk| {
+            for &x in chunk.iter() {
+                rows[x].get_or_init(|| hash_row(x, n));
             }
+        });
+        hashes
+    }
+
+    /// Lazy row cache: rows are hashed on first touch, nothing up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn lazy(n: usize) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        PairHashes {
+            n,
+            store: Store::Cached {
+                rows: (0..n).map(|_| OnceLock::new()).collect(),
+            },
         }
-        PairHashes { n, values }
+    }
+
+    /// Budget-aware constructor: a lazy row cache when the fully
+    /// materialized matrix (`8·n²` bytes) fits `budget_bytes`, direct
+    /// hashing otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_budget(n: usize, budget_bytes: usize) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        let dense_bytes = (n * n).checked_mul(8);
+        if dense_bytes.is_some_and(|b| b <= budget_bytes) {
+            PairHashes::lazy(n)
+        } else {
+            PairHashes { n, store: Store::Direct }
+        }
     }
 
     /// Population size.
@@ -57,14 +127,67 @@ impl PairHashes {
         self.n == 0
     }
 
-    /// `H(id(x), id(y))` by dense index.
+    /// Whether rows are cached (vs hashed on every read).
+    pub fn is_cached(&self) -> bool {
+        matches!(self.store, Store::Cached { .. })
+    }
+
+    /// Number of rows materialized so far (always 0 in direct mode).
+    pub fn cached_rows(&self) -> usize {
+        match &self.store {
+            Store::Cached { rows } => rows.iter().filter(|r| r.get().is_some()).count(),
+            Store::Direct => 0,
+        }
+    }
+
+    /// `H(id(x), id(y))`. In cached mode this materializes row `x` on
+    /// first touch (the read patterns that reach here — discovery and
+    /// refresh ticks — revisit the same source row every period, so the
+    /// row amortizes within a few ticks).
     ///
     /// # Panics
     ///
     /// Panics if either index is out of range.
     pub fn get(&self, x: usize, y: usize) -> f64 {
         assert!(x < self.n && y < self.n, "pair index out of range");
-        self.values[x * self.n + y]
+        match &self.store {
+            Store::Cached { rows } => rows[x].get_or_init(|| hash_row(x, self.n))[y],
+            Store::Direct => consistent_hash(NodeId::new(x as u64), NodeId::new(y as u64)),
+        }
+    }
+
+    /// The full row `H(id(x), id(·))` for bulk scans. Cached mode returns
+    /// the (materialized-on-demand) stored row; direct mode hashes into
+    /// `scratch`, so a rebuild worker reuses one `O(N)` buffer for all
+    /// its rows instead of allocating per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn row<'a>(&'a self, x: usize, scratch: &'a mut Vec<f64>) -> &'a [f64] {
+        assert!(x < self.n, "row index out of range");
+        match &self.store {
+            Store::Cached { rows } => rows[x].get_or_init(|| hash_row(x, self.n)),
+            Store::Direct => {
+                scratch.clear();
+                scratch.resize(self.n, 0.0);
+                fill_row(x, scratch);
+                scratch
+            }
+        }
+    }
+}
+
+fn hash_row(x: usize, n: usize) -> Box<[f64]> {
+    let mut row = vec![0.0; n];
+    fill_row(x, &mut row);
+    row.into_boxed_slice()
+}
+
+fn fill_row(x: usize, row: &mut [f64]) {
+    let xid = NodeId::new(x as u64);
+    for (y, slot) in row.iter_mut().enumerate() {
+        *slot = consistent_hash(xid, NodeId::new(y as u64));
     }
 }
 
@@ -89,6 +212,40 @@ mod tests {
     fn directedness_is_preserved() {
         let hashes = PairHashes::compute(5);
         assert_ne!(hashes.get(1, 2), hashes.get(2, 1));
+    }
+
+    #[test]
+    fn lazy_materializes_only_touched_rows() {
+        let hashes = PairHashes::lazy(16);
+        assert_eq!(hashes.cached_rows(), 0);
+        let _ = hashes.get(3, 7);
+        assert_eq!(hashes.cached_rows(), 1);
+        let mut scratch = Vec::new();
+        let _ = hashes.row(9, &mut scratch);
+        assert_eq!(hashes.cached_rows(), 2);
+        assert!(scratch.is_empty(), "cached mode must not use the scratch");
+    }
+
+    #[test]
+    fn budget_selects_storage_mode() {
+        // 12² × 8 = 1152 bytes.
+        assert!(PairHashes::with_budget(12, 1152).is_cached());
+        assert!(!PairHashes::with_budget(12, 1151).is_cached());
+    }
+
+    #[test]
+    fn direct_mode_agrees_with_cached() {
+        let direct = PairHashes::with_budget(12, 0);
+        let cached = PairHashes::compute(12);
+        let mut scratch = Vec::new();
+        for x in 0..12 {
+            let row = direct.row(x, &mut scratch).to_vec();
+            for (y, &h) in row.iter().enumerate() {
+                assert_eq!(direct.get(x, y), cached.get(x, y));
+                assert_eq!(h, cached.get(x, y));
+            }
+        }
+        assert_eq!(direct.cached_rows(), 0);
     }
 
     #[test]

@@ -35,11 +35,13 @@
 pub mod attack;
 pub mod config;
 pub mod hashes;
+pub mod index;
 pub mod oracle;
 
 pub use attack::AttackSeries;
 pub use config::{MaintenanceMode, OracleChoice, PredicateChoice, SimConfig};
-pub use hashes::PairHashes;
+pub use hashes::{PairHashes, DEFAULT_HASH_BUDGET};
+pub use index::CandidateIndex;
 pub use oracle::SimOracle;
 
 use std::sync::Arc;
@@ -48,6 +50,7 @@ use avmem_avmon::AvailabilityOracle;
 use avmem_shuffle::{ShuffleConfig, ShuffleNode};
 use avmem_sim::{Engine, Network, SimDuration, SimTime};
 use avmem_trace::{AvailabilityPdf, ChurnTrace};
+use avmem_util::parallel::{default_threads, par_chunks_mut};
 use avmem_util::{Availability, NodeId, Rng, SplitMix64, Xoshiro256};
 use serde::{Deserialize, Serialize};
 
@@ -57,7 +60,10 @@ use crate::ops::anycast::{run_anycast, AnycastConfig, AnycastOutcome};
 use crate::ops::multicast::{run_multicast, MulticastConfig, MulticastOutcome};
 use crate::ops::target::AvailabilityTarget;
 use crate::ops::world::OverlayWorld;
-use crate::predicate::{AvmemPredicate, MembershipPredicate, NodeInfo, RandomPredicate};
+use crate::predicate::{
+    AvmemPredicate, MembershipPredicate, NodeInfo, RandomPredicate, Sliver, SourceThresholds,
+    ThresholdMemo,
+};
 
 /// The predicate actually in force inside a simulation.
 #[derive(Debug, Clone)]
@@ -82,6 +88,109 @@ impl MembershipPredicate for SimPredicate {
             SimPredicate::Random(p) => p.epsilon(),
         }
     }
+}
+
+/// Per-rebuild memo over [`SimPredicate`]: AVMEM hoists its PDF tables
+/// (see [`ThresholdMemo`]); the random baseline is flat already.
+enum SimMemo<'p> {
+    Avmem(ThresholdMemo<'p>),
+    Random { p: f64, epsilon: f64 },
+}
+
+impl<'p> SimMemo<'p> {
+    fn build(predicate: &'p SimPredicate) -> Self {
+        match predicate {
+            SimPredicate::Avmem(pred) => SimMemo::Avmem(pred.rebuild_memo()),
+            SimPredicate::Random(pred) => SimMemo::Random {
+                p: pred.p(),
+                epsilon: pred.epsilon(),
+            },
+        }
+    }
+
+    fn source(&self, x: Availability) -> SimSource<'_> {
+        match self {
+            SimMemo::Avmem(memo) => SimSource::Avmem(memo.source(x)),
+            SimMemo::Random { p, epsilon } => SimSource::Random {
+                p: *p,
+                epsilon: *epsilon,
+                x,
+            },
+        }
+    }
+
+    /// Per-candidate vertical thresholds aligned with `index` positions,
+    /// when the vertical rule is source-independent (always for the
+    /// random baseline; rules I.A/I.B for AVMEM). Computed once per
+    /// rebuild so the VS hot loop is one load and one compare.
+    fn vertical_table(&self, index: &CandidateIndex) -> Option<Vec<f64>> {
+        match self {
+            SimMemo::Avmem(memo) => {
+                memo.source_independent_vertical(index.entries().iter().map(|&(v, _)| {
+                    Availability::saturating(v)
+                }))
+            }
+            SimMemo::Random { p, .. } => Some(vec![*p; index.len()]),
+        }
+    }
+}
+
+/// One source node's memoized thresholds; evaluation is bit-identical to
+/// [`MembershipPredicate::classify_hashed`] of the simulation predicate.
+enum SimSource<'m> {
+    Avmem(SourceThresholds<'m>),
+    Random { p: f64, epsilon: f64, x: Availability },
+}
+
+impl SimSource<'_> {
+    fn epsilon(&self) -> f64 {
+        match self {
+            SimSource::Avmem(s) => s.epsilon(),
+            SimSource::Random { epsilon, .. } => *epsilon,
+        }
+    }
+
+    /// Threshold for in-band candidates (constant per source node).
+    fn horizontal(&self) -> f64 {
+        match self {
+            SimSource::Avmem(s) => s.horizontal(),
+            SimSource::Random { p, .. } => *p,
+        }
+    }
+
+    /// Threshold for an out-of-band candidate.
+    fn vertical(&self, y: Availability) -> f64 {
+        match self {
+            SimSource::Avmem(s) => s.vertical(y),
+            SimSource::Random { p, .. } => *p,
+        }
+    }
+
+    /// Eq. 1 with a caller-supplied hash; callers skip `y == x`.
+    fn classify_hashed(&self, y: Availability, hash: f64) -> Option<Sliver> {
+        match self {
+            SimSource::Avmem(s) => s.classify_hashed(y, hash),
+            SimSource::Random { p, epsilon, x } => (hash <= *p).then(|| {
+                if x.distance(y) < *epsilon {
+                    Sliver::Horizontal
+                } else {
+                    Sliver::Vertical
+                }
+            }),
+        }
+    }
+}
+
+/// Per-worker scratch for the converged rebuild: reused across all nodes
+/// a worker processes, so the hot loop allocates nothing per node.
+#[derive(Default)]
+struct RebuildScratch {
+    /// Pair-hash row (used only when hashes are in direct mode).
+    row: Vec<f64>,
+    /// Accepted horizontal candidates awaiting the decorrelation shuffle.
+    hs: Vec<(usize, Availability)>,
+    /// Accepted vertical candidates awaiting the decorrelation shuffle.
+    vs: Vec<(usize, Availability)>,
 }
 
 /// Initiator selection bands used throughout §4.2: LOW ∈ [0, ⅓),
@@ -159,7 +268,10 @@ impl AvmemSim {
     /// online nodes — both quantities the paper assumes are computed
     /// offline by a crawler and distributed consistently to all nodes.
     pub fn new(trace: ChurnTrace, config: SimConfig) -> Self {
-        let hashes = Arc::new(PairHashes::compute(trace.num_nodes()));
+        let hashes = Arc::new(PairHashes::with_budget(
+            trace.num_nodes(),
+            config.hash_budget,
+        ));
         AvmemSim::with_hashes(trace, config, hashes)
     }
 
@@ -312,44 +424,168 @@ impl AvmemSim {
     /// order, and the deterministic gossip iteration of §3.2 relies on
     /// different nodes having decorrelated list orders (identical
     /// prefixes would make every gossiper target the same few nodes).
+    /// Accepted candidates are collected first and each list is then
+    /// Fisher–Yates-shuffled with the node's private seed — the
+    /// restriction of a uniform permutation of the population to the
+    /// accepted subset is itself a uniform permutation of that subset,
+    /// so this matches the seed version's shuffle-everything-then-filter
+    /// order in distribution at `O(degree)` instead of `O(N)` RNG work
+    /// per node.
+    ///
+    /// The rebuild is the simulator's hot path and is heavily optimized —
+    /// see [`AvmemSim::rebuild_node`] — but produces HS/VS *sets*
+    /// identical to a naive scan classifying every ordered pair (the
+    /// `rebuild_equivalence` integration tests pin this down). Nodes are
+    /// independent, so the population is rebuilt in parallel with scoped
+    /// threads; results do not depend on the thread count.
     fn rebuild_converged(&mut self) {
         let n = self.trace.num_nodes();
-        for x in 0..n {
-            let mut order: Vec<usize> = (0..n).collect();
-            let mut order_rng =
-                SplitMix64::new(self.member_order_seed ^ (x as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-            order_rng.shuffle(&mut order);
-            let mut membership = Membership::new(NodeId::new(x as u64));
-            if let Some(own_av) = self.estimated_availability(x, x) {
-                let own = NodeInfo::new(NodeId::new(x as u64), own_av);
-                for y in order {
-                    if x == y {
+        // With a querier-independent oracle (exact, shared-noise, AVMON
+        // aggregates) all nodes agree on every availability, so one
+        // snapshot and one availability-sorted index serve the whole
+        // rebuild: HS candidates come from a band range-scan, VS
+        // candidates from its complement. A per-querier oracle forces
+        // per-source estimates (full scan).
+        let shared: Option<CandidateIndex> = self.oracle.querier_independent().then(|| {
+            CandidateIndex::build((0..n).map(|y| (y, self.estimated_availability(y, y))))
+        });
+        let memo = SimMemo::build(&self.predicate);
+        let vertical_table: Option<Vec<f64>> =
+            shared.as_ref().and_then(|index| memo.vertical_table(index));
+        let mut memberships = std::mem::take(&mut self.memberships);
+        let sim = &*self;
+        par_chunks_mut(&mut memberships, 1, default_threads(), |offset, chunk| {
+            let mut scratch = RebuildScratch::default();
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = sim.rebuild_node(
+                    offset + k,
+                    &memo,
+                    shared.as_ref(),
+                    vertical_table.as_deref(),
+                    &mut scratch,
+                );
+            }
+        });
+        self.memberships = memberships;
+    }
+
+    /// Builds one node's converged membership lists.
+    ///
+    /// Fast-path structure (all equivalences are set-level, pinned by
+    /// tests):
+    ///
+    /// * thresholds come from the per-rebuild [`SimMemo`] — the
+    ///   horizontal band integrals once per node, vertical PDF lookups
+    ///   from per-bucket tables — instead of two PDF integrations per
+    ///   in-band pair;
+    /// * pair hashes come from the row cache ([`PairHashes::row`]);
+    /// * with a shared availability index, HS candidates are enumerated
+    ///   by an `O(log N + band)` range-scan and VS candidates by its
+    ///   complement (only float-slack stragglers pay a distance check);
+    ///   both accepted lists are then shuffled per node for decorrelated
+    ///   insertion order.
+    fn rebuild_node(
+        &self,
+        x: usize,
+        memo: &SimMemo<'_>,
+        shared: Option<&CandidateIndex>,
+        vertical_table: Option<&[f64]>,
+        scratch: &mut RebuildScratch,
+    ) -> Membership {
+        let n = self.trace.num_nodes();
+        let mut membership = Membership::new(NodeId::new(x as u64));
+        let Some(own_av) = self.estimated_availability(x, x) else {
+            return membership;
+        };
+        let source = memo.source(own_av);
+        let RebuildScratch { row, hs, vs } = scratch;
+        hs.clear();
+        vs.clear();
+        let row: &[f64] = self.hashes.row(x, row);
+        match shared {
+            Some(index) => {
+                let epsilon = source.epsilon();
+                let horizontal = source.horizontal();
+                let entries = index.entries();
+                let (band_start, band_end) = index.fuzzy_range(own_av, epsilon);
+                // In and around the band: the exact distance check picks
+                // the sliver; the memoized horizontal threshold is one
+                // constant for every in-band candidate.
+                for &(v, y) in &entries[band_start..band_end] {
+                    let y = y as usize;
+                    if y == x {
+                        continue;
+                    }
+                    let y_av = Availability::saturating(v);
+                    if own_av.distance(y_av) < epsilon {
+                        if row[y] <= horizontal {
+                            hs.push((y, y_av));
+                        }
+                    } else if row[y] <= source.vertical(y_av) {
+                        vs.push((y, y_av));
+                    }
+                }
+                // Certainly outside the band: pure VS. With a
+                // source-independent vertical rule the thresholds are
+                // precomputed per rebuild, aligned with the index.
+                if let Some(table) = vertical_table {
+                    for k in 0..band_start {
+                        let (v, y) = entries[k];
+                        if row[y as usize] <= table[k] {
+                            vs.push((y as usize, Availability::saturating(v)));
+                        }
+                    }
+                    for k in band_end..entries.len() {
+                        let (v, y) = entries[k];
+                        if row[y as usize] <= table[k] {
+                            vs.push((y as usize, Availability::saturating(v)));
+                        }
+                    }
+                } else {
+                    for &(v, y) in entries[..band_start].iter().chain(&entries[band_end..]) {
+                        let y = y as usize;
+                        let y_av = Availability::saturating(v);
+                        if row[y] <= source.vertical(y_av) {
+                            vs.push((y, y_av));
+                        }
+                    }
+                }
+            }
+            None => {
+                // Querier-dependent estimates: full per-source scan.
+                for (y, &hash) in row.iter().enumerate().take(n) {
+                    if y == x {
                         continue;
                     }
                     let Some(y_av) = self.estimated_availability(x, y) else {
                         continue;
                     };
-                    let candidate = NodeInfo::new(NodeId::new(y as u64), y_av);
-                    if let Some(sliver) = self.predicate.classify_hashed(
-                        own,
-                        candidate,
-                        self.hashes.get(x, y),
-                        0.0,
-                    ) {
-                        membership.insert(
-                            Neighbor {
-                                id: candidate.id,
-                                cached_availability: y_av,
-                                added_at: self.now,
-                                refreshed_at: self.now,
-                            },
-                            sliver,
-                        );
+                    match source.classify_hashed(y_av, hash) {
+                        Some(Sliver::Horizontal) => hs.push((y, y_av)),
+                        Some(Sliver::Vertical) => vs.push((y, y_av)),
+                        None => {}
                     }
                 }
             }
-            self.memberships[x] = membership;
         }
+        let mut order_rng = SplitMix64::new(
+            self.member_order_seed ^ (x as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        order_rng.shuffle(hs);
+        order_rng.shuffle(vs);
+        let neighbor = |y: usize, y_av: Availability| Neighbor {
+            id: NodeId::new(y as u64),
+            cached_availability: y_av,
+            added_at: self.now,
+            refreshed_at: self.now,
+        };
+        for &(y, y_av) in hs.iter() {
+            membership.insert(neighbor(y, y_av), Sliver::Horizontal);
+        }
+        for &(y, y_av) in vs.iter() {
+            membership.insert(neighbor(y, y_av), Sliver::Vertical);
+        }
+        membership
     }
 
     fn run_event_driven(
@@ -372,8 +608,15 @@ impl AvmemSim {
             engine.schedule(self.now + tick_offset, MaintEvent::Tick(i));
             engine.schedule(self.now + refresh_offset, MaintEvent::Refresh(i));
         }
+        // Batch oracle advancement: many events share a timestamp (all
+        // nodes tick once per period), and advancing is only meaningful
+        // when time moves — once per distinct popped timestamp suffices.
+        let mut advanced_to: Option<SimTime> = None;
         while let Some((t, event)) = engine.pop_until(target) {
-            self.oracle.advance(&self.trace, t);
+            if advanced_to.map_or(true, |done| t > done) {
+                self.oracle.advance(&self.trace, t);
+                advanced_to = Some(t);
+            }
             self.now = self.now.max(t);
             match event {
                 MaintEvent::Tick(i) => {

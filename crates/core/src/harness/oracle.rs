@@ -47,6 +47,19 @@ impl SimOracle {
             service.step_to(trace, now);
         }
     }
+
+    /// Whether every querier sees the same estimate for a given target
+    /// at a given time. True for ground truth, shared-noise aggregates,
+    /// and AVMON's aggregated answers; false for the per-querier noise
+    /// model (divergent caches). Querier-independent oracles let the
+    /// converged rebuild share one availability snapshot — and one
+    /// sorted candidate index — across the whole population.
+    pub fn querier_independent(&self) -> bool {
+        match self {
+            SimOracle::Exact(_) | SimOracle::Avmon(_) => true,
+            SimOracle::Noisy(o) => !o.is_per_querier(),
+        }
+    }
 }
 
 impl AvailabilityOracle for SimOracle {

@@ -361,6 +361,196 @@ impl MembershipPredicate for AvmemPredicate {
     }
 }
 
+/// Per-rebuild memo of the PDF-dependent parts of an [`AvmemPredicate`].
+///
+/// The naive evaluation of Eq. 1 over all `N²` ordered pairs recomputes
+/// `p(av(y))` for every vertical pair and the two band integrals behind
+/// `horizontal_threshold` for every in-band pair. Both only depend on a
+/// *bucket* of the discretized PDF (vertical) or on the source node's own
+/// availability (horizontal), so a converged rebuild can hoist them:
+///
+/// * [`AvmemPredicate::rebuild_memo`] — once per rebuild: per-bucket
+///   vertical threshold tables;
+/// * [`ThresholdMemo::source`] — once per source node: the horizontal
+///   threshold `f(av(x), ·)`.
+///
+/// The memoized thresholds are **bit-for-bit identical** to
+/// [`MembershipPredicate::threshold`]: the same floating-point
+/// expressions are evaluated in the same order, only earlier.
+#[derive(Debug, Clone)]
+pub struct ThresholdMemo<'p> {
+    pred: &'p AvmemPredicate,
+    vertical: VerticalMemo,
+}
+
+#[derive(Debug, Clone)]
+enum VerticalMemo {
+    /// I.A — no per-pair work to hoist.
+    Constant { d1: f64 },
+    /// I.B — final quotient per PDF bucket; `.min(1.0)` at query time
+    /// (`∞` marks zero-density buckets, which cap at 1.0).
+    Logarithmic { threshold: Vec<f64> },
+    /// I.C — `c₁·ln N*` numerator and per-bucket `N*·p_b` denominator;
+    /// the distance factor stays per-pair.
+    Decreasing { numerator: f64, denominator: Vec<f64> },
+}
+
+impl AvmemPredicate {
+    /// Precomputes the per-bucket vertical threshold tables for one
+    /// overlay rebuild.
+    pub fn rebuild_memo(&self) -> ThresholdMemo<'_> {
+        let buckets = self.pdf.buckets();
+        let width = self.pdf.bucket_width();
+        let vertical = match self.vertical {
+            VerticalRule::Constant { d1 } => VerticalMemo::Constant { d1 },
+            VerticalRule::Logarithmic { c1 } => {
+                let threshold = (0..buckets)
+                    .map(|b| {
+                        let density = self.pdf.bucket_mass(b) / width;
+                        if density <= 0.0 {
+                            f64::INFINITY
+                        } else {
+                            c1 * self.n_star.ln() / (self.n_star * density)
+                        }
+                    })
+                    .collect();
+                VerticalMemo::Logarithmic { threshold }
+            }
+            VerticalRule::LogarithmicDecreasing { c1 } => VerticalMemo::Decreasing {
+                numerator: c1 * self.n_star.ln(),
+                denominator: (0..buckets)
+                    .map(|b| self.n_star * (self.pdf.bucket_mass(b) / width))
+                    .collect(),
+            },
+        };
+        ThresholdMemo {
+            pred: self,
+            vertical,
+        }
+    }
+}
+
+impl ThresholdMemo<'_> {
+    /// The band half-width `ε` of the underlying predicate.
+    pub fn epsilon(&self) -> f64 {
+        self.pred.epsilon
+    }
+
+    /// Vertical thresholds for a candidate sequence when the vertical
+    /// rule is *source-independent* (I.A and I.B depend only on the
+    /// candidate): one value per candidate, bit-identical to
+    /// [`SourceThresholds::vertical`] for every source node. `None` for
+    /// rule I.C, whose distance factor is inherently per-pair.
+    pub fn source_independent_vertical(
+        &self,
+        candidates: impl Iterator<Item = Availability>,
+    ) -> Option<Vec<f64>> {
+        match &self.vertical {
+            VerticalMemo::Constant { d1 } => Some(candidates.map(|_| *d1).collect()),
+            VerticalMemo::Logarithmic { threshold } => {
+                let buckets = self.pred.pdf.buckets();
+                Some(
+                    candidates
+                        .map(|y| {
+                            let b = ((y.value() * buckets as f64).floor() as usize)
+                                .min(buckets - 1);
+                            threshold[b].min(1.0)
+                        })
+                        .collect(),
+                )
+            }
+            VerticalMemo::Decreasing { .. } => None,
+        }
+    }
+
+    /// Fixes the source node, computing its horizontal threshold (the
+    /// expensive band integrals) exactly once.
+    pub fn source(&self, x: Availability) -> SourceThresholds<'_> {
+        SourceThresholds {
+            epsilon: self.pred.epsilon,
+            x,
+            horizontal: self.pred.horizontal_threshold(x),
+            vertical: &self.vertical,
+            buckets: self.pred.pdf.buckets(),
+        }
+    }
+}
+
+/// The thresholds of one source node `x`, ready for `O(1)`-per-candidate
+/// evaluation (a bucket lookup for vertical candidates, a cached constant
+/// for horizontal ones). See [`ThresholdMemo`].
+#[derive(Debug, Clone)]
+pub struct SourceThresholds<'m> {
+    epsilon: f64,
+    x: Availability,
+    horizontal: f64,
+    vertical: &'m VerticalMemo,
+    buckets: usize,
+}
+
+impl SourceThresholds<'_> {
+    /// The source node's availability.
+    pub fn availability(&self) -> Availability {
+        self.x
+    }
+
+    /// The band half-width `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The memoized horizontal threshold `f(av(x), in-band)`.
+    pub fn horizontal(&self) -> f64 {
+        self.horizontal
+    }
+
+    /// Whether a candidate at `y` falls in the source's horizontal band.
+    pub fn in_band(&self, y: Availability) -> bool {
+        self.x.distance(y) < self.epsilon
+    }
+
+    /// The vertical threshold `f(av(x), av(y))` for an out-of-band `y`.
+    pub fn vertical(&self, y: Availability) -> f64 {
+        let b = ((y.value() * self.buckets as f64).floor() as usize).min(self.buckets - 1);
+        match self.vertical {
+            VerticalMemo::Constant { d1 } => *d1,
+            VerticalMemo::Logarithmic { threshold } => threshold[b].min(1.0),
+            VerticalMemo::Decreasing {
+                numerator,
+                denominator,
+            } => {
+                let dist = self.x.distance(y);
+                if denominator[b] <= 0.0 || dist <= 0.0 {
+                    1.0
+                } else {
+                    (numerator / (denominator[b] * dist)).min(1.0)
+                }
+            }
+        }
+    }
+
+    /// The full sub-predicate value, identical to
+    /// [`MembershipPredicate::threshold`] of the memoized predicate.
+    pub fn threshold(&self, y: Availability) -> f64 {
+        if self.in_band(y) {
+            self.horizontal
+        } else {
+            self.vertical(y)
+        }
+    }
+
+    /// Eq. 1 with a caller-supplied pair hash: classifies a *distinct*
+    /// candidate (callers must skip `y == x` themselves, as
+    /// [`MembershipPredicate::classify_hashed`] would).
+    pub fn classify_hashed(&self, y: Availability, hash: f64) -> Option<Sliver> {
+        if self.in_band(y) {
+            (hash <= self.horizontal).then_some(Sliver::Horizontal)
+        } else {
+            (hash <= self.vertical(y)).then_some(Sliver::Vertical)
+        }
+    }
+}
+
 /// The availability-agnostic baseline: `f(·,·) = p`, a consistent random
 /// overlay "like SCAMP or CYCLON" (§2, Fig. 10 of the paper).
 ///
@@ -681,6 +871,62 @@ mod tests {
             HorizontalRule::LogarithmicConstant { c2: 2.0 },
             AvailabilityPdf::uniform(10),
         );
+    }
+
+    #[test]
+    fn memo_thresholds_match_direct_evaluation_bit_for_bit() {
+        let mut mass = vec![4.0; 3];
+        mass.extend(vec![0.5; 4]);
+        mass.push(0.0); // a zero-density bucket
+        mass.extend(vec![2.0; 2]);
+        let pdf = AvailabilityPdf::from_bucket_mass(mass);
+        for vertical in [
+            VerticalRule::Constant { d1: 0.02 },
+            VerticalRule::Logarithmic { c1: 2.5 },
+            VerticalRule::LogarithmicDecreasing { c1: 1.5 },
+        ] {
+            for horizontal in [
+                HorizontalRule::Constant { d2: 0.3 },
+                HorizontalRule::LogarithmicConstant { c2: 2.0 },
+            ] {
+                let pred =
+                    AvmemPredicate::new(0.1, 1442.0, vertical, horizontal, pdf.clone());
+                let memo = pred.rebuild_memo();
+                for xi in 0..40 {
+                    let x = av(xi as f64 / 39.0);
+                    let source = memo.source(x);
+                    for yi in 0..40 {
+                        let y = av(yi as f64 / 39.0);
+                        assert_eq!(
+                            source.threshold(y).to_bits(),
+                            pred.threshold(x, y).to_bits(),
+                            "{vertical:?}/{horizontal:?} at x={x} y={y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_classification_matches_classify_hashed() {
+        let pred = uniform_pred(1442.0);
+        let memo = pred.rebuild_memo();
+        for i in 0..60u64 {
+            let x = info(i, (i as f64 * 0.37) % 1.0);
+            let source = memo.source(x.availability);
+            for j in 0..60u64 {
+                if i == j {
+                    continue;
+                }
+                let y = info(j + 1000, (j as f64 * 0.61) % 1.0);
+                let hash = consistent_hash(x.id, y.id);
+                assert_eq!(
+                    source.classify_hashed(y.availability, hash),
+                    pred.classify_hashed(x, y, hash, 0.0),
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   (SplitMix64 and xoshiro256**) so that whole-system simulations are
 //!   bit-reproducible;
 //! * [`stats`] — summary statistics, histograms and empirical CDFs used by
-//!   the experiment harness.
+//!   the experiment harness;
+//! * [`parallel`] — scoped chunk-parallelism for the simulator's few hot
+//!   loops (no external thread-pool dependency).
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@
 pub mod availability;
 pub mod hash;
 pub mod id;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 

@@ -1,0 +1,148 @@
+//! Minimal scoped data-parallelism helpers.
+//!
+//! The workspace is offline (no rayon); the few hot loops that benefit
+//! from threads — pair-hash row computation and the converged overlay
+//! rebuild — all reduce to "run independent work over contiguous chunks
+//! of a slice". [`par_chunks_mut`] provides exactly that on top of
+//! `std::thread::scope`, degrading to an inline call when only one
+//! thread (or one chunk) is useful so single-core machines pay no
+//! spawning overhead.
+//!
+//! Work items must be *independent*: results may not depend on how the
+//! slice is split, which keeps every caller deterministic regardless of
+//! the machine's core count.
+
+/// Number of worker threads worth spawning on this machine.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `items` into up to `threads` contiguous chunks (each a multiple
+/// of `align` items, except possibly the last) and runs `f(offset, chunk)`
+/// on each, in parallel via `std::thread::scope`.
+///
+/// `offset` is the index of the chunk's first element in `items`, so
+/// workers can recover global positions. With `threads <= 1`, or when the
+/// slice holds at most one `align`-unit, `f` runs inline on the caller's
+/// thread with no spawning.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::parallel::par_chunks_mut;
+///
+/// let mut squares = vec![0u64; 1000];
+/// par_chunks_mut(&mut squares, 1, 4, |offset, chunk| {
+///     for (k, slot) in chunk.iter_mut().enumerate() {
+///         let i = (offset + k) as u64;
+///         *slot = i * i;
+///     }
+/// });
+/// assert_eq!(squares[31], 961);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `align == 0`.
+pub fn par_chunks_mut<T, F>(items: &mut [T], align: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(align > 0, "chunk alignment must be positive");
+    if items.is_empty() {
+        return;
+    }
+    let units = items.len().div_ceil(align);
+    let threads = threads.clamp(1, units);
+    if threads == 1 {
+        f(0, items);
+        return;
+    }
+    let chunk_len = units.div_ceil(threads) * align;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = items;
+        let mut offset = 0;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            scope.spawn(move || f(offset, head));
+            offset += take;
+            rest = tail;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_element_exactly_once() {
+        for threads in [1, 2, 3, 7, 64] {
+            let mut hits = vec![0u32; 103];
+            par_chunks_mut(&mut hits, 1, threads, |_, chunk| {
+                for h in chunk {
+                    *h += 1;
+                }
+            });
+            assert!(hits.iter().all(|&h| h == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn offsets_recover_global_indices() {
+        let mut v = vec![0usize; 50];
+        par_chunks_mut(&mut v, 1, 4, |offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = offset + k;
+            }
+        });
+        assert_eq!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn respects_alignment() {
+        // align 10 → chunk boundaries only at multiples of 10.
+        let mut v = vec![0u8; 95];
+        par_chunks_mut(&mut v, 10, 4, |offset, chunk| {
+            assert_eq!(offset % 10, 0);
+            assert!(chunk.len() % 10 == 0 || offset + chunk.len() == 95);
+            for b in chunk {
+                *b = 1;
+            }
+        });
+        assert!(v.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn result_is_independent_of_thread_count() {
+        let run = |threads: usize| {
+            let mut v = vec![0u64; 64];
+            par_chunks_mut(&mut v, 1, threads, |offset, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = ((offset + k) as u64).wrapping_mul(0x9e37_79b9);
+                }
+            });
+            v
+        };
+        let base = run(1);
+        for threads in [2, 5, 16] {
+            assert_eq!(run(threads), base);
+        }
+    }
+
+    #[test]
+    fn empty_slice_is_a_no_op() {
+        let mut v: Vec<u8> = Vec::new();
+        par_chunks_mut(&mut v, 4, 8, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}
