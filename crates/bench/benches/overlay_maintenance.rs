@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use avmem::harness::{AvmemSim, MaintenanceMode, PairHashes, SimConfig};
+use avmem::harness::{AvmemSim, MaintenanceEngine, MaintenanceMode, PairHashes, SimConfig};
 use avmem_shuffle::{sim::RoundSim, ShuffleConfig};
 use avmem_sim::SimDuration;
 use avmem_trace::OvernetModel;
@@ -47,20 +47,50 @@ fn bench_converged_rebuild(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_event_driven_hour(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_driven_hour");
-    group.sample_size(10);
-    for &hosts in &[100usize, 200] {
-        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
-            let trace = OvernetModel::default().hosts(hosts).days(1).generate(1);
-            let mut config = SimConfig::paper_default(1);
-            config.maintenance = MaintenanceMode::paper_event_driven();
-            let mut sim = AvmemSim::new(trace, config);
-            b.iter(|| {
-                sim.warm_up(SimDuration::from_hours(1));
-                black_box(sim.now())
-            })
+/// One simulated hour of event-driven maintenance (paper periods:
+/// 1-minute shuffle/discovery ticks, 20-minute refresh), sweeping the
+/// population toward the 10⁴-host target — serial reference engine vs
+/// the phase-parallel batch engine. All engines produce bit-identical
+/// state (pinned by `event_driven_equivalence`), so the comparison is
+/// pure wall-clock.
+///
+/// `parallel` is the default engine (machine-sized pool; on a 1-core
+/// host it degenerates to the serial path). `parallel_t2` pins two
+/// workers so the gather/plan/spawn machinery is exercised and its
+/// cost recorded even where only one core is available.
+fn bench_event_driven(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_driven");
+    let sizes: &[usize] = if quick() {
+        &[300]
+    } else {
+        &[1000, 2000, 5000, 10_000]
+    };
+    let engines = [
+        ("serial", MaintenanceEngine::Serial),
+        ("parallel", MaintenanceEngine::Parallel { threads: None }),
+        (
+            "parallel_t2",
+            MaintenanceEngine::Parallel { threads: Some(2) },
+        ),
+    ];
+    for &hosts in sizes {
+        group.sample_size(match hosts {
+            0..=2000 => 3,
+            _ => 1,
         });
+        let trace = OvernetModel::default().hosts(hosts).days(1).generate(1);
+        for (name, engine) in engines {
+            group.bench_with_input(BenchmarkId::new(name, hosts), &hosts, |b, _| {
+                let mut config = SimConfig::paper_default(1);
+                config.maintenance = MaintenanceMode::paper_event_driven();
+                config.engine = engine;
+                let mut sim = AvmemSim::new(trace.clone(), config);
+                b.iter(|| {
+                    sim.warm_up(SimDuration::from_hours(1));
+                    black_box(sim.now())
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -110,7 +140,7 @@ fn bench_shuffle_round(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_converged_rebuild,
-    bench_event_driven_hour,
+    bench_event_driven,
     bench_pair_hashes,
     bench_shuffle_round
 );

@@ -116,6 +116,46 @@ impl MaintenanceMode {
     }
 }
 
+/// How event-driven maintenance executes each timestamp cohort.
+///
+/// The event engine pops *cohorts* — every event sharing the next
+/// timestamp, in deterministic seq order — and the harness runs each
+/// cohort in three phases: a per-node **propose** phase (shuffle
+/// initiation decisions, bootstrap seeding, all randomness counter-keyed
+/// by `(run_seed, node, timestamp)`), a serial **commit** phase applying
+/// the shuffle request/reply pairs in seq order, and a per-node
+/// **finalize** phase (discovery over the post-commit view, refresh).
+/// Both variants execute those exact semantics; they differ only in
+/// whether the per-node phases use worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaintenanceEngine {
+    /// Straight-line reference implementation: every phase runs on the
+    /// calling thread in batch order. Kept as the equivalence oracle the
+    /// parallel engine is pinned against.
+    Serial,
+    /// Phase-parallel execution: propose and finalize spread the cohort's
+    /// nodes across worker threads (`None` sizes the pool to the
+    /// machine); commit stays serial. State after every batch is
+    /// bit-identical to [`MaintenanceEngine::Serial`] for any thread
+    /// count.
+    Parallel {
+        /// Worker-thread cap; `None` uses all available cores.
+        threads: Option<usize>,
+    },
+}
+
+impl MaintenanceEngine {
+    /// The worker-thread count this engine runs with.
+    pub fn threads(self) -> usize {
+        match self {
+            MaintenanceEngine::Serial => 1,
+            MaintenanceEngine::Parallel { threads } => {
+                threads.unwrap_or_else(avmem_util::parallel::default_threads)
+            }
+        }
+    }
+}
+
 /// Complete configuration of an [`crate::harness::AvmemSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -128,6 +168,9 @@ pub struct SimConfig {
     pub oracle: OracleChoice,
     /// Maintenance mode.
     pub maintenance: MaintenanceMode,
+    /// Batch execution engine for event-driven maintenance (ignored in
+    /// [`MaintenanceMode::Converged`], whose rebuild is always parallel).
+    pub engine: MaintenanceEngine,
     /// Per-hop latency model (paper: uniform 20–80 ms).
     pub latency: LatencyModel,
     /// Buckets for the discretized availability PDF (paper-scale: 10,
@@ -149,6 +192,7 @@ impl SimConfig {
             predicate: PredicateChoice::paper_default(),
             oracle: OracleChoice::Exact,
             maintenance: MaintenanceMode::Converged,
+            engine: MaintenanceEngine::Parallel { threads: None },
             latency: LatencyModel::PAPER,
             pdf_buckets: 10,
             hash_budget: crate::harness::hashes::DEFAULT_HASH_BUDGET,
@@ -185,6 +229,18 @@ mod tests {
             }
         );
         assert_eq!(cfg.latency, LatencyModel::PAPER);
+    }
+
+    #[test]
+    fn default_engine_is_parallel_with_machine_threads() {
+        let cfg = SimConfig::paper_default(1);
+        assert_eq!(cfg.engine, MaintenanceEngine::Parallel { threads: None });
+        assert!(cfg.engine.threads() >= 1);
+        assert_eq!(MaintenanceEngine::Serial.threads(), 1);
+        assert_eq!(
+            MaintenanceEngine::Parallel { threads: Some(6) }.threads(),
+            6
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod index;
 pub mod oracle;
 
 pub use attack::AttackSeries;
-pub use config::{MaintenanceMode, OracleChoice, PredicateChoice, SimConfig};
+pub use config::{
+    MaintenanceEngine, MaintenanceMode, OracleChoice, PredicateChoice, SimConfig,
+};
 pub use hashes::{PairHashes, DEFAULT_HASH_BUDGET};
 pub use index::CandidateIndex;
 pub use oracle::SimOracle;
@@ -47,10 +49,10 @@ pub use oracle::SimOracle;
 use std::sync::Arc;
 
 use avmem_avmon::AvailabilityOracle;
-use avmem_shuffle::{ShuffleConfig, ShuffleNode};
+use avmem_shuffle::{ShuffleConfig, ShuffleNode, ShuffleProposal, View};
 use avmem_sim::{Engine, Network, SimDuration, SimTime};
-use avmem_trace::{AvailabilityPdf, ChurnTrace};
-use avmem_util::parallel::{default_threads, par_chunks_mut};
+use avmem_trace::{AvailabilityPdf, ChurnTrace, OnlineIndex};
+use avmem_util::parallel::{default_threads, gather_mut, par_chunks_mut};
 use avmem_util::{Availability, NodeId, Rng, SplitMix64, Xoshiro256};
 use serde::{Deserialize, Serialize};
 
@@ -231,6 +233,287 @@ enum MaintEvent {
     Refresh(usize),
 }
 
+/// Seeds handed to a node bootstrapping an empty coarse view (stands in
+/// for a bootstrap service answering with a few live peers).
+const BOOTSTRAP_SEEDS: usize = 3;
+
+/// Stagger lattice: maintenance offsets are drawn on a grid of this many
+/// cohorts per period, so nodes stay unsynchronized (no thundering herd)
+/// while same-timestamp cohorts are large enough — `N / 16` nodes — for
+/// the batch phases to spread across worker threads.
+const STAGGER_COHORTS: u64 = 16;
+
+/// Purpose tags separating the counter-keyed RNG streams of event-driven
+/// maintenance. Every stream is `SplitMix64::keyed(&[run_seed, TAG,
+/// node, epoch])`: determinism is a property of the key, never of which
+/// thread or in which order the stream is drawn.
+const STREAM_STAGGER_TICK: u64 = 1;
+const STREAM_STAGGER_REFRESH: u64 = 2;
+const STREAM_SHUFFLE: u64 = 3;
+const STREAM_BOOTSTRAP: u64 = 4;
+
+/// The discovery/refresh work one node performs in the finalize phase of
+/// a batch, in intra-batch seq order (a node has at most one tick and
+/// one refresh per timestamp).
+#[derive(Debug, Clone, Copy)]
+struct NodeOps {
+    node: u32,
+    first: MaintKind,
+    second: Option<MaintKind>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MaintKind {
+    /// Discovery over the node's (post-commit) coarse view.
+    Discover,
+    /// Refresh of the node's membership lists.
+    Refresh,
+}
+
+/// One timestamp cohort decomposed into per-phase work lists. The plan
+/// (one per maintenance run) is reused across batches, so these lists
+/// stop allocating once they reach cohort size; only the phase slot
+/// vectors — which hold per-batch `&mut` borrows — are rebuilt per
+/// cohort.
+#[derive(Debug, Default)]
+struct BatchPlan {
+    /// Online ticking nodes in batch (seq) order — the commit order.
+    ticks: Vec<(u32, u32)>,
+    /// The same ticks sorted by node — the gather/proposal order.
+    ticks_sorted: Vec<(u32, u32)>,
+    /// `ticks_sorted`'s node indices, as [`gather_mut`] wants them.
+    tick_nodes: Vec<usize>,
+    /// Online refreshing nodes sorted by node (merge scratch).
+    refreshes_sorted: Vec<(u32, u32)>,
+    /// Per-node finalize ops, ascending by node.
+    finalize: Vec<NodeOps>,
+    /// `finalize`'s node indices, as [`gather_mut`] wants them.
+    finalize_nodes: Vec<usize>,
+}
+
+impl BatchPlan {
+    /// Decomposes `batch` (one engine cohort, seq order) given the
+    /// per-node online predicate. Offline nodes do no maintenance work
+    /// (they are still rescheduled by the driver).
+    fn build(&mut self, batch: &[MaintEvent], mut online: impl FnMut(usize) -> bool) {
+        self.ticks.clear();
+        self.ticks_sorted.clear();
+        self.tick_nodes.clear();
+        self.refreshes_sorted.clear();
+        self.finalize.clear();
+        self.finalize_nodes.clear();
+        for (pos, &event) in batch.iter().enumerate() {
+            match event {
+                MaintEvent::Tick(i) if online(i) => {
+                    self.ticks.push((i as u32, pos as u32));
+                }
+                MaintEvent::Refresh(i) if online(i) => {
+                    self.refreshes_sorted.push((i as u32, pos as u32));
+                }
+                _ => {}
+            }
+        }
+        self.ticks_sorted.extend_from_slice(&self.ticks);
+        // Nodes are unique within each list (one tick / one refresh
+        // outstanding per node), so sorting the tuples sorts by node.
+        self.ticks_sorted.sort_unstable();
+        self.refreshes_sorted.sort_unstable();
+
+        // Merge the two node-sorted lists into per-node finalize ops,
+        // ordering a node's own tick vs refresh by batch position.
+        let (mut a, mut b) = (0, 0);
+        while a < self.ticks_sorted.len() || b < self.refreshes_sorted.len() {
+            let tick = self.ticks_sorted.get(a);
+            let refresh = self.refreshes_sorted.get(b);
+            let discover_only = |node| NodeOps {
+                node,
+                first: MaintKind::Discover,
+                second: None,
+            };
+            let refresh_only = |node| NodeOps {
+                node,
+                first: MaintKind::Refresh,
+                second: None,
+            };
+            let ops = match (tick, refresh) {
+                (Some(&(tn, tp)), Some(&(rn, rp))) => {
+                    if tn == rn {
+                        a += 1;
+                        b += 1;
+                        let (first, second) = if tp < rp {
+                            (MaintKind::Discover, MaintKind::Refresh)
+                        } else {
+                            (MaintKind::Refresh, MaintKind::Discover)
+                        };
+                        NodeOps {
+                            node: tn,
+                            first,
+                            second: Some(second),
+                        }
+                    } else if tn < rn {
+                        a += 1;
+                        discover_only(tn)
+                    } else {
+                        b += 1;
+                        refresh_only(rn)
+                    }
+                }
+                (Some(&(tn, _)), None) => {
+                    a += 1;
+                    discover_only(tn)
+                }
+                (None, Some(&(rn, _))) => {
+                    b += 1;
+                    refresh_only(rn)
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            self.finalize.push(ops);
+        }
+        self.tick_nodes
+            .extend(self.ticks_sorted.iter().map(|&(i, _)| i as usize));
+        self.finalize_nodes
+            .extend(self.finalize.iter().map(|o| o.node as usize));
+    }
+}
+
+/// The deterministic stagger offset of `node`'s periodic event: a
+/// uniformly random point on the [`STAGGER_COHORTS`]-slot lattice of one
+/// period, keyed — not drawn from shared generator state — so schedule
+/// construction order cannot perturb any other random decision.
+fn stagger_offset(seed: u64, tag: u64, node: usize, start: SimTime, period: SimDuration) -> SimDuration {
+    let period_ms = period.as_millis().max(1);
+    let quantum = (period_ms / STAGGER_COHORTS).max(1);
+    let cohorts = period_ms / quantum;
+    let mut rng = SplitMix64::keyed(&[seed, tag, node as u64, start.as_millis()]);
+    SimDuration::from_millis(quantum * rng.range_u64(cohorts))
+}
+
+/// Phase A of one batch, for one online ticking node: bootstrap an empty
+/// coarse view from the online index, then compute *and apply* the
+/// node's shuffle proposal. Touches only `shuffle` (the node's own
+/// state); all randomness is counter-keyed by `(run_seed, node,
+/// timestamp)`, so any worker on any thread produces the same result.
+fn propose_tick(
+    seed: u64,
+    online: &OnlineIndex,
+    now: SimTime,
+    i: usize,
+    shuffle: &mut ShuffleNode,
+    seeds: &mut Vec<u32>,
+) -> Option<ShuffleProposal> {
+    if shuffle.view().is_empty() {
+        let mut rng = SplitMix64::keyed(&[seed, STREAM_BOOTSTRAP, i as u64, now.as_millis()]);
+        online.sample_excluding(&mut rng, BOOTSTRAP_SEEDS, i, seeds);
+        shuffle.bootstrap(seeds.iter().map(|&j| NodeId::new(j as u64)));
+    }
+    let mut rng = SplitMix64::keyed(&[seed, STREAM_SHUFFLE, i as u64, now.as_millis()]);
+    let proposal = shuffle.propose(&mut rng)?;
+    shuffle.apply(&proposal);
+    Some(proposal)
+}
+
+/// One propose-phase work item: a ticking node, exclusive access to its
+/// shuffle state, and the slot its proposal lands in.
+struct ProposeSlot<'a> {
+    node: usize,
+    shuffle: &'a mut ShuffleNode,
+    proposal: Option<ShuffleProposal>,
+}
+
+/// Read-only simulation context for finalize-phase workers: enough state
+/// to run discovery and refresh for any node against the post-commit
+/// shuffle views, without touching the membership being rewritten.
+struct MaintCtx<'a> {
+    predicate: &'a SimPredicate,
+    oracle: &'a SimOracle,
+    hashes: &'a PairHashes,
+    shuffles: &'a [ShuffleNode],
+    now: SimTime,
+}
+
+impl MaintCtx<'_> {
+    fn estimate(&self, querier: usize, target: usize) -> Option<Availability> {
+        self.oracle.estimate(
+            NodeId::new(querier as u64),
+            NodeId::new(target as u64),
+            self.now,
+        )
+    }
+
+    /// Discovery pass over node `i`'s coarse view, straight off the view
+    /// iterator — no intermediate candidate collection.
+    fn discover_into(&self, i: usize, membership: &mut Membership) {
+        let Some(own_av) = self.estimate(i, i) else {
+            return;
+        };
+        let own = NodeInfo::new(NodeId::new(i as u64), own_av);
+        for candidate in self.shuffles[i].view().ids() {
+            let y = candidate.raw() as usize;
+            if y == i || membership.contains(candidate) {
+                continue;
+            }
+            let Some(y_av) = self.estimate(i, y) else {
+                continue;
+            };
+            let info = NodeInfo::new(candidate, y_av);
+            if let Some(sliver) =
+                self.predicate
+                    .classify_hashed(own, info, self.hashes.get(i, y), 0.0)
+            {
+                membership.insert(
+                    Neighbor {
+                        id: candidate,
+                        cached_availability: y_av,
+                        added_at: self.now,
+                        refreshed_at: self.now,
+                    },
+                    sliver,
+                );
+            }
+        }
+    }
+
+    /// Refresh pass over node `i`'s lists, reclassifying in place (see
+    /// [`Membership::refresh_with`]); `migrants` is reusable scratch.
+    fn refresh_into(
+        &self,
+        i: usize,
+        membership: &mut Membership,
+        migrants: &mut Vec<(Neighbor, Sliver)>,
+    ) {
+        let Some(own_av) = self.estimate(i, i) else {
+            return;
+        };
+        let own = NodeInfo::new(NodeId::new(i as u64), own_av);
+        membership.refresh_with(self.now, migrants, |id| {
+            let y = id.raw() as usize;
+            let y_av = self.estimate(i, y)?; // oracle lost track: evict
+            let sliver =
+                self.predicate
+                    .classify_hashed(own, NodeInfo::new(id, y_av), self.hashes.get(i, y), 0.0)?;
+            Some((y_av, sliver))
+        });
+    }
+
+    /// Runs one node's finalize ops in intra-batch order.
+    fn finalize_node(
+        &self,
+        ops: NodeOps,
+        membership: &mut Membership,
+        migrants: &mut Vec<(Neighbor, Sliver)>,
+    ) {
+        for kind in [Some(ops.first), ops.second].into_iter().flatten() {
+            match kind {
+                MaintKind::Discover => self.discover_into(ops.node as usize, membership),
+                MaintKind::Refresh => {
+                    self.refresh_into(ops.node as usize, membership, migrants)
+                }
+            }
+        }
+    }
+}
+
 /// The full-system simulation.
 pub struct AvmemSim {
     trace: ChurnTrace,
@@ -243,6 +526,9 @@ pub struct AvmemSim {
     now: SimTime,
     net: Network,
     rng: Xoshiro256,
+    /// Per-slot cache of the online population (bootstrap seeding,
+    /// initiator selection); refreshed lazily as the clock advances.
+    online: OnlineIndex,
     n_star: f64,
     /// Seed for the per-node randomized candidate order used by the
     /// converged rebuild (see [`AvmemSim::rebuild_converged`]).
@@ -340,6 +626,7 @@ impl AvmemSim {
             now: SimTime::ZERO,
             net,
             rng,
+            online: OnlineIndex::new(),
             n_star,
             member_order_seed: seeder.next_u64(),
         }
@@ -588,6 +875,30 @@ impl AvmemSim {
         membership
     }
 
+    /// Runs the shuffle/discovery/refresh sub-protocols through the event
+    /// engine, one *timestamp cohort* at a time.
+    ///
+    /// Node offsets are staggered on a coarse per-period lattice (see
+    /// [`STAGGER_COHORTS`]) so cohorts are sizeable, and each cohort runs
+    /// in three phases:
+    ///
+    /// 1. **propose** — every online ticking node bootstraps (if its view
+    ///    is empty) and computes+applies its shuffle proposal, touching
+    ///    only its own state, with counter-keyed randomness. Per-node
+    ///    independent ⇒ parallelizable.
+    /// 2. **commit** — the request/reply exchange of each proposal is
+    ///    applied in batch (seq) order; this is where initiators mutate
+    ///    responders, so conflicts (two initiators hitting one responder,
+    ///    a responder that itself initiated) resolve exactly as a serial
+    ///    drain of the cohort would. Always serial.
+    /// 3. **finalize** — discovery over the post-commit view and refresh,
+    ///    per node, in intra-batch order. Per-node independent ⇒
+    ///    parallelizable.
+    ///
+    /// [`MaintenanceEngine::Serial`] and [`MaintenanceEngine::Parallel`]
+    /// execute these identical semantics; results are bit-equal across
+    /// engines and thread counts (pinned by the
+    /// `event_driven_equivalence` integration tests).
     fn run_event_driven(
         &mut self,
         target: SimTime,
@@ -595,135 +906,178 @@ impl AvmemSim {
         refresh_period: SimDuration,
     ) {
         let n = self.trace.num_nodes();
+        let seed = self.config.seed;
         let mut engine: Engine<MaintEvent> = Engine::new();
-        // Stagger node ticks uniformly across one period to avoid
-        // thundering herds (real deployments are unsynchronized).
         for i in 0..n {
-            let tick_offset = SimDuration::from_millis(
-                self.rng.range_u64(protocol_period.as_millis().max(1)),
-            );
-            let refresh_offset = SimDuration::from_millis(
-                self.rng.range_u64(refresh_period.as_millis().max(1)),
-            );
-            engine.schedule(self.now + tick_offset, MaintEvent::Tick(i));
-            engine.schedule(self.now + refresh_offset, MaintEvent::Refresh(i));
+            let tick = stagger_offset(seed, STREAM_STAGGER_TICK, i, self.now, protocol_period);
+            let refresh =
+                stagger_offset(seed, STREAM_STAGGER_REFRESH, i, self.now, refresh_period);
+            engine.schedule(self.now + tick, MaintEvent::Tick(i));
+            engine.schedule(self.now + refresh, MaintEvent::Refresh(i));
         }
-        // Batch oracle advancement: many events share a timestamp (all
-        // nodes tick once per period), and advancing is only meaningful
-        // when time moves — once per distinct popped timestamp suffices.
-        let mut advanced_to: Option<SimTime> = None;
-        while let Some((t, event)) = engine.pop_until(target) {
-            if advanced_to.map_or(true, |done| t > done) {
-                self.oracle.advance(&self.trace, t);
-                advanced_to = Some(t);
-            }
+        let mut batch: Vec<MaintEvent> = Vec::new();
+        let mut plan = BatchPlan::default();
+        // Resolved once: `threads()` may probe the machine (a syscall),
+        // far too costly per batch.
+        let threads = self.config.engine.threads();
+        while let Some(t) = engine.pop_batch_until(target, &mut batch) {
+            // Shared time-dependent state advances once per distinct
+            // timestamp: the oracle (AVMON ping processing) and the
+            // online index (slot-boundary crossings).
+            self.oracle.advance(&self.trace, t);
+            self.online.refresh(&self.trace, t);
             self.now = self.now.max(t);
-            match event {
-                MaintEvent::Tick(i) => {
-                    if self.trace.is_online(i, t) {
-                        self.shuffle_step(i, t);
-                        self.discover_step(i, t);
-                    }
-                    engine.schedule(t + protocol_period, MaintEvent::Tick(i));
-                }
-                MaintEvent::Refresh(i) => {
-                    if self.trace.is_online(i, t) {
-                        self.refresh_step(i, t);
-                    }
-                    engine.schedule(t + refresh_period, MaintEvent::Refresh(i));
+            // A parallel engine with one effective worker degenerates to
+            // the straight-line implementation (they are bit-identical),
+            // skipping the plan/gather bookkeeping single-core machines
+            // would pay for nothing.
+            if threads <= 1 {
+                self.run_batch_serial(t, &batch);
+            } else {
+                plan.build(&batch, |i| self.trace.is_online(i, t));
+                self.run_batch_parallel(t, &plan, threads);
+            }
+            for &event in &batch {
+                match event {
+                    MaintEvent::Tick(_) => engine.schedule(t + protocol_period, event),
+                    MaintEvent::Refresh(_) => engine.schedule(t + refresh_period, event),
                 }
             }
         }
         self.oracle.advance(&self.trace, target);
         self.now = target;
+        self.online.refresh(&self.trace, target);
     }
 
-    /// One shuffle exchange for node `i` (bootstrapping an empty view
-    /// from random online peers, standing in for a bootstrap service).
-    fn shuffle_step(&mut self, i: usize, now: SimTime) {
-        if self.shuffles[i].view().is_empty() {
-            let online = self.trace.online_at(now);
-            let seeds: Vec<NodeId> = self
-                .rng
-                .sample(online.into_iter().filter(|&j| j != i), 3)
-                .into_iter()
-                .map(|j| NodeId::new(j as u64))
-                .collect();
-            self.shuffles[i].bootstrap(seeds);
+    /// Reference implementation of one batch: the three phases as plain
+    /// sequential loops in batch order. This is the semantics
+    /// [`AvmemSim::run_batch_parallel`] is pinned against.
+    fn run_batch_serial(&mut self, t: SimTime, batch: &[MaintEvent]) {
+        let seed = self.config.seed;
+        // Phase 1 — propose (per-node independent; batch order is as good
+        // as any).
+        let mut proposals: Vec<(usize, ShuffleProposal)> = Vec::new();
+        let mut seeds = Vec::new();
+        for &event in batch {
+            let MaintEvent::Tick(i) = event else { continue };
+            if !self.trace.is_online(i, t) {
+                continue;
+            }
+            if let Some(p) =
+                propose_tick(seed, &self.online, t, i, &mut self.shuffles[i], &mut seeds)
+            {
+                proposals.push((i, p));
+            }
         }
-        let Some((target, request)) = self.shuffles[i].initiate() else {
-            return;
+        // Phase 2 — commit exchanges in batch (seq) order.
+        for (i, proposal) in proposals {
+            self.commit_exchange(t, i, proposal);
+        }
+        // Phase 3 — finalize: discovery over the post-commit views, and
+        // refresh, in batch order (per-node independent).
+        let ctx = MaintCtx {
+            predicate: &self.predicate,
+            oracle: &self.oracle,
+            hashes: &self.hashes,
+            shuffles: &self.shuffles,
+            now: t,
         };
-        let t = target.raw() as usize;
-        if t < self.shuffles.len() && self.trace.is_online(t, now) {
-            let (initiator, responder) = two_mut(&mut self.shuffles, i, t);
+        let mut migrants = Vec::new();
+        for &event in batch {
+            match event {
+                MaintEvent::Tick(i) if self.trace.is_online(i, t) => {
+                    ctx.discover_into(i, &mut self.memberships[i]);
+                }
+                MaintEvent::Refresh(i) if self.trace.is_online(i, t) => {
+                    ctx.refresh_into(i, &mut self.memberships[i], &mut migrants);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Phase-parallel execution of one batch: propose and finalize spread
+    /// the cohort's nodes over scoped worker threads (each node's state
+    /// reached through [`gather_mut`] — exclusive, disjoint borrows),
+    /// commit stays serial in seq order. Bit-identical to
+    /// [`AvmemSim::run_batch_serial`] for every thread count, because
+    /// the parallel phases are per-node independent and their randomness
+    /// is keyed, not drawn from shared state.
+    fn run_batch_parallel(&mut self, t: SimTime, plan: &BatchPlan, threads: usize) {
+        let seed = self.config.seed;
+        // Phase 1 — propose.
+        let mut proposals: Vec<Option<ShuffleProposal>> = {
+            let mut shuffles = std::mem::take(&mut self.shuffles);
+            let mut slots: Vec<ProposeSlot<'_>> = gather_mut(&mut shuffles, &plan.tick_nodes)
+                .into_iter()
+                .zip(&plan.tick_nodes)
+                .map(|(shuffle, &node)| ProposeSlot {
+                    node,
+                    shuffle,
+                    proposal: None,
+                })
+                .collect();
+            let online = &self.online;
+            par_chunks_mut(&mut slots, 1, threads, |_, chunk| {
+                let mut seeds = Vec::new();
+                for slot in chunk {
+                    slot.proposal =
+                        propose_tick(seed, online, t, slot.node, slot.shuffle, &mut seeds);
+                }
+            });
+            let proposals = slots.into_iter().map(|s| s.proposal).collect();
+            self.shuffles = shuffles;
+            proposals
+        };
+        // Phase 2 — commit exchanges in batch (seq) order.
+        for &(node, _) in &plan.ticks {
+            let slot = plan
+                .ticks_sorted
+                .binary_search_by_key(&node, |&(i, _)| i)
+                .expect("ticking node missing from sorted plan");
+            if let Some(proposal) = proposals[slot].take() {
+                self.commit_exchange(t, node as usize, proposal);
+            }
+        }
+        // Phase 3 — finalize.
+        let mut memberships = std::mem::take(&mut self.memberships);
+        {
+            let ctx = MaintCtx {
+                predicate: &self.predicate,
+                oracle: &self.oracle,
+                hashes: &self.hashes,
+                shuffles: &self.shuffles,
+                now: t,
+            };
+            let mut slots: Vec<(NodeOps, &mut Membership)> = plan
+                .finalize
+                .iter()
+                .copied()
+                .zip(gather_mut(&mut memberships, &plan.finalize_nodes))
+                .collect();
+            par_chunks_mut(&mut slots, 1, threads, |_, chunk| {
+                let mut migrants = Vec::new();
+                for (ops, membership) in chunk {
+                    ctx.finalize_node(*ops, membership, &mut migrants);
+                }
+            });
+        }
+        self.memberships = memberships;
+    }
+
+    /// Applies one proposed shuffle exchange: route the request to the
+    /// target if it is online (request/reply both land immediately — the
+    /// exchange is atomic at cohort granularity), or record a timeout.
+    fn commit_exchange(&mut self, now: SimTime, i: usize, proposal: ShuffleProposal) {
+        let target = proposal.target();
+        let tgt = target.raw() as usize;
+        if tgt < self.shuffles.len() && self.trace.is_online(tgt, now) {
+            let (_, request) = proposal.into_request();
+            let (initiator, responder) = two_mut(&mut self.shuffles, i, tgt);
             let reply = responder.handle_request(request);
             initiator.handle_reply(reply);
         } else {
             self.shuffles[i].handle_timeout(target);
-        }
-    }
-
-    /// Discovery pass over node `i`'s coarse view.
-    fn discover_step(&mut self, i: usize, now: SimTime) {
-        let Some(own_av) = self.estimated_availability(i, i) else {
-            return;
-        };
-        let own = NodeInfo::new(NodeId::new(i as u64), own_av);
-        let candidates: Vec<NodeId> = self.shuffles[i].view().ids().collect();
-        for candidate in candidates {
-            let y = candidate.raw() as usize;
-            if y == i || self.memberships[i].contains(candidate) {
-                continue;
-            }
-            let Some(y_av) = self.estimated_availability(i, y) else {
-                continue;
-            };
-            let info = NodeInfo::new(candidate, y_av);
-            if let Some(sliver) =
-                self.predicate
-                    .classify_hashed(own, info, self.hashes.get(i, y), 0.0)
-            {
-                self.memberships[i].insert(
-                    Neighbor {
-                        id: candidate,
-                        cached_availability: y_av,
-                        added_at: now,
-                        refreshed_at: now,
-                    },
-                    sliver,
-                );
-            }
-        }
-    }
-
-    /// Refresh pass over node `i`'s lists.
-    fn refresh_step(&mut self, i: usize, now: SimTime) {
-        let Some(own_av) = self.estimated_availability(i, i) else {
-            return;
-        };
-        let own = NodeInfo::new(NodeId::new(i as u64), own_av);
-        let current: Vec<NodeId> = self.memberships[i]
-            .neighbors(SliverScope::Both)
-            .map(|nb| nb.id)
-            .collect();
-        for id in current {
-            let y = id.raw() as usize;
-            let (mut entry, _old_sliver) = self.memberships[i]
-                .remove(id)
-                .expect("neighbor listed but missing");
-            let Some(y_av) = self.estimated_availability(i, y) else {
-                continue; // oracle lost track: evict
-            };
-            let info = NodeInfo::new(id, y_av);
-            if let Some(sliver) =
-                self.predicate
-                    .classify_hashed(own, info, self.hashes.get(i, y), 0.0)
-            {
-                entry.cached_availability = y_av;
-                entry.refreshed_at = now;
-                self.memberships[i].insert(entry, sliver);
-            }
         }
     }
 
@@ -750,17 +1104,38 @@ impl AvmemSim {
 
     /// Picks a uniformly random *online* node whose true availability
     /// lies in `band`, or `None` if no such node is online.
+    ///
+    /// Runs off the per-slot [`OnlineIndex`] with a count-then-select
+    /// pass, so repeated initiator draws (operation experiments fire
+    /// thousands per snapshot) materialize no candidate `Vec`.
     pub fn random_online_initiator(&mut self, band: InitiatorBand) -> Option<NodeId> {
-        let online = self.trace.online_at(self.now);
-        let eligible: Vec<usize> = online
-            .into_iter()
-            .filter(|&i| band.contains(self.trace.long_term_availability(i)))
-            .collect();
-        if eligible.is_empty() {
+        self.online.refresh(&self.trace, self.now);
+        let in_band =
+            |i: &&u32| band.contains(self.trace.long_term_availability(**i as usize));
+        let eligible = self.online.online().iter().filter(in_band).count();
+        if eligible == 0 {
             return None;
         }
-        let pick = eligible[self.rng.index(eligible.len())];
-        Some(NodeId::new(pick as u64))
+        let pick = self.rng.index(eligible);
+        let node = self
+            .online
+            .online()
+            .iter()
+            .filter(in_band)
+            .nth(pick)
+            .copied()
+            .expect("pick < eligible count");
+        Some(NodeId::new(node as u64))
+    }
+
+    /// A node's coarse (shuffle) view — the discovery substrate's state,
+    /// exposed for analysis and the engine-equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the population.
+    pub fn shuffle_view(&self, id: NodeId) -> &View {
+        self.shuffles[self.index(id)].view()
     }
 
     /// All online nodes whose true availability lies in `target`.

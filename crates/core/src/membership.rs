@@ -253,40 +253,65 @@ impl Membership {
         P: MembershipPredicate + ?Sized,
     {
         debug_assert_eq!(own.id, self.owner, "refresh called with foreign identity");
-        let mut outcome = RefreshOutcome::default();
         let owner = self.owner;
-        let mut revalidate = |list: &mut Vec<Neighbor>, expected: Sliver, migrants: &mut Vec<(Neighbor, Sliver)>| {
-            list.retain_mut(|neighbor| {
-                let Some(fresh_av) = oracle.estimate(owner, neighbor.id, now) else {
+        let mut migrants = Vec::new();
+        self.refresh_with(now, &mut migrants, |id| {
+            let fresh_av = oracle.estimate(owner, id, now)?;
+            let sliver = predicate.classify(own, NodeInfo::new(id, fresh_av))?;
+            Some((fresh_av, sliver))
+        })
+    }
+
+    /// In-place refresh driven by a caller-supplied evaluator: `eval`
+    /// returns the neighbor's fresh availability and sliver, or `None` to
+    /// evict. Entries are re-validated *in place* — kept neighbors never
+    /// leave their list, so there is no remove-then-reinsert churn — and
+    /// only sliver migrants move (appended to their new list after both
+    /// passes, preserving relative order).
+    ///
+    /// `migrants` is caller-owned scratch (cleared on entry, drained on
+    /// exit) so batch drivers refreshing many nodes reuse one buffer.
+    /// Drivers with precomputed pair hashes evaluate the predicate via
+    /// [`MembershipPredicate::classify_hashed`] inside `eval`;
+    /// [`Membership::refresh`] is the self-contained oracle+predicate
+    /// form of the same pass.
+    pub fn refresh_with<F>(
+        &mut self,
+        now: SimTime,
+        migrants: &mut Vec<(Neighbor, Sliver)>,
+        mut eval: F,
+    ) -> RefreshOutcome
+    where
+        F: FnMut(NodeId) -> Option<(Availability, Sliver)>,
+    {
+        let mut outcome = RefreshOutcome::default();
+        migrants.clear();
+        let mut revalidate = |list: &mut Vec<Neighbor>,
+                              expected: Sliver,
+                              migrants: &mut Vec<(Neighbor, Sliver)>| {
+            list.retain_mut(|neighbor| match eval(neighbor.id) {
+                None => {
                     outcome.evicted += 1;
-                    return false;
-                };
-                let info = NodeInfo::new(neighbor.id, fresh_av);
-                match predicate.classify(own, info) {
-                    None => {
-                        outcome.evicted += 1;
+                    false
+                }
+                Some((fresh_av, sliver)) => {
+                    neighbor.cached_availability = fresh_av;
+                    neighbor.refreshed_at = now;
+                    if sliver == expected {
+                        outcome.kept += 1;
+                        true
+                    } else {
+                        migrants.push((*neighbor, sliver));
+                        outcome.migrated += 1;
                         false
-                    }
-                    Some(sliver) => {
-                        neighbor.cached_availability = fresh_av;
-                        neighbor.refreshed_at = now;
-                        if sliver == expected {
-                            outcome.kept += 1;
-                            true
-                        } else {
-                            migrants.push((*neighbor, sliver));
-                            outcome.migrated += 1;
-                            false
-                        }
                     }
                 }
             });
         };
 
-        let mut migrants = Vec::new();
-        revalidate(&mut self.hs, Sliver::Horizontal, &mut migrants);
-        revalidate(&mut self.vs, Sliver::Vertical, &mut migrants);
-        for (neighbor, sliver) in migrants {
+        revalidate(&mut self.hs, Sliver::Horizontal, migrants);
+        revalidate(&mut self.vs, Sliver::Vertical, migrants);
+        for (neighbor, sliver) in migrants.drain(..) {
             match sliver {
                 Sliver::Horizontal => self.hs.push(neighbor),
                 Sliver::Vertical => self.vs.push(neighbor),
@@ -455,6 +480,40 @@ mod tests {
         let outcome = m.refresh(me(), &oracle, &pred, SimTime::from_millis(1));
         assert_eq!(outcome.evicted, 1);
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn refresh_with_keeps_survivors_in_place() {
+        let mut m = Membership::new(NodeId::new(0));
+        let neighbor = |id: u64, av: f64| Neighbor {
+            id: NodeId::new(id),
+            cached_availability: Availability::saturating(av),
+            added_at: SimTime::ZERO,
+            refreshed_at: SimTime::ZERO,
+        };
+        for id in [1, 2, 3] {
+            m.insert(neighbor(id, 0.5), Sliver::Horizontal);
+        }
+        m.insert(neighbor(4, 0.9), Sliver::Vertical);
+        let later = SimTime::from_millis(5);
+        let mut migrants = vec![(neighbor(9, 0.1), Sliver::Vertical)]; // stale scratch
+        let outcome = m.refresh_with(later, &mut migrants, |id| match id.raw() {
+            1 => Some((Availability::saturating(0.51), Sliver::Horizontal)),
+            2 => None,                                                // evict
+            3 => Some((Availability::saturating(0.95), Sliver::Vertical)), // migrate
+            4 => Some((Availability::saturating(0.91), Sliver::Vertical)),
+            _ => panic!("unexpected neighbor"),
+        });
+        assert_eq!(outcome, RefreshOutcome { evicted: 1, migrated: 1, kept: 2 });
+        // Kept entries stay in place (no remove/reinsert cycling); the
+        // migrant lands after the retained VS entries.
+        let hs: Vec<u64> = m.hs().iter().map(|n| n.id.raw()).collect();
+        let vs: Vec<u64> = m.vs().iter().map(|n| n.id.raw()).collect();
+        assert_eq!(hs, vec![1]);
+        assert_eq!(vs, vec![4, 3]);
+        assert_eq!(m.hs()[0].cached_availability.value(), 0.51);
+        assert_eq!(m.hs()[0].refreshed_at, later);
+        assert!(migrants.is_empty(), "scratch must be drained for reuse");
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Pins the phase-parallel batched event-driven engine to the serial
+//! reference implementation.
+//!
+//! The contract under test (see `AvmemSim::run_event_driven`): a
+//! maintenance run's final state — every node's membership lists, every
+//! node's shuffle view, and the overlay snapshot with its metrics — is a
+//! function of `(trace, config, duration)` only. Neither the engine
+//! variant nor the worker-thread count may perturb a single bit, for any
+//! maintenance period and any oracle fidelity.
+
+use avmem::harness::{
+    AvmemSim, InitiatorBand, MaintenanceEngine, MaintenanceMode, OracleChoice, SimConfig,
+};
+use avmem_sim::SimDuration;
+use avmem_trace::{ChurnTrace, OvernetModel};
+use avmem_util::NodeId;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn trace(hosts: usize, seed: u64) -> ChurnTrace {
+    OvernetModel::default().hosts(hosts).days(1).generate(seed)
+}
+
+fn config(
+    seed: u64,
+    oracle: OracleChoice,
+    maintenance: MaintenanceMode,
+    engine: MaintenanceEngine,
+) -> SimConfig {
+    let mut config = SimConfig::paper_default(seed);
+    config.oracle = oracle;
+    config.maintenance = maintenance;
+    config.engine = engine;
+    config
+}
+
+/// Full-state equality: memberships, shuffle views, snapshot, metrics.
+fn assert_state_equal(reference: &AvmemSim, candidate: &AvmemSim, label: &str) {
+    for i in 0..reference.trace().num_nodes() {
+        let id = NodeId::new(i as u64);
+        assert_eq!(
+            reference.membership(id),
+            candidate.membership(id),
+            "{label}: membership of node {i} diverged"
+        );
+        assert_eq!(
+            reference.shuffle_view(id),
+            candidate.shuffle_view(id),
+            "{label}: shuffle view of node {i} diverged"
+        );
+    }
+    let (a, b) = (reference.snapshot(), candidate.snapshot());
+    assert_eq!(a, b, "{label}: snapshots diverged");
+    assert_eq!(
+        a.mean_degree(),
+        b.mean_degree(),
+        "{label}: snapshot metrics diverged"
+    );
+}
+
+/// Runs one (periods, oracle) cell: serial reference vs the parallel
+/// engine at each thread count, over `hours` of maintenance.
+/// `min_degree` guards against vacuous equality (empty == empty).
+fn check_cell(
+    hosts: usize,
+    seed: u64,
+    oracle: OracleChoice,
+    maintenance: MaintenanceMode,
+    hours: u64,
+    min_degree: f64,
+    label: &str,
+) {
+    let trace = trace(hosts, seed);
+    let mut reference = AvmemSim::new(
+        trace.clone(),
+        config(seed, oracle, maintenance, MaintenanceEngine::Serial),
+    );
+    reference.warm_up(SimDuration::from_hours(hours));
+    // Guard against vacuous equality: maintenance must have built state.
+    assert!(
+        reference.snapshot().mean_degree() > min_degree,
+        "{label}: reference run built no overlay"
+    );
+
+    for threads in THREAD_COUNTS {
+        let mut parallel = AvmemSim::new(
+            trace.clone(),
+            config(
+                seed,
+                oracle,
+                maintenance,
+                MaintenanceEngine::Parallel {
+                    threads: Some(threads),
+                },
+            ),
+        );
+        parallel.warm_up(SimDuration::from_hours(hours));
+        assert_state_equal(&reference, &parallel, &format!("{label}, {threads} threads"));
+    }
+}
+
+fn fast_periods() -> MaintenanceMode {
+    MaintenanceMode::EventDriven {
+        protocol_period: SimDuration::from_secs(15),
+        refresh_period: SimDuration::from_mins(3),
+    }
+}
+
+#[test]
+fn parallel_matches_serial_paper_periods_exact_oracle() {
+    check_cell(
+        150,
+        7,
+        OracleChoice::Exact,
+        MaintenanceMode::paper_event_driven(),
+        2,
+        0.5,
+        "paper periods / exact oracle",
+    );
+}
+
+#[test]
+fn parallel_matches_serial_paper_periods_noisy_oracle() {
+    // Per-querier noise: divergent caches are the worst case for any
+    // ordering bug — every (querier, target, epoch) triple draws its own
+    // perturbation, so a single out-of-order estimate shows up.
+    check_cell(
+        150,
+        8,
+        OracleChoice::paper_noise(),
+        MaintenanceMode::paper_event_driven(),
+        2,
+        0.5,
+        "paper periods / per-querier noisy oracle",
+    );
+}
+
+#[test]
+fn parallel_matches_serial_fast_periods_exact_oracle() {
+    check_cell(
+        120,
+        9,
+        OracleChoice::Exact,
+        fast_periods(),
+        1,
+        0.5,
+        "fast periods / exact oracle",
+    );
+}
+
+#[test]
+fn parallel_matches_serial_fast_periods_shared_noise_oracle() {
+    check_cell(
+        120,
+        10,
+        OracleChoice::NoisyShared {
+            error: 0.05,
+            staleness: SimDuration::from_mins(20),
+        },
+        fast_periods(),
+        1,
+        0.5,
+        "fast periods / shared-noise oracle",
+    );
+}
+
+#[test]
+fn parallel_matches_serial_with_full_avmon_service() {
+    // The paper's actual monitoring service: AVMON's ping-based
+    // estimates evolve as the oracle advances (once per batch, outside
+    // the parallel phases) and are read concurrently by finalize
+    // workers. Estimates take hours to appear, so this cell warms
+    // longer and accepts a sparser overlay than the instant oracles.
+    check_cell(
+        100,
+        13,
+        OracleChoice::Avmon {
+            config: avmem_avmon::AvmonConfig::default(),
+        },
+        MaintenanceMode::paper_event_driven(),
+        10,
+        0.1,
+        "paper periods / full AVMON service",
+    );
+}
+
+#[test]
+fn equivalence_survives_incremental_warm_up() {
+    // Crossing warm_up boundaries re-staggers the schedule; the engines
+    // must stay in lockstep across that handoff too.
+    let trace = trace(100, 11);
+    let maintenance = MaintenanceMode::paper_event_driven();
+    let mut reference = AvmemSim::new(
+        trace.clone(),
+        config(3, OracleChoice::Exact, maintenance, MaintenanceEngine::Serial),
+    );
+    let mut parallel = AvmemSim::new(
+        trace,
+        config(
+            3,
+            OracleChoice::Exact,
+            maintenance,
+            MaintenanceEngine::Parallel { threads: Some(4) },
+        ),
+    );
+    for _ in 0..3 {
+        reference.warm_up(SimDuration::from_mins(40));
+        parallel.warm_up(SimDuration::from_mins(40));
+    }
+    assert_state_equal(&reference, &parallel, "incremental warm-up");
+}
+
+#[test]
+fn engines_agree_on_downstream_operations() {
+    // Same maintenance state ⇒ same downstream operation randomness: the
+    // initiator draw consumes the run RNG identically on both engines.
+    let trace = trace(150, 12);
+    let maintenance = MaintenanceMode::paper_event_driven();
+    let mut reference = AvmemSim::new(
+        trace.clone(),
+        config(5, OracleChoice::Exact, maintenance, MaintenanceEngine::Serial),
+    );
+    let mut parallel = AvmemSim::new(
+        trace,
+        config(
+            5,
+            OracleChoice::Exact,
+            maintenance,
+            MaintenanceEngine::Parallel { threads: Some(8) },
+        ),
+    );
+    reference.warm_up(SimDuration::from_hours(1));
+    parallel.warm_up(SimDuration::from_hours(1));
+    for band in [InitiatorBand::Low, InitiatorBand::Mid, InitiatorBand::High] {
+        assert_eq!(
+            reference.random_online_initiator(band),
+            parallel.random_online_initiator(band),
+            "initiator draw diverged for {band:?}"
+        );
+    }
+}

@@ -30,7 +30,7 @@ pub mod node;
 pub mod sim;
 pub mod view;
 
-pub use node::{ShuffleConfig, ShuffleMessage, ShuffleNode};
+pub use node::{ShuffleConfig, ShuffleMessage, ShuffleNode, ShuffleProposal};
 pub use view::{View, ViewEntry};
 
 /// The view size minimizing memory/bandwidth vs discovery time, per the

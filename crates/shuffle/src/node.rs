@@ -5,7 +5,7 @@
 //! routes [`ShuffleMessage`]s between nodes, and reports unresponsive
 //! targets with [`ShuffleNode::handle_timeout`].
 
-use avmem_util::{NodeId, SplitMix64};
+use avmem_util::{NodeId, Rng, SplitMix64};
 use serde::{Deserialize, Serialize};
 
 use crate::view::{View, ViewEntry};
@@ -101,6 +101,43 @@ struct InFlight {
     removed_target_entry: ViewEntry,
 }
 
+/// A shuffle exchange this node *would* start now: the target (its oldest
+/// view entry) and the request entries, sampled from the post-aging view.
+///
+/// Produced by the read-only [`ShuffleNode::propose`] and turned into
+/// state by [`ShuffleNode::apply`]. Splitting the two lets a batch driver
+/// compute every node's proposal in parallel from a frozen view of the
+/// system — randomness comes from the caller's (typically counter-keyed)
+/// generator, not from shared node state — and then commit the resulting
+/// request/reply exchanges in a deterministic serial order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShuffleProposal {
+    target: NodeId,
+    entries: Vec<ViewEntry>,
+}
+
+impl ShuffleProposal {
+    /// The node this exchange would contact.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// The entries the request would carry (a fresh self-entry last).
+    pub fn entries(&self) -> &[ViewEntry] {
+        &self.entries
+    }
+
+    /// Consumes the proposal into the wire-format request.
+    pub fn into_request(self) -> (NodeId, ShuffleMessage) {
+        (
+            self.target,
+            ShuffleMessage::Request {
+                entries: self.entries,
+            },
+        )
+    }
+}
+
 impl ShuffleNode {
     /// Creates a node with an empty view.
     pub fn new(id: NodeId, config: ShuffleConfig, seed: u64) -> Self {
@@ -142,30 +179,80 @@ impl ShuffleNode {
         self.in_flight = None;
     }
 
+    /// Computes the exchange this node would start now, *without mutating
+    /// any state*: the target is the oldest view entry and the request
+    /// entries are a random subset of the view as it will look after
+    /// aging, plus a fresh self-entry.
+    ///
+    /// All randomness comes from `rng`, so a driver that keys the
+    /// generator by `(run_seed, node, epoch)` gets proposals that are
+    /// independent of evaluation order — the property the batched
+    /// parallel maintenance loop relies on. Returns `None` when the view
+    /// is empty or an exchange is already in flight.
+    ///
+    /// A proposal is only meaningful against the exact view it was
+    /// computed from; pass it to [`ShuffleNode::apply`] before anything
+    /// else touches this node.
+    pub fn propose<R: Rng>(&self, rng: &mut R) -> Option<ShuffleProposal> {
+        if self.in_flight.is_some() {
+            return None;
+        }
+        let target = self.view.oldest()?.id;
+        let mut entries = rng.sample(
+            self.view
+                .iter()
+                .filter(|e| e.id != target)
+                .map(|e| ViewEntry {
+                    id: e.id,
+                    age: e.age.saturating_add(1),
+                }),
+            self.config.shuffle_length - 1,
+        );
+        entries.push(ViewEntry::fresh(self.id));
+        Some(ShuffleProposal { target, entries })
+    }
+
+    /// Applies a proposal from [`ShuffleNode::propose`]: ages the view,
+    /// removes the target entry, and records the in-flight exchange. The
+    /// host then routes [`ShuffleProposal::into_request`] to the target
+    /// and completes with [`ShuffleNode::handle_reply`] or
+    /// [`ShuffleNode::handle_timeout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proposal does not match this node's state (its
+    /// target is no longer in the view, or an exchange is in flight) —
+    /// i.e. if the view changed between `propose` and `apply`.
+    pub fn apply(&mut self, proposal: &ShuffleProposal) {
+        assert!(
+            self.in_flight.is_none(),
+            "apply with an exchange already in flight"
+        );
+        self.view.age_all();
+        let removed_target_entry = self
+            .view
+            .remove(proposal.target)
+            .expect("proposal target vanished from the view before apply");
+        self.in_flight = Some(InFlight {
+            target: proposal.target,
+            sent: proposal.entries.clone(),
+            removed_target_entry,
+        });
+    }
+
     /// Starts one shuffle period: ages the view, removes the oldest entry
-    /// as the exchange target, and produces the request to send to it.
+    /// as the exchange target, and produces the request to send to it —
+    /// [`ShuffleNode::propose`] + [`ShuffleNode::apply`] driven by the
+    /// node's own generator, for serial hosts.
     ///
     /// Returns `None` when the view is empty (nothing to exchange with) or
     /// an exchange is already in flight.
     pub fn initiate(&mut self) -> Option<(NodeId, ShuffleMessage)> {
-        if self.in_flight.is_some() {
-            return None;
-        }
-        self.view.age_all();
-        let target_entry = self.view.oldest()?;
-        let target = target_entry.id;
-        self.view.remove(target);
-
-        let mut entries = self
-            .view
-            .random_subset(&mut self.rng, self.config.shuffle_length - 1, Some(target));
-        entries.push(ViewEntry::fresh(self.id));
-        self.in_flight = Some(InFlight {
-            target,
-            sent: entries.clone(),
-            removed_target_entry: target_entry,
-        });
-        Some((target, ShuffleMessage::Request { entries }))
+        let mut rng = self.rng.clone();
+        let proposal = self.propose(&mut rng)?;
+        self.rng = rng;
+        self.apply(&proposal);
+        Some(proposal.into_request())
     }
 
     /// Handles an incoming request, returning the reply to send back.
@@ -347,5 +434,102 @@ mod tests {
     #[should_panic(expected = "shuffle length")]
     fn invalid_config_panics() {
         let _ = ShuffleConfig::new(4, 5);
+    }
+
+    #[test]
+    fn initiate_is_bit_identical_to_legacy_behavior() {
+        // `initiate` is now propose + apply; pin it against a hand-rolled
+        // copy of the pre-split algorithm (age everything, target the
+        // oldest entry, remove it, sample the post-aging view, append a
+        // fresh self-entry): same target, same wire entries, same view,
+        // same rng consumption, for many seeds.
+        for seed in 0..20u64 {
+            let cfg = ShuffleConfig::new(8, 4);
+            let mut node = ShuffleNode::new(id(1), cfg, seed);
+            node.bootstrap((2..9).map(id));
+
+            let mut legacy_view = node.view.clone();
+            let mut legacy_rng = node.rng.clone();
+            legacy_view.age_all();
+            let target_entry = legacy_view.oldest().unwrap();
+            legacy_view.remove(target_entry.id);
+            let mut legacy_entries = legacy_view.random_subset(
+                &mut legacy_rng,
+                cfg.shuffle_length - 1,
+                Some(target_entry.id),
+            );
+            legacy_entries.push(ViewEntry::fresh(id(1)));
+
+            let (target, message) = node.initiate().unwrap();
+            assert_eq!(target, target_entry.id, "seed {seed}");
+            assert_eq!(
+                message,
+                ShuffleMessage::Request {
+                    entries: legacy_entries
+                },
+                "seed {seed}"
+            );
+            assert_eq!(node.view, legacy_view, "seed {seed}");
+            assert_eq!(node.rng, legacy_rng, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn propose_does_not_mutate_state() {
+        let mut a = node(1);
+        a.bootstrap([id(2), id(3), id(4)]);
+        let before = a.view().clone();
+        let mut rng = SplitMix64::new(99);
+        let proposal = a.propose(&mut rng).unwrap();
+        assert_eq!(*a.view(), before, "propose must be read-only");
+        assert!(before.contains(proposal.target()));
+        // Request carries a fresh self-entry last, like initiate's.
+        assert_eq!(*proposal.entries().last().unwrap(), ViewEntry::fresh(id(1)));
+    }
+
+    #[test]
+    fn propose_uses_post_aging_ages() {
+        let mut a = node(1);
+        a.bootstrap([id(2), id(3)]);
+        let mut rng = SplitMix64::new(7);
+        let proposal = a.propose(&mut rng).unwrap();
+        for e in proposal.entries() {
+            if e.id != id(1) {
+                assert_eq!(e.age, 1, "sampled entries must reflect aging");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_sets_in_flight_until_resolved() {
+        let mut a = node(1);
+        a.bootstrap([id(2), id(3)]);
+        let mut rng = SplitMix64::new(5);
+        let proposal = a.propose(&mut rng).unwrap();
+        a.apply(&proposal);
+        assert!(a.propose(&mut rng).is_none(), "exchange is in flight");
+        assert!(!a.view().contains(proposal.target()));
+        a.handle_timeout(proposal.target());
+        assert!(a.propose(&mut rng).is_some());
+    }
+
+    #[test]
+    fn propose_on_empty_view_or_in_flight_consumes_no_randomness() {
+        let mut rng = SplitMix64::new(11);
+        let reference = rng.clone();
+        let a = node(1);
+        assert!(a.propose(&mut rng).is_none());
+        assert_eq!(rng, reference, "refused propose must not draw");
+    }
+
+    #[test]
+    #[should_panic(expected = "vanished from the view")]
+    fn apply_against_a_changed_view_panics() {
+        let mut a = node(1);
+        a.bootstrap([id(2)]);
+        let mut rng = SplitMix64::new(3);
+        let proposal = a.propose(&mut rng).unwrap();
+        a.view.remove(proposal.target());
+        a.apply(&proposal);
     }
 }

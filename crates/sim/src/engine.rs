@@ -135,6 +135,55 @@ impl<E> Engine<E> {
         Some((sched.time, sched.event))
     }
 
+    /// Pops the entire *timestamp cohort* at the head of the queue — every
+    /// event sharing the earliest pending timestamp — into `batch`, in seq
+    /// order, provided that timestamp does not exceed `deadline`.
+    ///
+    /// Returns the cohort's timestamp, or `None` (with `batch` cleared)
+    /// when the queue is empty or the next event lies beyond `deadline`.
+    /// The clock advances to the cohort's time (clamped to be monotone).
+    ///
+    /// This is the batched counterpart of [`Engine::pop_until`]: because
+    /// ties on time are already broken deterministically by insertion
+    /// sequence, a cohort is a well-defined unit — a driver that processes
+    /// cohorts (e.g. in parallel over the nodes they touch, committing
+    /// conflicts in batch order) observes exactly the order a serial
+    /// per-event drain would.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use avmem_sim::{Engine, SimTime};
+    ///
+    /// let mut engine = Engine::new();
+    /// engine.schedule(SimTime::from_millis(5), "a");
+    /// engine.schedule(SimTime::from_millis(5), "b");
+    /// engine.schedule(SimTime::from_millis(9), "c");
+    ///
+    /// let mut batch = Vec::new();
+    /// let t = engine.pop_batch_until(SimTime::MAX, &mut batch).unwrap();
+    /// assert_eq!(t, SimTime::from_millis(5));
+    /// assert_eq!(batch, vec!["a", "b"]);
+    /// ```
+    pub fn pop_batch_until(&mut self, deadline: SimTime, batch: &mut Vec<E>) -> Option<SimTime> {
+        batch.clear();
+        let head_time = self.queue.peek()?.time;
+        if head_time > deadline {
+            return None;
+        }
+        while let Some(head) = self.queue.peek() {
+            if head.time != head_time {
+                break;
+            }
+            let sched = self.queue.pop().expect("peeked entry exists");
+            self.dispatched += 1;
+            batch.push(sched.event);
+        }
+        // Clamp: late-scheduled events never move the clock backwards.
+        self.now = self.now.max(head_time);
+        Some(head_time)
+    }
+
     /// Drains and dispatches events through `handler` until the queue is
     /// empty or the next event lies beyond `deadline`.
     ///
@@ -261,6 +310,73 @@ mod tests {
                 (SimTime::from_millis(150), "second"),
             ]
         );
+    }
+
+    #[test]
+    fn pop_batch_drains_one_timestamp_cohort_in_seq_order() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_millis(20), 999);
+        for i in 0..50 {
+            engine.schedule(SimTime::from_millis(10), i);
+        }
+        engine.schedule(SimTime::from_millis(10), 50);
+        let mut batch = Vec::new();
+        let t = engine.pop_batch_until(SimTime::MAX, &mut batch).unwrap();
+        assert_eq!(t, SimTime::from_millis(10));
+        assert_eq!(batch, (0..51).collect::<Vec<_>>());
+        assert_eq!(engine.pending(), 1);
+        assert_eq!(engine.dispatched(), 51);
+        assert_eq!(engine.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn pop_batch_respects_deadline() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_millis(100), ());
+        let mut batch = vec![()];
+        assert!(engine
+            .pop_batch_until(SimTime::from_millis(99), &mut batch)
+            .is_none());
+        assert!(batch.is_empty(), "a refused pop must clear the batch");
+        assert_eq!(engine.pending(), 1);
+        assert!(engine
+            .pop_batch_until(SimTime::from_millis(100), &mut batch)
+            .is_some());
+    }
+
+    #[test]
+    fn pop_batch_on_empty_queue_is_none() {
+        let mut engine: Engine<u8> = Engine::new();
+        let mut batch = Vec::new();
+        assert!(engine.pop_batch_until(SimTime::MAX, &mut batch).is_none());
+    }
+
+    #[test]
+    fn pop_batch_matches_serial_pop_sequence() {
+        // Batched and per-event drains must observe the same (time, event)
+        // sequence.
+        let schedule = |engine: &mut Engine<u32>| {
+            for i in 0..40u32 {
+                engine.schedule(SimTime::from_millis((i % 7) as u64), i);
+            }
+        };
+        let mut serial = Engine::new();
+        schedule(&mut serial);
+        let mut serial_seen = Vec::new();
+        while let Some((t, e)) = serial.pop_until(SimTime::MAX) {
+            serial_seen.push((t, e));
+        }
+
+        let mut batched = Engine::new();
+        schedule(&mut batched);
+        let mut batched_seen = Vec::new();
+        let mut batch = Vec::new();
+        while let Some(t) = batched.pop_batch_until(SimTime::MAX, &mut batch) {
+            for &e in &batch {
+                batched_seen.push((t, e));
+            }
+        }
+        assert_eq!(batched_seen, serial_seen);
     }
 
     #[test]

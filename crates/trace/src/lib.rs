@@ -21,6 +21,9 @@
 //!   the AVMEM predicates take as a consistent, system-wide input,
 //!   together with the derived quantities `N*_av(x)` and `N*min_av(x)`
 //!   from §2.1 of the paper;
+//! * [`OnlineIndex`] — a per-slot cache of the online population, so
+//!   event-driven drivers answer "who is up right now" without scanning
+//!   the trace per event;
 //! * [`io`] — a plain-text trace format, so real traces can be dropped in
 //!   as a replacement for the synthetic ones.
 //!
@@ -39,10 +42,12 @@
 pub mod churn;
 pub mod grid;
 pub mod io;
+pub mod online;
 pub mod overnet;
 pub mod pdf;
 
 pub use churn::{ChurnStats, ChurnTrace};
 pub use grid::GridModel;
+pub use online::OnlineIndex;
 pub use overnet::OvernetModel;
 pub use pdf::AvailabilityPdf;

@@ -1,0 +1,209 @@
+//! An incrementally maintained index of the online population.
+//!
+//! Event-driven maintenance asks "who is online right now?" thousands of
+//! times per simulated minute (bootstrap seeding, initiator selection),
+//! but the answer only changes when the trace crosses a slot boundary —
+//! every 20 minutes at Overnet granularity. [`OnlineIndex`] exploits
+//! that: it caches the online set per slot and refreshes with one `O(N)`
+//! column scan *per slot transition*, so the per-event cost collapses
+//! from materializing a fresh `Vec<usize>` (as
+//! [`ChurnTrace::online_at`] does) to a borrow of the cached slice plus
+//! `O(k)` sampling.
+
+use avmem_sim::SimTime;
+use avmem_util::Rng;
+
+use crate::churn::ChurnTrace;
+
+/// Cached index of the nodes online in the current trace slot.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_sim::SimTime;
+/// use avmem_trace::{OnlineIndex, OvernetModel};
+///
+/// let trace = OvernetModel::default().hosts(50).days(1).generate(3);
+/// let mut index = OnlineIndex::new();
+/// index.refresh(&trace, SimTime::ZERO);
+/// let cached: Vec<usize> = index.online().iter().map(|&i| i as usize).collect();
+/// assert_eq!(cached, trace.online_at(SimTime::ZERO));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OnlineIndex {
+    /// The slot the cache reflects (`None` before the first refresh).
+    slot: Option<usize>,
+    /// Ascending node indices online in `slot`.
+    online: Vec<u32>,
+}
+
+impl OnlineIndex {
+    /// Creates an empty index; call [`OnlineIndex::refresh`] before use.
+    pub fn new() -> Self {
+        OnlineIndex::default()
+    }
+
+    /// Brings the index up to date with the slot containing `now`.
+    ///
+    /// A no-op when `now` falls in the already-cached slot — the common
+    /// case, since maintenance events are far denser than slot
+    /// boundaries. Returns whether the cache was rebuilt.
+    pub fn refresh(&mut self, trace: &ChurnTrace, now: SimTime) -> bool {
+        let slot = trace.slot_at(now);
+        if self.slot == Some(slot) {
+            return false;
+        }
+        self.online.clear();
+        for i in 0..trace.num_nodes() {
+            if trace.is_online_in_slot(i, slot) {
+                self.online.push(i as u32);
+            }
+        }
+        self.slot = Some(slot);
+        true
+    }
+
+    /// The online node indices, ascending. Empty before the first
+    /// [`OnlineIndex::refresh`].
+    pub fn online(&self) -> &[u32] {
+        &self.online
+    }
+
+    /// Number of online nodes in the cached slot.
+    pub fn len(&self) -> usize {
+        self.online.len()
+    }
+
+    /// Whether no node is online (or the index was never refreshed).
+    pub fn is_empty(&self) -> bool {
+        self.online.is_empty()
+    }
+
+    /// Samples up to `k` *distinct* online nodes other than `exclude`,
+    /// uniformly, into `out` (cleared first).
+    ///
+    /// Cost is `O(k)` expected draws via rejection against the cached
+    /// slice — independent of the population size — except when fewer
+    /// than `k` candidates exist, in which case all of them are returned
+    /// (in ascending order) without consuming randomness.
+    pub fn sample_excluding<R: Rng>(
+        &self,
+        rng: &mut R,
+        k: usize,
+        exclude: usize,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        let excluded_present = self.online.binary_search(&(exclude as u32)).is_ok();
+        let candidates = self.online.len() - usize::from(excluded_present);
+        if candidates <= k {
+            out.extend(self.online.iter().copied().filter(|&i| i as usize != exclude));
+            return;
+        }
+        while out.len() < k {
+            let pick = self.online[rng.index(self.online.len())];
+            if pick as usize == exclude || out.contains(&pick) {
+                continue;
+            }
+            out.push(pick);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overnet::OvernetModel;
+    use avmem_sim::SimDuration;
+    use avmem_util::Xoshiro256;
+
+    fn trace() -> ChurnTrace {
+        OvernetModel::default().hosts(80).days(1).generate(11)
+    }
+
+    #[test]
+    fn matches_online_at_across_slots() {
+        let t = trace();
+        let mut index = OnlineIndex::new();
+        for s in 0..t.num_slots() {
+            let now = SimTime::from_millis(s as u64 * t.slot_duration().as_millis());
+            index.refresh(&t, now);
+            let cached: Vec<usize> = index.online().iter().map(|&i| i as usize).collect();
+            assert_eq!(cached, t.online_at(now), "slot {s}");
+            assert_eq!(index.len(), t.online_count_at(now));
+        }
+    }
+
+    #[test]
+    fn refresh_is_a_no_op_within_a_slot() {
+        let t = trace();
+        let mut index = OnlineIndex::new();
+        assert!(index.refresh(&t, SimTime::ZERO));
+        // Any instant inside the same slot: cache untouched.
+        assert!(!index.refresh(&t, SimTime::ZERO + SimDuration::from_mins(19)));
+        // Next slot: rebuilt.
+        assert!(index.refresh(&t, SimTime::ZERO + SimDuration::from_mins(20)));
+    }
+
+    #[test]
+    fn sample_is_distinct_and_excludes() {
+        let t = trace();
+        let mut index = OnlineIndex::new();
+        index.refresh(&t, SimTime::ZERO);
+        let exclude = index.online()[0] as usize;
+        let mut rng = Xoshiro256::new(5);
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            index.sample_excluding(&mut rng, 3, exclude, &mut out);
+            assert_eq!(out.len(), 3.min(index.len().saturating_sub(1)));
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), out.len(), "duplicates in {out:?}");
+            assert!(out.iter().all(|&i| i as usize != exclude));
+            assert!(out.iter().all(|&i| index.online().contains(&i)));
+        }
+    }
+
+    #[test]
+    fn sample_returns_everything_when_short() {
+        let t = ChurnTrace::from_rows(
+            SimDuration::from_mins(20),
+            vec![
+                vec![true],
+                vec![true],
+                vec![false],
+                vec![true],
+            ],
+        );
+        let mut index = OnlineIndex::new();
+        index.refresh(&t, SimTime::ZERO);
+        let mut rng = Xoshiro256::new(1);
+        let mut out = Vec::new();
+        index.sample_excluding(&mut rng, 5, 0, &mut out);
+        assert_eq!(out, vec![1, 3]);
+        index.sample_excluding(&mut rng, 5, 7, &mut out);
+        assert_eq!(out, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn sample_zero_is_empty() {
+        let t = trace();
+        let mut index = OnlineIndex::new();
+        index.refresh(&t, SimTime::ZERO);
+        let mut rng = Xoshiro256::new(2);
+        let mut out = vec![9];
+        index.sample_excluding(&mut rng, 0, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unrefreshed_index_is_empty() {
+        let index = OnlineIndex::new();
+        assert!(index.is_empty());
+        assert_eq!(index.online(), &[] as &[u32]);
+    }
+}
