@@ -1,0 +1,72 @@
+//! Benchmarks of whole-scenario execution: spec → trace → warm-up →
+//! operation traffic interleaved with live maintenance → report. This is
+//! the end-to-end path `scenario run` exercises, so regressions anywhere
+//! in the stack (trace generation, maintenance, operations, reporting)
+//! show up here.
+//!
+//! Set `AVMEM_BENCH_QUICK=1` (the CI bench-smoke setting) to run only the
+//! smallest scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use avmem_scenario::{builtin, ChurnSpec, MaintenanceModeSpec, ScenarioRunner, ScenarioSpec};
+
+/// Whether the quick (CI smoke) profile is requested.
+fn quick() -> bool {
+    std::env::var_os("AVMEM_BENCH_QUICK").is_some()
+}
+
+/// A converged-maintenance scenario at the given scale (cheap rebuilds,
+/// traffic-dominated).
+fn converged_spec(hosts: usize) -> ScenarioSpec {
+    let mut spec = builtin::builtin("smoke").expect("smoke builtin");
+    spec.churn = ChurnSpec::Overnet { hosts, days: 1 };
+    spec.warmup_mins = 120;
+    spec.duration_mins = 120;
+    spec.workload.ops_per_hour = 120.0;
+    spec
+}
+
+/// An event-driven scenario at the given scale (maintenance-dominated:
+/// the live shuffle/discovery/refresh loop runs under the traffic).
+fn event_driven_spec(hosts: usize) -> ScenarioSpec {
+    let mut spec = converged_spec(hosts);
+    spec.maintenance.mode = MaintenanceModeSpec::EventDriven {
+        protocol_secs: 60,
+        refresh_mins: 20,
+    };
+    spec.warmup_mins = 60;
+    spec.duration_mins = 60;
+    spec.workload.ops_per_hour = 60.0;
+    spec
+}
+
+fn bench_scenario_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_run");
+    group.sample_size(3);
+    let sizes: &[usize] = if quick() { &[120] } else { &[120, 500, 1442] };
+    for &hosts in sizes {
+        group.bench_with_input(
+            BenchmarkId::new("converged", hosts),
+            &hosts,
+            |b, &hosts| {
+                let runner = ScenarioRunner::new(converged_spec(hosts)).expect("spec validates");
+                b.iter(|| black_box(runner.run().expect("scenario runs")).anycast.sent)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("event_driven", hosts),
+            &hosts,
+            |b, &hosts| {
+                let runner =
+                    ScenarioRunner::new(event_driven_spec(hosts)).expect("spec validates");
+                b.iter(|| black_box(runner.run().expect("scenario runs")).anycast.sent)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_run);
+criterion_main!(benches);

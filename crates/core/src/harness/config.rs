@@ -178,8 +178,9 @@ pub struct SimConfig {
     pub pdf_buckets: usize,
     /// Memory budget (bytes) for the cached pair-hash rows. Populations
     /// whose dense matrix (`8·N²` bytes) fits the budget cache hashed
-    /// rows lazily; larger ones hash pairs on the fly. See
-    /// [`crate::harness::PairHashes::with_budget`].
+    /// rows lazily; larger ones keep an LRU of the hottest rows within
+    /// the budget (hashing on the fly only when the budget holds no row
+    /// at all). See [`crate::harness::PairHashes::with_budget`].
     pub hash_budget: usize,
 }
 

@@ -5,27 +5,42 @@
 //! the per-pair cost, so caching pays — but a dense `N × N` `f64` matrix
 //! is `8·N²` bytes (80 GB at `N = 10⁵`), which caps the population the
 //! simulator can hold. [`PairHashes`] therefore stores hashes as *rows*
-//! materialized on first touch:
+//! materialized on first touch, in one of three modes chosen by
+//! [`PairHashes::with_budget`]:
 //!
-//! * **cached** (fits the memory budget) — each row `x` is hashed once,
-//!   in the thread that first needs it, and kept; later reads are array
-//!   lookups. Untouched rows cost nothing, so sparse access patterns
-//!   (event-driven maintenance) no longer pay the `O(N²)` up-front
-//!   hashing the old eager matrix did.
-//! * **direct** (budget exceeded) — nothing is stored; single-pair reads
-//!   hash on the fly and bulk consumers ([`PairHashes::row`]) fill a
-//!   caller-provided scratch row, keeping memory `O(N)` per thread.
+//! * **cached** (the dense matrix fits the memory budget) — each row `x`
+//!   is hashed once, in the thread that first needs it, and kept; later
+//!   reads are array lookups. Untouched rows cost nothing, so sparse
+//!   access patterns (event-driven maintenance) no longer pay the `O(N²)`
+//!   up-front hashing the old eager matrix did.
+//! * **LRU** (dense matrix exceeds the budget, but the budget holds at
+//!   least one row) — a bounded cache of *hot* rows. Event-driven
+//!   discovery and refresh revisit the same source rows every protocol
+//!   period, so even a few hundred cached rows absorb most of the
+//!   SHA-256 work at populations whose dense matrix would never fit.
+//!   Point reads ([`PairHashes::get`]) populate the cache and evict the
+//!   least-recently-used row when full; bulk reads ([`PairHashes::row`])
+//!   read through on a hit but do *not* populate, so a one-shot rebuild
+//!   sweep cannot wash the hot set out. When the hot working set turns
+//!   out not to fit at all (every admitted row is evicted before its
+//!   first hit), admission is suspended and misses degrade to per-pair
+//!   hashing — an over-budget *and* over-capacity population behaves
+//!   like direct mode instead of thrashing (see [`LruRows`]).
+//! * **direct** (budget below one row) — nothing is stored; single-pair
+//!   reads hash on the fly and bulk consumers fill a caller-provided
+//!   scratch row, keeping memory `O(N)` per thread.
 //!
-//! Cached and uncached reads agree bit-for-bit with
-//! [`avmem_util::consistent_hash`].
+//! All modes agree bit-for-bit with [`avmem_util::consistent_hash`].
 
-use std::sync::OnceLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use avmem_util::parallel::{default_threads, par_chunks_mut};
 use avmem_util::{consistent_hash, NodeId};
 
 /// Default memory budget for cached rows: 512 MiB, i.e. dense caching up
-/// to ~8 000 nodes; larger populations hash directly.
+/// to ~8 000 nodes; larger populations keep an LRU of hot rows within the
+/// same budget.
 pub const DEFAULT_HASH_BUDGET: usize = 512 << 20;
 
 /// Pair hashes `H(id(x), id(y))` for the trace population `0..n`.
@@ -57,8 +72,92 @@ enum Store {
     /// Rows hashed on first touch and kept. `OnceLock` makes
     /// materialization thread-safe under the parallel rebuild.
     Cached { rows: Vec<OnceLock<Box<[f64]>>> },
+    /// Bounded cache of hot rows with least-recently-used eviction.
+    Lru {
+        state: Mutex<LruRows>,
+        capacity: usize,
+    },
     /// No storage: every read hashes.
     Direct,
+}
+
+/// Consecutive never-hit evictions before the LRU concludes the working
+/// set does not fit and suspends admission (see [`LruRows::insert`]).
+/// Bounds the worst-case wasted work at `THRASH_EVICTIONS · N` hashes
+/// per run before the cache degrades to direct per-pair hashing.
+const THRASH_EVICTIONS: u32 = 64;
+
+/// The mutable interior of the LRU mode: materialized rows, a recency
+/// index keyed by access stamp (eviction pops the smallest stamp in
+/// `O(log capacity)` — no full scans under the lock), and a thrash
+/// detector.
+///
+/// Materializing a row costs `N` SHA-256 hashes and only pays off when
+/// the row is *hit* before eviction; when the hot working set exceeds
+/// the capacity, every inserted row is evicted unused and the cache
+/// would do `O(N)` work where direct hashing does `O(1)` per read. The
+/// detector counts consecutive evictions of never-hit rows; at
+/// [`THRASH_EVICTIONS`] it stops admitting new rows for the rest of the
+/// run (existing entries keep serving hits), so the over-capacity
+/// regime degrades to direct hashing instead of thrashing.
+#[derive(Debug, Default)]
+struct LruRows {
+    rows: HashMap<usize, LruEntry>,
+    /// Access stamp → row id; stamps are unique (the clock only ever
+    /// increments), so this is a total recency order.
+    by_stamp: BTreeMap<u64, usize>,
+    clock: u64,
+    /// Consecutive evictions whose victim was never hit.
+    zero_hit_evictions: u32,
+    /// Admission suspended: the working set was observed not to fit.
+    bypass: bool,
+}
+
+#[derive(Debug)]
+struct LruEntry {
+    stamp: u64,
+    /// Reads served since insertion (eviction victims with `hits == 0`
+    /// were pure waste — the thrash signal).
+    hits: u32,
+    row: Arc<[f64]>,
+}
+
+impl LruRows {
+    /// Returns the cached row `x`, bumping its recency.
+    fn touch(&mut self, x: usize) -> Option<Arc<[f64]>> {
+        let entry = self.rows.get_mut(&x)?;
+        self.clock += 1;
+        self.by_stamp.remove(&entry.stamp);
+        entry.stamp = self.clock;
+        entry.hits += 1;
+        self.by_stamp.insert(entry.stamp, x);
+        Some(Arc::clone(&entry.row))
+    }
+
+    /// Inserts row `x`, evicting the least-recently-used row if the cache
+    /// is at `capacity`. A concurrent insert of the same row wins the
+    /// race harmlessly — both threads computed identical values.
+    fn insert(&mut self, x: usize, row: Arc<[f64]>, capacity: usize) {
+        if !self.rows.contains_key(&x) && self.rows.len() >= capacity {
+            if let Some((_, coldest)) = self.by_stamp.pop_first() {
+                let victim = self.rows.remove(&coldest).expect("index and map agree");
+                if victim.hits == 0 {
+                    self.zero_hit_evictions += 1;
+                    if self.zero_hit_evictions >= THRASH_EVICTIONS {
+                        self.bypass = true;
+                    }
+                } else {
+                    self.zero_hit_evictions = 0;
+                }
+            }
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(old) = self.rows.insert(x, LruEntry { stamp, hits: 0, row }) {
+            self.by_stamp.remove(&old.stamp);
+        }
+        self.by_stamp.insert(stamp, x);
+    }
 }
 
 impl PairHashes {
@@ -100,20 +199,46 @@ impl PairHashes {
         }
     }
 
-    /// Budget-aware constructor: a lazy row cache when the fully
-    /// materialized matrix (`8·n²` bytes) fits `budget_bytes`, direct
-    /// hashing otherwise.
+    /// Bounded LRU of hot rows: at most `capacity` rows (`8·n` bytes
+    /// each) are kept, point reads populate, bulk reads read through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `capacity == 0`.
+    pub fn lru(n: usize, capacity: usize) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!(capacity > 0, "LRU capacity must be positive");
+        PairHashes {
+            n,
+            store: Store::Lru {
+                state: Mutex::new(LruRows::default()),
+                capacity,
+            },
+        }
+    }
+
+    /// Budget-aware constructor: a lazy full row cache when the dense
+    /// matrix (`8·n²` bytes) fits `budget_bytes`; otherwise an LRU of the
+    /// `budget_bytes / 8·n` hottest rows; direct hashing when the budget
+    /// does not even hold one row.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn with_budget(n: usize, budget_bytes: usize) -> Self {
         assert!(n > 0, "population must be non-empty");
-        let dense_bytes = (n * n).checked_mul(8);
+        let row_bytes = n * 8;
+        let dense_bytes = row_bytes.checked_mul(n);
         if dense_bytes.is_some_and(|b| b <= budget_bytes) {
             PairHashes::lazy(n)
         } else {
-            PairHashes { n, store: Store::Direct }
+            match budget_bytes / row_bytes {
+                0 => PairHashes {
+                    n,
+                    store: Store::Direct,
+                },
+                capacity => PairHashes::lru(n, capacity),
+            }
         }
     }
 
@@ -127,23 +252,32 @@ impl PairHashes {
         self.n == 0
     }
 
-    /// Whether rows are cached (vs hashed on every read).
+    /// Whether every row is kept once materialized (the full-cache mode;
+    /// false for LRU and direct storage).
     pub fn is_cached(&self) -> bool {
         matches!(self.store, Store::Cached { .. })
     }
 
-    /// Number of rows materialized so far (always 0 in direct mode).
+    /// Whether hot rows are cached with LRU eviction.
+    pub fn is_lru(&self) -> bool {
+        matches!(self.store, Store::Lru { .. })
+    }
+
+    /// Number of rows held right now (always 0 in direct mode; at most
+    /// the capacity in LRU mode).
     pub fn cached_rows(&self) -> usize {
         match &self.store {
             Store::Cached { rows } => rows.iter().filter(|r| r.get().is_some()).count(),
+            Store::Lru { state, .. } => state.lock().expect("lru poisoned").rows.len(),
             Store::Direct => 0,
         }
     }
 
     /// `H(id(x), id(y))`. In cached mode this materializes row `x` on
-    /// first touch (the read patterns that reach here — discovery and
-    /// refresh ticks — revisit the same source row every period, so the
-    /// row amortizes within a few ticks).
+    /// first touch; in LRU mode it promotes row `x` to the hot set (the
+    /// read patterns that reach here — discovery and refresh ticks —
+    /// revisit the same source row every period, so the row amortizes
+    /// within a few ticks).
     ///
     /// # Panics
     ///
@@ -152,14 +286,44 @@ impl PairHashes {
         assert!(x < self.n && y < self.n, "pair index out of range");
         match &self.store {
             Store::Cached { rows } => rows[x].get_or_init(|| hash_row(x, self.n))[y],
+            Store::Lru { state, capacity } => {
+                {
+                    let mut lru = state.lock().expect("lru poisoned");
+                    if let Some(row) = lru.touch(x) {
+                        return row[y];
+                    }
+                    if lru.bypass {
+                        // The working set does not fit this cache (see
+                        // [`LruRows`]): admitting more rows would burn
+                        // `O(N)` hashes per miss for nothing, so misses
+                        // hash the single pair like direct mode.
+                        drop(lru);
+                        return consistent_hash(NodeId::new(x as u64), NodeId::new(y as u64));
+                    }
+                }
+                // Hash outside the lock: SHA-256 over a whole row is the
+                // expensive part, and serializing it across workers would
+                // undo the parallel maintenance phases.
+                let row: Arc<[f64]> = hash_row(x, self.n).into();
+                let value = row[y];
+                state
+                    .lock()
+                    .expect("lru poisoned")
+                    .insert(x, row, *capacity);
+                value
+            }
             Store::Direct => consistent_hash(NodeId::new(x as u64), NodeId::new(y as u64)),
         }
     }
 
     /// The full row `H(id(x), id(·))` for bulk scans. Cached mode returns
-    /// the (materialized-on-demand) stored row; direct mode hashes into
-    /// `scratch`, so a rebuild worker reuses one `O(N)` buffer for all
-    /// its rows instead of allocating per node.
+    /// the (materialized-on-demand) stored row; LRU mode copies a hot row
+    /// into `scratch` on a hit and hashes into `scratch` on a miss
+    /// *without* populating the cache (one-shot sweeps such as the
+    /// converged rebuild must not evict the rows maintenance keeps hot);
+    /// direct mode hashes into `scratch`. Either way a rebuild worker
+    /// reuses one `O(N)` buffer for all its rows instead of allocating
+    /// per node.
     ///
     /// # Panics
     ///
@@ -168,6 +332,18 @@ impl PairHashes {
         assert!(x < self.n, "row index out of range");
         match &self.store {
             Store::Cached { rows } => rows[x].get_or_init(|| hash_row(x, self.n)),
+            Store::Lru { state, .. } => {
+                scratch.clear();
+                let hot = state.lock().expect("lru poisoned").touch(x);
+                match hot {
+                    Some(row) => scratch.extend_from_slice(&row),
+                    None => {
+                        scratch.resize(self.n, 0.0);
+                        fill_row(x, scratch);
+                    }
+                }
+                scratch
+            }
             Store::Direct => {
                 scratch.clear();
                 scratch.resize(self.n, 0.0);
@@ -228,9 +404,16 @@ mod tests {
 
     #[test]
     fn budget_selects_storage_mode() {
-        // 12² × 8 = 1152 bytes.
+        // 12² × 8 = 1152 bytes: the dense matrix just fits.
         assert!(PairHashes::with_budget(12, 1152).is_cached());
-        assert!(!PairHashes::with_budget(12, 1151).is_cached());
+        // One byte short of dense, but room for 11 rows: LRU.
+        let lru = PairHashes::with_budget(12, 1151);
+        assert!(!lru.is_cached());
+        assert!(lru.is_lru());
+        // Budget below one row (12 × 8 = 96 bytes): direct.
+        let direct = PairHashes::with_budget(12, 95);
+        assert!(!direct.is_cached());
+        assert!(!direct.is_lru());
     }
 
     #[test]
@@ -249,9 +432,106 @@ mod tests {
     }
 
     #[test]
+    fn lru_mode_agrees_with_cached_under_eviction_pressure() {
+        let lru = PairHashes::lru(16, 3);
+        let cached = PairHashes::compute(16);
+        let mut scratch = Vec::new();
+        for pass in 0..2 {
+            for x in 0..16 {
+                for y in 0..16 {
+                    assert_eq!(lru.get(x, y), cached.get(x, y), "pass {pass} ({x},{y})");
+                }
+                assert_eq!(lru.row(x, &mut scratch), {
+                    let mut expect = Vec::new();
+                    cached.row(x, &mut expect).to_vec()
+                });
+            }
+        }
+        assert!(lru.cached_rows() <= 3);
+    }
+
+    #[test]
+    fn lru_keeps_hot_rows_and_evicts_the_coldest() {
+        let hashes = PairHashes::lru(8, 2);
+        let _ = hashes.get(1, 0); // cache {1}
+        let _ = hashes.get(2, 0); // cache {1, 2}
+        let _ = hashes.get(1, 5); // touch 1: now 2 is coldest
+        let _ = hashes.get(3, 0); // evicts 2 → cache {1, 3}
+        assert_eq!(hashes.cached_rows(), 2);
+        let in_cache = |x: usize| {
+            let Store::Lru { state, .. } = &hashes.store else {
+                panic!("expected LRU storage");
+            };
+            state.lock().unwrap().rows.contains_key(&x)
+        };
+        assert!(in_cache(1), "hot row 1 must survive");
+        assert!(in_cache(3), "fresh row 3 must be cached");
+        assert!(!in_cache(2), "cold row 2 must be evicted");
+    }
+
+    #[test]
+    fn lru_bulk_rows_read_through_without_populating() {
+        let hashes = PairHashes::lru(10, 4);
+        let mut scratch = Vec::new();
+        let row: Vec<f64> = hashes.row(6, &mut scratch).to_vec();
+        assert_eq!(hashes.cached_rows(), 0, "bulk miss must not populate");
+        assert_eq!(row[3], consistent_hash(NodeId::new(6), NodeId::new(3)));
+        // A point read populates; the next bulk read hits the hot row.
+        let _ = hashes.get(6, 0);
+        assert_eq!(hashes.cached_rows(), 1);
+        assert_eq!(hashes.row(6, &mut scratch).to_vec(), row);
+    }
+
+    #[test]
+    fn lru_suspends_admission_when_the_working_set_cannot_fit() {
+        // Capacity 2, cyclic scans over 10 rows: every admitted row is
+        // evicted before it is ever hit again — the thrash pattern. The
+        // detector must suspend admission, values must stay exact, and
+        // the cache must stop churning.
+        let hashes = PairHashes::lru(10, 2);
+        let expect = PairHashes::compute(10);
+        for _ in 0..THRASH_EVICTIONS + 8 {
+            for x in 0..10 {
+                assert_eq!(hashes.get(x, 3), expect.get(x, 3));
+            }
+        }
+        let Store::Lru { state, .. } = &hashes.store else {
+            panic!("expected LRU storage");
+        };
+        let lru = state.lock().unwrap();
+        assert!(lru.bypass, "thrash must suspend admission");
+        assert_eq!(lru.rows.len(), 2, "resident rows survive the bypass");
+        assert_eq!(lru.rows.len(), lru.by_stamp.len(), "index tracks the map");
+    }
+
+    #[test]
+    fn lru_with_headroom_never_trips_the_thrash_detector() {
+        // Working set (3 rows) fits capacity 4: plenty of hits, no
+        // zero-hit evictions, admission stays open.
+        let hashes = PairHashes::lru(12, 4);
+        for _ in 0..200 {
+            for x in 0..3 {
+                let _ = hashes.get(x, 7);
+            }
+        }
+        let Store::Lru { state, .. } = &hashes.store else {
+            panic!("expected LRU storage");
+        };
+        let lru = state.lock().unwrap();
+        assert!(!lru.bypass);
+        assert_eq!(lru.zero_hit_evictions, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_panics() {
         let hashes = PairHashes::compute(3);
         let _ = hashes.get(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_lru_panics() {
+        let _ = PairHashes::lru(4, 0);
     }
 }

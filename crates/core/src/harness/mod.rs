@@ -514,6 +514,24 @@ impl MaintCtx<'_> {
     }
 }
 
+/// The persistent event-driven maintenance schedule.
+///
+/// Built once, on the first event-driven advance, and kept across
+/// [`AvmemSim::warm_up`] / [`AvmemSim::advance_to`] calls: the engine
+/// carries every node's pending tick/refresh events forward, so resuming
+/// maintenance costs nothing instead of the `O(N)` schedule rebuild (and
+/// re-staggering) each call used to pay. A periodic protocol's phase is a
+/// property of the node, not of how the driver chops the timeline into
+/// advances — `warm_up(1h)` twice is now identical to `warm_up(2h)` once.
+#[derive(Debug, Default)]
+struct MaintSchedule {
+    engine: Engine<MaintEvent>,
+    /// Cohort scratch, reused across batches.
+    batch: Vec<MaintEvent>,
+    /// Phase-decomposition scratch, reused across batches.
+    plan: BatchPlan,
+}
+
 /// The full-system simulation.
 pub struct AvmemSim {
     trace: ChurnTrace,
@@ -533,6 +551,9 @@ pub struct AvmemSim {
     /// Seed for the per-node randomized candidate order used by the
     /// converged rebuild (see [`AvmemSim::rebuild_converged`]).
     member_order_seed: u64,
+    /// Persistent event-driven schedule (`None` until the first
+    /// event-driven advance builds it).
+    maint: Option<MaintSchedule>,
 }
 
 impl std::fmt::Debug for AvmemSim {
@@ -629,6 +650,7 @@ impl AvmemSim {
             online: OnlineIndex::new(),
             n_star,
             member_order_seed: seeder.next_u64(),
+            maint: None,
         }
     }
 
@@ -685,13 +707,16 @@ impl AvmemSim {
     /// In [`MaintenanceMode::Converged`] the membership lists are rebuilt
     /// from the predicate at the end of the interval. In
     /// [`MaintenanceMode::EventDriven`] the shuffle/discovery/refresh
-    /// sub-protocols run period by period through the event engine.
+    /// sub-protocols run period by period through the event engine; the
+    /// schedule persists across calls, so chopping an interval into many
+    /// `warm_up` calls produces the same state as one big call.
     pub fn warm_up(&mut self, duration: SimDuration) {
         let target = self.now + duration;
         match self.config.maintenance {
             MaintenanceMode::Converged => {
                 self.oracle.advance(&self.trace, target);
                 self.now = target;
+                self.online.refresh(&self.trace, target);
                 self.rebuild_converged();
             }
             MaintenanceMode::EventDriven {
@@ -701,6 +726,45 @@ impl AvmemSim {
                 self.run_event_driven(target, protocol_period, refresh_period);
             }
         }
+    }
+
+    /// Advances the simulation clock to the absolute instant `target`,
+    /// running any maintenance that falls due on the way — the injection
+    /// hook scenario drivers interleave operation traffic with.
+    ///
+    /// In [`MaintenanceMode::EventDriven`] every timestamp cohort with
+    /// `time ≤ target` is processed (identically to [`AvmemSim::warm_up`],
+    /// off the same persistent schedule), so operations fired after the
+    /// call observe the live, possibly-unconverged overlay exactly as it
+    /// stands between cohorts. In [`MaintenanceMode::Converged`] only the
+    /// clock, the oracle and the online index advance — the lists keep
+    /// their last rebuilt state (call [`AvmemSim::warm_up`] when a rebuild
+    /// is wanted), so a driver controls staleness explicitly.
+    ///
+    /// A `target` at or before the current clock is a no-op.
+    pub fn advance_to(&mut self, target: SimTime) {
+        if target <= self.now {
+            return;
+        }
+        match self.config.maintenance {
+            MaintenanceMode::Converged => {
+                self.oracle.advance(&self.trace, target);
+                self.now = target;
+                self.online.refresh(&self.trace, target);
+            }
+            MaintenanceMode::EventDriven {
+                protocol_period,
+                refresh_period,
+            } => {
+                self.run_event_driven(target, protocol_period, refresh_period);
+            }
+        }
+    }
+
+    /// Timestamp of the next pending maintenance event, if any — `None`
+    /// for converged maintenance or before the first event-driven advance.
+    pub fn next_maintenance_at(&self) -> Option<SimTime> {
+        self.maint.as_ref().and_then(|m| m.engine.peek_time())
     }
 
     /// Rebuilds every node's lists directly from the predicate — the
@@ -905,22 +969,34 @@ impl AvmemSim {
         protocol_period: SimDuration,
         refresh_period: SimDuration,
     ) {
-        let n = self.trace.num_nodes();
         let seed = self.config.seed;
-        let mut engine: Engine<MaintEvent> = Engine::new();
-        for i in 0..n {
-            let tick = stagger_offset(seed, STREAM_STAGGER_TICK, i, self.now, protocol_period);
-            let refresh =
-                stagger_offset(seed, STREAM_STAGGER_REFRESH, i, self.now, refresh_period);
-            engine.schedule(self.now + tick, MaintEvent::Tick(i));
-            engine.schedule(self.now + refresh, MaintEvent::Refresh(i));
-        }
-        let mut batch: Vec<MaintEvent> = Vec::new();
-        let mut plan = BatchPlan::default();
+        // The schedule is built once — on the first event-driven advance —
+        // and then carried across calls with its pending events intact
+        // (see [`MaintSchedule`]). Only that first call pays the `O(N)`
+        // population scan and stagger draw.
+        let mut maint = self.maint.take().unwrap_or_else(|| {
+            let mut schedule = MaintSchedule::default();
+            for i in 0..self.trace.num_nodes() {
+                let tick =
+                    stagger_offset(seed, STREAM_STAGGER_TICK, i, self.now, protocol_period);
+                let refresh =
+                    stagger_offset(seed, STREAM_STAGGER_REFRESH, i, self.now, refresh_period);
+                schedule.engine.schedule(self.now + tick, MaintEvent::Tick(i));
+                schedule
+                    .engine
+                    .schedule(self.now + refresh, MaintEvent::Refresh(i));
+            }
+            schedule
+        });
+        let MaintSchedule {
+            ref mut engine,
+            ref mut batch,
+            ref mut plan,
+        } = maint;
         // Resolved once: `threads()` may probe the machine (a syscall),
         // far too costly per batch.
         let threads = self.config.engine.threads();
-        while let Some(t) = engine.pop_batch_until(target, &mut batch) {
+        while let Some(t) = engine.pop_batch_until(target, batch) {
             // Shared time-dependent state advances once per distinct
             // timestamp: the oracle (AVMON ping processing) and the
             // online index (slot-boundary crossings).
@@ -932,18 +1008,19 @@ impl AvmemSim {
             // skipping the plan/gather bookkeeping single-core machines
             // would pay for nothing.
             if threads <= 1 {
-                self.run_batch_serial(t, &batch);
+                self.run_batch_serial(t, batch);
             } else {
-                plan.build(&batch, |i| self.trace.is_online(i, t));
-                self.run_batch_parallel(t, &plan, threads);
+                plan.build(batch, |i| self.trace.is_online(i, t));
+                self.run_batch_parallel(t, plan, threads);
             }
-            for &event in &batch {
+            for &event in batch.iter() {
                 match event {
                     MaintEvent::Tick(_) => engine.schedule(t + protocol_period, event),
                     MaintEvent::Refresh(_) => engine.schedule(t + refresh_period, event),
                 }
             }
         }
+        self.maint = Some(maint);
         self.oracle.advance(&self.trace, target);
         self.now = target;
         self.online.refresh(&self.trace, target);
@@ -1322,6 +1399,62 @@ mod tests {
                     "listed neighbor violates predicate"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn chopped_event_driven_warm_up_equals_one_big_advance() {
+        // The persistent schedule makes warm_up(x); warm_up(y) identical
+        // to warm_up(x + y): the periodic protocols keep their phase
+        // across call boundaries instead of re-staggering.
+        let trace = OvernetModel::default().hosts(90).days(1).generate(19);
+        let mut config = SimConfig::paper_default(6);
+        config.maintenance = MaintenanceMode::paper_event_driven();
+        let mut whole = AvmemSim::new(trace.clone(), config);
+        whole.warm_up(SimDuration::from_hours(4));
+        let mut chopped = AvmemSim::new(trace, config);
+        for _ in 0..16 {
+            chopped.warm_up(SimDuration::from_mins(15));
+        }
+        assert_eq!(whole.now(), chopped.now());
+        assert_eq!(whole.snapshot(), chopped.snapshot());
+        for i in 0..whole.trace().num_nodes() {
+            let id = NodeId::new(i as u64);
+            assert_eq!(whole.shuffle_view(id), chopped.shuffle_view(id));
+        }
+    }
+
+    #[test]
+    fn advance_to_matches_warm_up_in_event_driven_mode() {
+        let trace = OvernetModel::default().hosts(70).days(1).generate(23);
+        let mut config = SimConfig::paper_default(8);
+        config.maintenance = MaintenanceMode::paper_event_driven();
+        let mut by_duration = AvmemSim::new(trace.clone(), config);
+        by_duration.warm_up(SimDuration::from_hours(2));
+        let mut by_instant = AvmemSim::new(trace, config);
+        by_instant.advance_to(SimTime::ZERO + SimDuration::from_hours(1));
+        assert!(by_instant.next_maintenance_at().is_some());
+        by_instant.advance_to(SimTime::ZERO + SimDuration::from_hours(2));
+        // Backwards/no-op advances change nothing.
+        by_instant.advance_to(SimTime::ZERO);
+        assert_eq!(by_duration.now(), by_instant.now());
+        assert_eq!(by_duration.snapshot(), by_instant.snapshot());
+    }
+
+    #[test]
+    fn advance_to_in_converged_mode_moves_clock_without_rebuild() {
+        let mut sim = small_sim(17);
+        sim.warm_up(SimDuration::from_hours(1));
+        let before = sim.snapshot();
+        assert!(sim.next_maintenance_at().is_none());
+        sim.advance_to(SimTime::ZERO + SimDuration::from_hours(3));
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_hours(3));
+        // Lists untouched: only clock/oracle/online advanced (the online
+        // flags in a fresh snapshot may differ, but memberships may not).
+        let after = sim.snapshot();
+        for (a, b) in before.nodes().iter().zip(after.nodes()) {
+            assert_eq!(a.hs, b.hs);
+            assert_eq!(a.vs, b.vs);
         }
     }
 

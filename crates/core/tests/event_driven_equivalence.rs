@@ -186,8 +186,9 @@ fn parallel_matches_serial_with_full_avmon_service() {
 
 #[test]
 fn equivalence_survives_incremental_warm_up() {
-    // Crossing warm_up boundaries re-staggers the schedule; the engines
-    // must stay in lockstep across that handoff too.
+    // The schedule persists across warm_up boundaries (chopped advances
+    // equal one big advance); the engines must stay in lockstep across
+    // those handoffs too.
     let trace = trace(100, 11);
     let maintenance = MaintenanceMode::paper_event_driven();
     let mut reference = AvmemSim::new(

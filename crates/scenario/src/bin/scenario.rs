@@ -1,0 +1,180 @@
+//! The `scenario` CLI: list, inspect, check, and run scenarios.
+//!
+//! ```text
+//! scenario list                      # built-in scenarios
+//! scenario show overnet-day          # print a built-in's spec text
+//! scenario check my-experiment.scn   # parse + validate a spec file
+//! scenario run overnet-day           # run a built-in
+//! scenario run my-experiment.scn --seed 9 --engine serial --json
+//! ```
+//!
+//! `run` resolves its argument as a built-in name first, then as a file
+//! path. Overrides: `--seed N`, `--engine serial|parallel`,
+//! `--threads K` (0 = all cores), `--json` for machine-readable output.
+
+use std::process::ExitCode;
+
+use avmem_scenario::{builtin, parse_spec, EngineSpec, ScenarioRunner, ScenarioSpec};
+
+fn usage() -> &'static str {
+    "usage: scenario <command>\n\
+     \n\
+     commands:\n\
+     \x20 list                        list built-in scenarios\n\
+     \x20 show <name>                 print a built-in scenario's spec text\n\
+     \x20 check <file>                parse and validate a spec file\n\
+     \x20 run <name|file> [options]   run a scenario and print its report\n\
+     \n\
+     run options:\n\
+     \x20 --seed <n>                  override the spec's seed\n\
+     \x20 --engine serial|parallel    override the maintenance engine\n\
+     \x20 --threads <k>               worker threads for --engine parallel (0 = all cores)\n\
+     \x20 --json                      print the report as JSON\n"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str);
+    match command {
+        Some("list") | Some("--list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("show") => match args.get(1) {
+            Some(name) => show(name),
+            None => fail("show needs a scenario name"),
+        },
+        Some("check") => match args.get(1) {
+            Some(path) => check(path),
+            None => fail("check needs a spec file path"),
+        },
+        Some("run") => match args.get(1) {
+            Some(which) => run(which, &args[2..]),
+            None => fail("run needs a scenario name or spec file"),
+        },
+        Some("--help") | Some("-h") | None => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("scenario: {message}");
+    ExitCode::from(2)
+}
+
+fn list() {
+    println!("built-in scenarios:");
+    for name in builtin::builtin_names() {
+        let blurb = builtin::builtin_blurb(name).unwrap_or("");
+        println!("  {name:<16} {blurb}");
+    }
+    println!("\nrun one with: scenario run <name>");
+}
+
+fn show(name: &str) -> ExitCode {
+    match builtin::builtin_source(name) {
+        Some(source) => {
+            print!("{source}");
+            ExitCode::SUCCESS
+        }
+        None => fail(&format!(
+            "no built-in scenario {name:?} (see `scenario list`)"
+        )),
+    }
+}
+
+fn check(path: &str) -> ExitCode {
+    match load_file(path) {
+        Ok(spec) => {
+            println!(
+                "{path}: ok — scenario {:?}, {} min of operations",
+                spec.name, spec.duration_mins
+            );
+            ExitCode::SUCCESS
+        }
+        Err(message) => fail(&message),
+    }
+}
+
+fn load_file(path: &str) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let spec = parse_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+    spec.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(spec)
+}
+
+fn run(which: &str, options: &[String]) -> ExitCode {
+    let mut spec = match builtin::builtin(which) {
+        Some(spec) => spec,
+        None => match load_file(which) {
+            Ok(spec) => spec,
+            Err(message) => {
+                return fail(&format!(
+                    "{which:?} is neither a built-in (see `scenario list`) nor a readable \
+                     spec file: {message}"
+                ))
+            }
+        },
+    };
+
+    let mut engine: Option<&str> = None;
+    let mut threads: Option<usize> = None;
+    let mut json = false;
+    let mut iter = options.iter();
+    while let Some(option) = iter.next() {
+        match option.as_str() {
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => spec.seed = seed,
+                None => return fail("--seed needs an integer"),
+            },
+            "--engine" => match iter.next().map(String::as_str) {
+                Some(name @ ("serial" | "parallel")) => engine = Some(name),
+                _ => return fail("--engine needs `serial` or `parallel`"),
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(k) => threads = Some(k),
+                None => return fail("--threads needs an integer"),
+            },
+            "--json" => json = true,
+            other => return fail(&format!("unknown run option {other:?}")),
+        }
+    }
+    match engine {
+        Some("serial") => spec.maintenance.engine = EngineSpec::Serial,
+        Some("parallel") => {
+            spec.maintenance.engine = EngineSpec::Parallel {
+                threads: threads.unwrap_or(0),
+            }
+        }
+        _ => {
+            if let (Some(k), EngineSpec::Parallel { .. }) = (threads, &spec.maintenance.engine) {
+                spec.maintenance.engine = EngineSpec::Parallel { threads: k };
+            }
+        }
+    }
+
+    let runner = match ScenarioRunner::new(spec) {
+        Ok(runner) => runner,
+        Err(e) => return fail(&e.to_string()),
+    };
+    if !json {
+        eprintln!(
+            "running scenario {:?} (seed {}) ...",
+            runner.spec().name, runner.spec().seed
+        );
+    }
+    match runner.run() {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}

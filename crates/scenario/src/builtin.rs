@@ -1,0 +1,389 @@
+//! The built-in scenario library.
+//!
+//! Each entry is scenario text (the same format users write) parsed on
+//! demand — so the library doubles as a living test bed for the parser,
+//! and `scenario show <name>` prints a copy-paste-able starting point.
+
+use crate::parse::parse_spec;
+use crate::spec::ScenarioSpec;
+
+/// One library entry.
+struct Builtin {
+    name: &'static str,
+    blurb: &'static str,
+    source: &'static str,
+}
+
+const BUILTINS: &[Builtin] = &[
+    Builtin {
+        name: "overnet-day",
+        blurb: "paper-faithful Overnet day: 1442 hosts, live maintenance, mixed anycast/multicast",
+        source: r#"
+name = "overnet-day"
+seed = 7
+warmup_mins = 360
+duration_mins = 1440
+health_every_mins = 60
+
+[churn]
+model = "overnet"
+hosts = 1442
+days = 2
+
+[maintenance]
+mode = "event-driven"
+protocol_secs = 60
+refresh_mins = 20
+engine = "parallel"
+
+[workload]
+ops_per_hour = 60.0
+anycast_fraction = 0.7
+policy = "retried-greedy"
+retries = 8
+scope = "both"
+ttl = 6
+initiators = "any"
+multicast = "flood"
+
+[[target]]
+weight = 2.0
+kind = "range"
+lo = 0.85
+hi = 0.95
+
+[[target]]
+weight = 1.0
+kind = "range"
+lo = 0.15
+hi = 0.25
+
+[[target]]
+weight = 1.0
+kind = "threshold"
+min = 0.7
+"#,
+    },
+    Builtin {
+        name: "grid-reboot",
+        blurb: "Grid'5000 reboot storm: 600 machines cycling tens of times per day",
+        source: r#"
+name = "grid-reboot"
+seed = 11
+warmup_mins = 120
+duration_mins = 720
+health_every_mins = 60
+
+[churn]
+model = "grid"
+machines = 600
+days = 1
+
+[maintenance]
+mode = "event-driven"
+protocol_secs = 60
+refresh_mins = 10
+engine = "parallel"
+
+[workload]
+ops_per_hour = 90.0
+anycast_fraction = 0.6
+policy = "retried-greedy"
+retries = 8
+scope = "both"
+ttl = 6
+initiators = "any"
+multicast = "gossip"
+fanout = 5
+rounds = 2
+gossip_period_secs = 1
+
+[[target]]
+weight = 1.0
+kind = "threshold"
+min = 0.5
+
+[[target]]
+weight = 1.0
+kind = "range"
+lo = 0.6
+hi = 0.9
+"#,
+    },
+    Builtin {
+        name: "flash-crowd",
+        blurb: "flash-crowd join: 60% of 800 hosts arrive a quarter into the trace",
+        source: r#"
+name = "flash-crowd"
+seed = 13
+warmup_mins = 120
+duration_mins = 720
+health_every_mins = 60
+
+[churn]
+model = "flash-crowd"
+hosts = 800
+days = 1
+fraction = 0.6
+switch_at = 0.25
+
+[maintenance]
+mode = "event-driven"
+protocol_secs = 60
+refresh_mins = 20
+engine = "parallel"
+
+[workload]
+ops_per_hour = 60.0
+anycast_fraction = 0.8
+policy = "retried-greedy"
+retries = 8
+scope = "both"
+ttl = 6
+initiators = "any"
+multicast = "flood"
+
+[[target]]
+weight = 1.0
+kind = "range"
+lo = 0.6
+hi = 0.9
+"#,
+    },
+    Builtin {
+        name: "mass-departure",
+        blurb: "mass departure: half of 800 hosts go dark mid-run",
+        source: r#"
+name = "mass-departure"
+seed = 17
+warmup_mins = 120
+duration_mins = 720
+health_every_mins = 60
+
+[churn]
+model = "mass-departure"
+hosts = 800
+days = 1
+fraction = 0.5
+switch_at = 0.5
+
+[maintenance]
+mode = "event-driven"
+protocol_secs = 60
+refresh_mins = 10
+engine = "parallel"
+
+[workload]
+ops_per_hour = 60.0
+anycast_fraction = 0.8
+policy = "retried-greedy"
+retries = 8
+scope = "both"
+ttl = 6
+initiators = "any"
+multicast = "flood"
+
+[[target]]
+weight = 1.0
+kind = "threshold"
+min = 0.6
+"#,
+    },
+    Builtin {
+        name: "selfish-mix",
+        blurb: "5% selfish flooders under a noisy oracle, cushion 0.1",
+        source: r#"
+name = "selfish-mix"
+seed = 19
+warmup_mins = 240
+duration_mins = 720
+health_every_mins = 60
+
+[churn]
+model = "overnet"
+hosts = 500
+days = 1
+
+[oracle]
+kind = "noisy"
+error = 0.05
+staleness_mins = 20
+
+[maintenance]
+mode = "converged"
+rebuild_every_mins = 60
+engine = "parallel"
+
+[workload]
+ops_per_hour = 120.0
+anycast_fraction = 0.8
+policy = "greedy"
+scope = "both"
+ttl = 6
+initiators = "any"
+multicast = "flood"
+
+[[target]]
+weight = 2.0
+kind = "range"
+lo = 0.85
+hi = 0.95
+
+[[target]]
+weight = 1.0
+kind = "threshold"
+min = 0.7
+
+[adversary]
+flooder_fraction = 0.05
+cushion = 0.1
+probes = 40
+"#,
+    },
+    Builtin {
+        name: "stress-10k",
+        blurb: "10,000-host stress: live maintenance plus operations at scale",
+        source: r#"
+name = "stress-10k"
+seed = 23
+warmup_mins = 30
+duration_mins = 120
+health_every_mins = 30
+
+[churn]
+model = "overnet"
+hosts = 10000
+days = 1
+
+[maintenance]
+mode = "event-driven"
+protocol_secs = 60
+refresh_mins = 20
+engine = "parallel"
+
+[workload]
+ops_per_hour = 30.0
+anycast_fraction = 0.9
+policy = "retried-greedy"
+retries = 8
+scope = "both"
+ttl = 6
+initiators = "any"
+multicast = "flood"
+
+[[target]]
+weight = 1.0
+kind = "range"
+lo = 0.85
+hi = 0.95
+"#,
+    },
+    Builtin {
+        name: "smoke",
+        blurb: "CI-sized sanity run: 120 hosts, one hour of mixed traffic (< 1 s)",
+        source: r#"
+name = "smoke"
+seed = 3
+warmup_mins = 720
+duration_mins = 60
+health_every_mins = 30
+
+[churn]
+model = "overnet"
+hosts = 120
+days = 1
+
+[maintenance]
+mode = "converged"
+rebuild_every_mins = 30
+engine = "parallel"
+
+[workload]
+ops_per_hour = 120.0
+anycast_fraction = 0.75
+policy = "retried-greedy"
+retries = 8
+scope = "both"
+ttl = 6
+initiators = "any"
+multicast = "flood"
+
+[[target]]
+weight = 2.0
+kind = "range"
+lo = 0.85
+hi = 0.95
+
+[[target]]
+weight = 1.0
+kind = "threshold"
+min = 0.7
+"#,
+    },
+];
+
+/// Names of every built-in scenario, in presentation order.
+pub fn builtin_names() -> Vec<&'static str> {
+    BUILTINS.iter().map(|b| b.name).collect()
+}
+
+/// One-line description of a built-in scenario.
+pub fn builtin_blurb(name: &str) -> Option<&'static str> {
+    BUILTINS.iter().find(|b| b.name == name).map(|b| b.blurb)
+}
+
+/// The scenario text of a built-in (what `scenario show` prints).
+pub fn builtin_source(name: &str) -> Option<&'static str> {
+    BUILTINS
+        .iter()
+        .find(|b| b.name == name)
+        .map(|b| b.source.trim_start_matches('\n'))
+}
+
+/// Parses a built-in scenario by name.
+pub fn builtin(name: &str) -> Option<ScenarioSpec> {
+    let source = builtin_source(name)?;
+    Some(parse_spec(source).unwrap_or_else(|e| panic!("builtin {name} does not parse: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtins_parse_and_validate() {
+        for name in builtin_names() {
+            let spec = builtin(name).unwrap_or_else(|| panic!("missing builtin {name}"));
+            assert_eq!(spec.name, name, "builtin name must match its key");
+            spec.validate()
+                .unwrap_or_else(|e| panic!("builtin {name} invalid: {e}"));
+            assert!(builtin_blurb(name).is_some());
+        }
+    }
+
+    #[test]
+    fn builtin_traces_cover_their_runs() {
+        // Cheap structural check (no trace generation for the 10k-host
+        // stress entry): warmup + duration must fit the declared days.
+        for name in builtin_names() {
+            let spec = builtin(name).unwrap();
+            let days = match spec.churn {
+                crate::spec::ChurnSpec::Overnet { days, .. }
+                | crate::spec::ChurnSpec::Grid { days, .. }
+                | crate::spec::ChurnSpec::FlashCrowd { days, .. }
+                | crate::spec::ChurnSpec::MassDeparture { days, .. } => days,
+                crate::spec::ChurnSpec::TraceFile { .. } => continue,
+            };
+            assert!(
+                spec.warmup_mins + spec.duration_mins <= days * 1440,
+                "builtin {name} outruns its trace"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_builtin_is_none() {
+        assert!(builtin("no-such-scenario").is_none());
+        assert!(builtin_source("no-such-scenario").is_none());
+    }
+}

@@ -1,0 +1,515 @@
+//! Scenario metrics: per-operation outcomes, per-interval overlay health,
+//! and the attack acceptance series.
+//!
+//! A [`ScenarioReport`] is a plain value — every field is an exact count
+//! or a deterministically accumulated float, so two runs of the same spec
+//! and seed produce *bit-identical* reports regardless of maintenance
+//! engine or thread count (pinned by `tests/determinism.rs`). Rendering
+//! comes in two flavors: a human-readable text block and a JSON object
+//! (hand-rolled — the vendored `serde` does not serialize).
+
+/// Anycast hops histogram size: bucket `i` counts deliveries in `i` hops,
+/// the last bucket everything at or beyond.
+pub const HOPS_BUCKETS: usize = 12;
+
+/// Availability-decile count for per-bucket series.
+pub const DECILES: usize = 10;
+
+/// Aggregated anycast outcomes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnycastStats {
+    /// Anycasts fired.
+    pub sent: u64,
+    /// Anycasts that reached a node believing itself in the target.
+    pub delivered: u64,
+    /// Deliveries whose receiver is *truly* inside the target.
+    pub delivered_in_truth: u64,
+    /// Total hops over delivered anycasts.
+    pub total_hops: u64,
+    /// Total messages over all anycasts (including failed attempts).
+    pub total_messages: u64,
+    /// Total end-to-end latency over all anycasts, in milliseconds.
+    pub total_latency_ms: u64,
+    /// Deliveries by hop count (`min(hops, HOPS_BUCKETS - 1)`).
+    pub hops_histogram: Vec<u64>,
+}
+
+impl AnycastStats {
+    pub(crate) fn new() -> Self {
+        AnycastStats {
+            hops_histogram: vec![0; HOPS_BUCKETS],
+            ..AnycastStats::default()
+        }
+    }
+
+    /// Fraction of sent anycasts delivered (`0.0` when none sent).
+    pub fn delivery_rate(&self) -> f64 {
+        ratio(self.delivered, self.sent)
+    }
+
+    /// Mean hops per delivered anycast (`0.0` when none delivered).
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean end-to-end latency per sent anycast, in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.total_latency_ms as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Aggregated multicast outcomes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MulticastStats {
+    /// Multicasts fired.
+    pub sent: u64,
+    /// Multicasts whose stage-1 anycast entered the range.
+    pub entered: u64,
+    /// Sum of per-multicast reliability (delivered / eligible).
+    pub reliability_sum: f64,
+    /// Multicasts with a defined reliability (eligible > 0).
+    pub reliability_count: u64,
+    /// Sum of per-multicast spam ratios.
+    pub spam_sum: f64,
+    /// Multicasts with a defined spam ratio.
+    pub spam_count: u64,
+    /// Total dissemination messages (stage-1 anycast messages included).
+    pub total_messages: u64,
+    /// Payload deliveries bucketed by the receiver's true-availability
+    /// decile — the AVCast incentive curve.
+    pub deliveries_by_decile: Vec<u64>,
+}
+
+impl MulticastStats {
+    pub(crate) fn new() -> Self {
+        MulticastStats {
+            deliveries_by_decile: vec![0; DECILES],
+            ..MulticastStats::default()
+        }
+    }
+
+    /// Mean reliability over multicasts that had eligible receivers.
+    pub fn mean_reliability(&self) -> f64 {
+        if self.reliability_count == 0 {
+            0.0
+        } else {
+            self.reliability_sum / self.reliability_count as f64
+        }
+    }
+
+    /// Mean spam ratio over multicasts that had eligible receivers.
+    pub fn mean_spam(&self) -> f64 {
+        if self.spam_count == 0 {
+            0.0
+        } else {
+            self.spam_sum / self.spam_count as f64
+        }
+    }
+}
+
+/// Aggregated selfish-flooder probe outcomes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttackStats {
+    /// Flood attempts fired.
+    pub attempts: u64,
+    /// Individual (sender, receiver) probes evaluated.
+    pub probes: u64,
+    /// Probes the receiver would have accepted.
+    pub accepted: u64,
+    /// `(probes, accepted)` by the attacker's true-availability decile.
+    pub by_decile: Vec<(u64, u64)>,
+}
+
+impl AttackStats {
+    pub(crate) fn new() -> Self {
+        AttackStats {
+            by_decile: vec![(0, 0); DECILES],
+            ..AttackStats::default()
+        }
+    }
+
+    /// Overall acceptance rate of selfish probes.
+    pub fn acceptance_rate(&self) -> f64 {
+        ratio(self.accepted, self.probes)
+    }
+}
+
+/// One overlay-health sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSample {
+    /// Sample time, minutes since simulation start.
+    pub at_mins: u64,
+    /// Online population at the sample instant.
+    pub online: usize,
+    /// Mean (out-)degree over online nodes.
+    pub mean_degree: f64,
+    /// Largest-connected-component fraction of the online overlay
+    /// (HS+VS edges).
+    pub largest_component: f64,
+    /// Operations fired since the previous sample.
+    pub ops_since_last: u64,
+    /// Selfish probes evaluated since the previous sample
+    /// (`probes, accepted`) — the attack acceptance series; zeros when no
+    /// adversary is configured.
+    pub attack_since_last: (u64, u64),
+}
+
+/// The complete result of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Population size.
+    pub hosts: usize,
+    /// Operation-phase length in minutes.
+    pub duration_mins: u64,
+    /// Anycast aggregates.
+    pub anycast: AnycastStats,
+    /// Multicast aggregates.
+    pub multicast: MulticastStats,
+    /// Adversary aggregates (`None` without an adversary mix).
+    pub attack: Option<AttackStats>,
+    /// Health samples, chronological.
+    pub health: Vec<HealthSample>,
+    /// Operations skipped because no eligible initiator was online.
+    pub skipped_ops: u64,
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl ScenarioReport {
+    /// Human-readable report block.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let w = &mut out;
+        writeln!(
+            w,
+            "scenario {:?} (seed {}, {} hosts, {} min of operations)",
+            self.scenario, self.seed, self.hosts, self.duration_mins
+        )
+        .unwrap();
+
+        let a = &self.anycast;
+        writeln!(w, "anycast:").unwrap();
+        writeln!(
+            w,
+            "  sent {}  delivered {} ({:.1}%)  in-range-by-truth {}",
+            a.sent,
+            a.delivered,
+            100.0 * a.delivery_rate(),
+            a.delivered_in_truth
+        )
+        .unwrap();
+        writeln!(
+            w,
+            "  mean hops {:.2}  mean latency {:.0} ms  messages {}",
+            a.mean_hops(),
+            a.mean_latency_ms(),
+            a.total_messages
+        )
+        .unwrap();
+        let histogram: Vec<String> = a
+            .hops_histogram
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(hops, count)| {
+                if hops + 1 == HOPS_BUCKETS {
+                    format!("{hops}+:{count}")
+                } else {
+                    format!("{hops}:{count}")
+                }
+            })
+            .collect();
+        writeln!(w, "  hops histogram {{{}}}", histogram.join(", ")).unwrap();
+
+        let m = &self.multicast;
+        writeln!(w, "multicast:").unwrap();
+        writeln!(
+            w,
+            "  sent {}  entered range {}  mean reliability {:.1}%  mean spam {:.1}%  messages {}",
+            m.sent,
+            m.entered,
+            100.0 * m.mean_reliability(),
+            100.0 * m.mean_spam(),
+            m.total_messages
+        )
+        .unwrap();
+        let deciles: Vec<String> = m
+            .deliveries_by_decile
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(d, count)| format!("{:.1}-{:.1}:{count}", d as f64 / 10.0, (d + 1) as f64 / 10.0))
+            .collect();
+        writeln!(w, "  deliveries by availability decile {{{}}}", deciles.join(", ")).unwrap();
+
+        if let Some(attack) = &self.attack {
+            writeln!(w, "adversary:").unwrap();
+            writeln!(
+                w,
+                "  flood attempts {}  probes {}  accepted {} ({:.1}%)",
+                attack.attempts,
+                attack.probes,
+                attack.accepted,
+                100.0 * attack.acceptance_rate()
+            )
+            .unwrap();
+        }
+
+        writeln!(w, "overlay health (per {}):", interval_label(&self.health)).unwrap();
+        writeln!(
+            w,
+            "  {:>8} {:>7} {:>8} {:>10} {:>6} {:>12}",
+            "t (min)", "online", "degree", "component", "ops", "attack-acc"
+        )
+        .unwrap();
+        for sample in &self.health {
+            let (probes, accepted) = sample.attack_since_last;
+            let attack = if probes == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * accepted as f64 / probes as f64)
+            };
+            writeln!(
+                w,
+                "  {:>8} {:>7} {:>8.2} {:>10.3} {:>6} {:>12}",
+                sample.at_mins,
+                sample.online,
+                sample.mean_degree,
+                sample.largest_component,
+                sample.ops_since_last,
+                attack
+            )
+            .unwrap();
+        }
+        if self.skipped_ops > 0 {
+            writeln!(w, "skipped operations (no eligible initiator): {}", self.skipped_ops)
+                .unwrap();
+        }
+        out
+    }
+
+    /// JSON rendering (single object, stable key order).
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let w = &mut out;
+        write!(
+            w,
+            "{{\"scenario\":{:?},\"seed\":{},\"hosts\":{},\"duration_mins\":{}",
+            self.scenario, self.seed, self.hosts, self.duration_mins
+        )
+        .unwrap();
+        let a = &self.anycast;
+        write!(
+            w,
+            ",\"anycast\":{{\"sent\":{},\"delivered\":{},\"delivered_in_truth\":{},\
+             \"total_hops\":{},\"total_messages\":{},\"total_latency_ms\":{},\
+             \"hops_histogram\":{}}}",
+            a.sent,
+            a.delivered,
+            a.delivered_in_truth,
+            a.total_hops,
+            a.total_messages,
+            a.total_latency_ms,
+            json_u64_array(&a.hops_histogram)
+        )
+        .unwrap();
+        let m = &self.multicast;
+        write!(
+            w,
+            ",\"multicast\":{{\"sent\":{},\"entered\":{},\"reliability_sum\":{},\
+             \"reliability_count\":{},\"spam_sum\":{},\"spam_count\":{},\
+             \"total_messages\":{},\"deliveries_by_decile\":{}}}",
+            m.sent,
+            m.entered,
+            json_f64(m.reliability_sum),
+            m.reliability_count,
+            json_f64(m.spam_sum),
+            m.spam_count,
+            m.total_messages,
+            json_u64_array(&m.deliveries_by_decile)
+        )
+        .unwrap();
+        match &self.attack {
+            None => write!(w, ",\"attack\":null").unwrap(),
+            Some(attack) => {
+                let deciles: Vec<String> = attack
+                    .by_decile
+                    .iter()
+                    .map(|&(p, acc)| format!("[{p},{acc}]"))
+                    .collect();
+                write!(
+                    w,
+                    ",\"attack\":{{\"attempts\":{},\"probes\":{},\"accepted\":{},\
+                     \"by_decile\":[{}]}}",
+                    attack.attempts,
+                    attack.probes,
+                    attack.accepted,
+                    deciles.join(",")
+                )
+                .unwrap();
+            }
+        }
+        write!(w, ",\"health\":[").unwrap();
+        for (i, sample) in self.health.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",").unwrap();
+            }
+            write!(
+                w,
+                "{{\"at_mins\":{},\"online\":{},\"mean_degree\":{},\
+                 \"largest_component\":{},\"ops_since_last\":{},\"attack_since_last\":[{},{}]}}",
+                sample.at_mins,
+                sample.online,
+                json_f64(sample.mean_degree),
+                json_f64(sample.largest_component),
+                sample.ops_since_last,
+                sample.attack_since_last.0,
+                sample.attack_since_last.1
+            )
+            .unwrap();
+        }
+        write!(w, "],\"skipped_ops\":{}}}", self.skipped_ops).unwrap();
+        out
+    }
+}
+
+fn interval_label(health: &[HealthSample]) -> String {
+    match health {
+        [first, second, ..] => format!("{} min", second.at_mins - first.at_mins),
+        _ => "interval".to_string(),
+    }
+}
+
+fn json_u64_array(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// JSON has no NaN/Inf; finite floats use Rust's shortest round-trip
+/// formatting, which is valid JSON.
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ScenarioReport {
+        let mut anycast = AnycastStats::new();
+        anycast.sent = 10;
+        anycast.delivered = 8;
+        anycast.delivered_in_truth = 7;
+        anycast.total_hops = 12;
+        anycast.total_messages = 31;
+        anycast.total_latency_ms = 900;
+        anycast.hops_histogram[1] = 5;
+        anycast.hops_histogram[2] = 3;
+        let mut multicast = MulticastStats::new();
+        multicast.sent = 3;
+        multicast.entered = 3;
+        multicast.reliability_sum = 2.7;
+        multicast.reliability_count = 3;
+        multicast.total_messages = 120;
+        multicast.deliveries_by_decile[8] = 40;
+        ScenarioReport {
+            scenario: "unit".into(),
+            seed: 5,
+            hosts: 100,
+            duration_mins: 60,
+            anycast,
+            multicast,
+            attack: Some(AttackStats {
+                attempts: 2,
+                probes: 40,
+                accepted: 3,
+                by_decile: vec![(0, 0); DECILES],
+            }),
+            health: vec![
+                HealthSample {
+                    at_mins: 0,
+                    online: 40,
+                    mean_degree: 9.5,
+                    largest_component: 0.98,
+                    ops_since_last: 0,
+                    attack_since_last: (0, 0),
+                },
+                HealthSample {
+                    at_mins: 60,
+                    online: 42,
+                    mean_degree: 9.8,
+                    largest_component: 1.0,
+                    ops_since_last: 13,
+                    attack_since_last: (40, 3),
+                },
+            ],
+            skipped_ops: 1,
+        }
+    }
+
+    #[test]
+    fn means_handle_zero_denominators() {
+        let empty = AnycastStats::new();
+        assert_eq!(empty.delivery_rate(), 0.0);
+        assert_eq!(empty.mean_hops(), 0.0);
+        assert_eq!(empty.mean_latency_ms(), 0.0);
+        assert_eq!(MulticastStats::new().mean_reliability(), 0.0);
+        assert_eq!(AttackStats::new().acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn text_rendering_mentions_the_headline_numbers() {
+        let text = sample_report().render_text();
+        assert!(text.contains("sent 10"), "{text}");
+        assert!(text.contains("80.0%"), "{text}");
+        assert!(text.contains("flood attempts 2"), "{text}");
+        assert!(text.contains("overlay health"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_structurally_sound() {
+        let json = sample_report().render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces: {json}"
+        );
+        assert!(json.contains("\"anycast\":{"));
+        assert!(json.contains("\"attack\":{"));
+        assert!(json.contains("\"health\":["));
+        // No bare NaN can appear.
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn json_null_for_missing_attack() {
+        let mut report = sample_report();
+        report.attack = None;
+        assert!(report.render_json().contains("\"attack\":null"));
+    }
+}

@@ -1,0 +1,566 @@
+//! The scenario runner: operation traffic interleaved with maintenance.
+//!
+//! [`ScenarioRunner`] turns a [`ScenarioSpec`] into a [`ScenarioReport`]:
+//!
+//! 1. the churn trace and harness are built from the spec;
+//! 2. a **deterministic Poisson-like arrival schedule** is drawn — every
+//!    operation's arrival offset, kind, target, and initiator pick come
+//!    from counter-keyed RNG streams (`SplitMix64::keyed(&[seed, purpose,
+//!    op_index])`), so the schedule is a pure function of the spec and
+//!    seed, independent of maintenance engine, thread count, or drain
+//!    order;
+//! 3. the run advances the harness clock operation by operation with
+//!    [`avmem::harness::AvmemSim::advance_to`] — event-driven maintenance
+//!    cohorts execute *between* operations, so each operation observes
+//!    the live, possibly-unconverged overlay exactly as a deployed
+//!    initiator would (converged maintenance instead rebuilds on the
+//!    spec's interval and lets the overlay go stale in between);
+//! 4. anycasts/multicasts execute over a borrowed
+//!    [`avmem::ops::OverlayWorld`] view with per-operation keyed RNG and
+//!    latency streams, adversary arrivals probe receiver-side
+//!    verification, and health samples snapshot the overlay.
+
+use avmem::harness::{AvmemSim, MaintenanceEngine};
+use avmem::ops::{run_anycast, run_multicast};
+use avmem::AdmissionPolicy;
+use avmem::AvailabilityTarget;
+use avmem::SliverScope;
+use avmem_sim::{LatencyModel, Network, SimDuration, SimTime};
+use avmem_util::{NodeId, Rng, SplitMix64};
+
+use crate::report::{
+    AnycastStats, AttackStats, HealthSample, MulticastStats, ScenarioReport, DECILES,
+    HOPS_BUCKETS,
+};
+use crate::spec::{BandSpec, MaintenanceModeSpec, ScenarioError, ScenarioSpec};
+
+/// Purpose tags for the runner's counter-keyed streams. Core maintenance
+/// uses small tags with `(seed, tag, node, epoch)` keys; the runner's
+/// keys are `(seed, tag, op_index)` — distinct lengths and tag values
+/// keep every stream decorrelated.
+const STREAM_ARRIVAL: u64 = 0x5ce0_0001;
+const STREAM_MIX: u64 = 0x5ce0_0002;
+const STREAM_INITIATOR: u64 = 0x5ce0_0003;
+const STREAM_OP: u64 = 0x5ce0_0004;
+const STREAM_NET: u64 = 0x5ce0_0005;
+const STREAM_PROBE: u64 = 0x5ce0_0006;
+
+/// What one scheduled arrival does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum OpKind {
+    Anycast { target: AvailabilityTarget },
+    Multicast { target: AvailabilityTarget },
+    FloodProbe,
+}
+
+/// One entry of the precomputed run timeline.
+#[derive(Debug, Clone, Copy)]
+struct TimelineEvent {
+    at: SimTime,
+    /// Tie order at equal instants: rebuilds first, then health samples,
+    /// then operations in index order.
+    order: (u8, u64),
+    what: EventKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    Rebuild,
+    Health,
+    Op { index: u64, kind: OpKind },
+}
+
+/// Runs scenarios; see the module docs for the execution model.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunner {
+    spec: ScenarioSpec,
+    engine_override: Option<MaintenanceEngine>,
+}
+
+impl ScenarioRunner {
+    /// Creates a runner after validating the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Invalid`] when the spec fails
+    /// [`ScenarioSpec::validate`].
+    pub fn new(spec: ScenarioSpec) -> Result<Self, ScenarioError> {
+        spec.validate()?;
+        Ok(ScenarioRunner {
+            spec,
+            engine_override: None,
+        })
+    }
+
+    /// Overrides the maintenance engine (the determinism tests sweep
+    /// engines and thread counts over one spec this way).
+    pub fn with_engine(mut self, engine: MaintenanceEngine) -> Self {
+        self.engine_override = Some(engine);
+        self
+    }
+
+    /// The validated spec this runner executes.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Executes the scenario and collects the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Trace`] / [`ScenarioError::Invalid`] from
+    /// trace construction (file I/O, trace shorter than the run).
+    pub fn run(&self) -> Result<ScenarioReport, ScenarioError> {
+        let spec = &self.spec;
+        let trace = spec.build_trace()?;
+        let hosts = trace.num_nodes();
+        let mut config = spec.sim_config();
+        if let Some(engine) = self.engine_override {
+            config.engine = engine;
+        }
+        let mut sim = AvmemSim::new(trace, config);
+
+        let warm_end = SimTime::ZERO + SimDuration::from_mins(spec.warmup_mins);
+        let end = warm_end + SimDuration::from_mins(spec.duration_mins);
+        let timeline = self.build_timeline(warm_end, end);
+
+        // Warm-up: maintenance only. Converged mode rebuilds here (and
+        // then on the spec's interval via Rebuild events); event-driven
+        // mode runs the protocols from cold.
+        sim.warm_up(warm_end.saturating_since(SimTime::ZERO));
+
+        let mut report = ScenarioReport {
+            scenario: spec.name.clone(),
+            seed: spec.seed,
+            hosts,
+            duration_mins: spec.duration_mins,
+            anycast: AnycastStats::new(),
+            multicast: MulticastStats::new(),
+            attack: spec.adversary.map(|_| AttackStats::new()),
+            health: Vec::new(),
+            skipped_ops: 0,
+        };
+        // Interval accumulators for the health series.
+        let mut ops_since_last = 0u64;
+        let mut attack_since_last = (0u64, 0u64);
+
+        for event in timeline {
+            match event.what {
+                EventKind::Rebuild => {
+                    // warm_up advances to the boundary and rebuilds there.
+                    sim.warm_up(event.at.saturating_since(sim.now()));
+                }
+                EventKind::Health => {
+                    sim.advance_to(event.at);
+                    report.health.push(health_sample(
+                        &sim,
+                        event.at,
+                        std::mem::take(&mut ops_since_last),
+                        std::mem::take(&mut attack_since_last),
+                    ));
+                }
+                EventKind::Op { index, kind } => {
+                    sim.advance_to(event.at);
+                    ops_since_last += 1;
+                    self.fire_op(&mut sim, index, kind, &mut report, &mut attack_since_last);
+                }
+            }
+        }
+        sim.advance_to(end);
+        report.health.push(health_sample(
+            &sim,
+            end,
+            ops_since_last,
+            attack_since_last,
+        ));
+        Ok(report)
+    }
+
+    /// Draws the full arrival schedule: a pure function of (spec, seed).
+    fn build_timeline(&self, warm_end: SimTime, end: SimTime) -> Vec<TimelineEvent> {
+        let spec = &self.spec;
+        let mut events: Vec<TimelineEvent> = Vec::new();
+
+        // Health samples on the interval lattice, excluding the run end
+        // (the final sample is taken unconditionally after the loop).
+        let health_step = SimDuration::from_mins(spec.health_every_mins);
+        let mut t = warm_end;
+        while t < end {
+            events.push(TimelineEvent {
+                at: t,
+                order: (1, 0),
+                what: EventKind::Health,
+            });
+            t += health_step;
+        }
+
+        // Converged-mode rebuild boundaries.
+        if let MaintenanceModeSpec::Converged { rebuild_every_mins } = spec.maintenance.mode {
+            let step = SimDuration::from_mins(rebuild_every_mins);
+            let mut t = warm_end + step;
+            while t < end {
+                events.push(TimelineEvent {
+                    at: t,
+                    order: (0, 0),
+                    what: EventKind::Rebuild,
+                });
+                t += step;
+            }
+        }
+
+        // Poisson-like operation arrivals: exponential inter-arrival
+        // gaps, each drawn from its own keyed stream.
+        if spec.workload.ops_per_hour > 0.0 {
+            let mean_gap_ms = 3_600_000.0 / spec.workload.ops_per_hour;
+            let mut at_ms = warm_end.as_millis() as f64;
+            let mut index = 0u64;
+            loop {
+                let mut gap_rng = SplitMix64::keyed(&[spec.seed, STREAM_ARRIVAL, index]);
+                // u ∈ [0, 1) keeps ln(1 - u) finite.
+                let gap = -(1.0 - gap_rng.next_f64()).ln() * mean_gap_ms;
+                at_ms += gap.max(1.0);
+                if at_ms >= end.as_millis() as f64 {
+                    break;
+                }
+                let at = SimTime::from_millis(at_ms as u64);
+                let kind = self.draw_kind(index);
+                events.push(TimelineEvent {
+                    at,
+                    order: (2, index),
+                    what: EventKind::Op { index, kind },
+                });
+                index += 1;
+            }
+        }
+
+        events.sort_by_key(|e| (e.at, e.order));
+        events
+    }
+
+    /// Draws one arrival's kind and target from its keyed mix stream.
+    fn draw_kind(&self, index: u64) -> OpKind {
+        let spec = &self.spec;
+        let mut rng = SplitMix64::keyed(&[spec.seed, STREAM_MIX, index]);
+        if let Some(adv) = &spec.adversary {
+            if rng.chance(adv.flooder_fraction) {
+                return OpKind::FloodProbe;
+            }
+        } else {
+            // Keep stream alignment identical with and without an
+            // adversary section so A/B spec comparisons share arrivals.
+            let _ = rng.next_f64();
+        }
+        let anycast = rng.chance(spec.workload.anycast_fraction);
+        let target = self.draw_target(&mut rng);
+        if anycast {
+            OpKind::Anycast { target }
+        } else {
+            OpKind::Multicast { target }
+        }
+    }
+
+    /// Weighted pick from the target mix.
+    fn draw_target<R: Rng>(&self, rng: &mut R) -> AvailabilityTarget {
+        let targets = &self.spec.workload.targets;
+        let total: f64 = targets.iter().map(|t| t.weight).sum();
+        let mut roll = rng.next_f64() * total;
+        for mix in targets {
+            roll -= mix.weight;
+            if roll <= 0.0 {
+                return mix.target.to_target();
+            }
+        }
+        targets.last().expect("validated non-empty").target.to_target()
+    }
+
+    /// Picks a uniformly random online node in `band` with the
+    /// operation's keyed stream; `None` when no eligible node is online.
+    ///
+    /// One population pass collects the eligible set, then a single
+    /// keyed draw indexes it — the same distribution (and the same draw)
+    /// as a count-then-select pass at half the scanning cost.
+    fn pick_initiator(
+        &self,
+        sim: &AvmemSim,
+        index: u64,
+        band: BandSpec,
+        stream: u64,
+    ) -> Option<NodeId> {
+        let trace = sim.trace();
+        let now = sim.now();
+        let in_band = |i: usize| {
+            let av = trace.long_term_availability(i).value();
+            match band {
+                BandSpec::Low => av < 1.0 / 3.0,
+                BandSpec::Mid => (1.0 / 3.0..2.0 / 3.0).contains(&av),
+                BandSpec::High => av >= 2.0 / 3.0,
+                BandSpec::Any => true,
+            }
+        };
+        let eligible: Vec<u32> = (0..trace.num_nodes())
+            .filter(|&i| trace.is_online(i, now) && in_band(i))
+            .map(|i| i as u32)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let mut rng = SplitMix64::keyed(&[self.spec.seed, stream, index]);
+        let pick = eligible[rng.index(eligible.len())];
+        Some(NodeId::new(u64::from(pick)))
+    }
+
+    /// Executes one scheduled operation against the live overlay.
+    fn fire_op(
+        &self,
+        sim: &mut AvmemSim,
+        index: u64,
+        kind: OpKind,
+        report: &mut ScenarioReport,
+        attack_since_last: &mut (u64, u64),
+    ) {
+        let spec = &self.spec;
+        match kind {
+            // Anycast and multicast share the exact same setup — one
+            // initiator stream, one op-RNG stream, one latency stream —
+            // so A/B spec comparisons stay paired; keep it hoisted.
+            OpKind::Anycast { target } | OpKind::Multicast { target } => {
+                let Some(initiator) =
+                    self.pick_initiator(sim, index, spec.workload.initiators, STREAM_INITIATOR)
+                else {
+                    report.skipped_ops += 1;
+                    return;
+                };
+                let mut rng = SplitMix64::keyed(&[spec.seed, STREAM_OP, index]);
+                let mut net = Network::new(
+                    LatencyModel::PAPER,
+                    0.0,
+                    SplitMix64::keyed(&[spec.seed, STREAM_NET, index]).next_u64(),
+                );
+                let world = sim.world();
+                if matches!(kind, OpKind::Anycast { .. }) {
+                    let outcome = run_anycast(
+                        &world,
+                        &mut net,
+                        &mut rng,
+                        initiator,
+                        target,
+                        spec.workload.anycast_config(),
+                    );
+                    let stats = &mut report.anycast;
+                    stats.sent += 1;
+                    stats.total_messages += u64::from(outcome.messages);
+                    stats.total_latency_ms += outcome.latency.as_millis();
+                    if outcome.is_delivered() {
+                        stats.delivered += 1;
+                        stats.total_hops += u64::from(outcome.hops);
+                        stats.hops_histogram[(outcome.hops as usize).min(HOPS_BUCKETS - 1)] +=
+                            1;
+                        if outcome.delivered_in_range_truth {
+                            stats.delivered_in_truth += 1;
+                        }
+                    }
+                } else {
+                    let outcome = run_multicast(
+                        &world,
+                        &mut net,
+                        &mut rng,
+                        initiator,
+                        target,
+                        spec.workload.multicast_config(),
+                    );
+                    let stats = &mut report.multicast;
+                    stats.sent += 1;
+                    stats.total_messages +=
+                        u64::from(outcome.messages) + u64::from(outcome.anycast.messages);
+                    if outcome.anycast.is_delivered() {
+                        stats.entered += 1;
+                    }
+                    if let Some(reliability) = outcome.reliability(&world, target) {
+                        stats.reliability_sum += reliability;
+                        stats.reliability_count += 1;
+                    }
+                    if let Some(spam) = outcome.spam_ratio(&world, target) {
+                        stats.spam_sum += spam;
+                        stats.spam_count += 1;
+                    }
+                    let trace = sim.trace();
+                    for &node in outcome.deliveries.keys() {
+                        let av = trace.long_term_availability(node.raw() as usize).value();
+                        let decile = ((av * DECILES as f64) as usize).min(DECILES - 1);
+                        stats.deliveries_by_decile[decile] += 1;
+                    }
+                }
+            }
+            OpKind::FloodProbe => {
+                let adv = spec.adversary.expect("probes only scheduled with an adversary");
+                // The selfish sender is any online node — flooding pays
+                // regardless of the attacker's own availability, which is
+                // exactly why the acceptance series is bucketed by it.
+                let Some(sender) = self.pick_initiator(sim, index, BandSpec::Any, STREAM_PROBE)
+                else {
+                    report.skipped_ops += 1;
+                    return;
+                };
+                let mut rng = SplitMix64::keyed(&[spec.seed, STREAM_OP, index]);
+                let policy = AdmissionPolicy::with_cushion(adv.cushion);
+                let trace = sim.trace();
+                let now = sim.now();
+                let online: Vec<usize> = trace.online_at(now);
+                let membership = sim.membership(sender);
+                let stats = report.attack.as_mut().expect("attack stats exist");
+                stats.attempts += 1;
+                let decile = {
+                    let av = trace.long_term_availability(sender.raw() as usize).value();
+                    ((av * DECILES as f64) as usize).min(DECILES - 1)
+                };
+                // Probe up to `adv.probes` distinct online nodes; skip the
+                // sender itself and its legitimate neighbors (a flood is
+                // precisely traffic to NON-neighbors).
+                let victims = rng.sample(
+                    online
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            NodeId::new(i as u64) != sender
+                                && !membership.contains(NodeId::new(i as u64))
+                        }),
+                    adv.probes as usize,
+                );
+                for victim in victims {
+                    let accepted = policy.accepts(
+                        sim.predicate(),
+                        sim.oracle(),
+                        sender,
+                        NodeId::new(victim as u64),
+                        now,
+                    );
+                    stats.probes += 1;
+                    stats.by_decile[decile].0 += 1;
+                    attack_since_last.0 += 1;
+                    if accepted {
+                        stats.accepted += 1;
+                        stats.by_decile[decile].1 += 1;
+                        attack_since_last.1 += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Snapshots the overlay's health at `at`.
+fn health_sample(
+    sim: &AvmemSim,
+    at: SimTime,
+    ops_since_last: u64,
+    attack_since_last: (u64, u64),
+) -> HealthSample {
+    let snapshot = sim.snapshot();
+    HealthSample {
+        at_mins: at.as_millis() / 60_000,
+        online: snapshot.online_count(),
+        mean_degree: snapshot.mean_degree(),
+        largest_component: snapshot.largest_component_fraction(SliverScope::Both),
+        ops_since_last,
+        attack_since_last,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use crate::spec::{AdversarySpec, ChurnSpec, MaintenanceModeSpec};
+
+    fn tiny_spec() -> ScenarioSpec {
+        let mut spec = builtin::builtin("smoke").expect("smoke builtin");
+        spec.churn = ChurnSpec::Overnet { hosts: 80, days: 1 };
+        spec.warmup_mins = 60;
+        spec.duration_mins = 60;
+        spec.workload.ops_per_hour = 40.0;
+        spec
+    }
+
+    #[test]
+    fn run_produces_traffic_and_health() {
+        let report = ScenarioRunner::new(tiny_spec()).unwrap().run().unwrap();
+        assert!(report.anycast.sent + report.multicast.sent + report.skipped_ops > 0);
+        // One sample per health interval plus the final one.
+        assert!(report.health.len() >= 2, "health series too short");
+        assert!(report.health.windows(2).all(|w| w[0].at_mins < w[1].at_mins));
+    }
+
+    #[test]
+    fn same_spec_same_report() {
+        let runner = ScenarioRunner::new(tiny_spec()).unwrap();
+        assert_eq!(runner.run().unwrap(), runner.run().unwrap());
+    }
+
+    #[test]
+    fn event_driven_interleaves_ops_with_maintenance() {
+        let mut spec = tiny_spec();
+        spec.maintenance.mode = MaintenanceModeSpec::EventDriven {
+            protocol_secs: 60,
+            refresh_mins: 20,
+        };
+        spec.warmup_mins = 120;
+        let report = ScenarioRunner::new(spec).unwrap().run().unwrap();
+        let fired = report.anycast.sent + report.multicast.sent;
+        assert!(fired > 0, "no operations fired over the live overlay");
+        // Live discovery must have built an overlay the ops could use.
+        assert!(
+            report.health.last().unwrap().mean_degree > 0.5,
+            "event-driven maintenance built no overlay"
+        );
+    }
+
+    #[test]
+    fn adversary_probes_are_counted() {
+        let mut spec = tiny_spec();
+        spec.adversary = Some(AdversarySpec {
+            flooder_fraction: 0.5,
+            cushion: 0.1,
+            probes: 10,
+        });
+        let report = ScenarioRunner::new(spec).unwrap().run().unwrap();
+        let attack = report.attack.expect("adversary configured");
+        assert!(attack.attempts > 0, "no flood attempts fired");
+        assert!(attack.probes > 0);
+        assert!(attack.accepted <= attack.probes);
+        let series: (u64, u64) = report
+            .health
+            .iter()
+            .fold((0, 0), |acc, h| {
+                (acc.0 + h.attack_since_last.0, acc.1 + h.attack_since_last.1)
+            });
+        assert_eq!(series.0, attack.probes, "series must partition the probes");
+        assert_eq!(series.1, attack.accepted);
+    }
+
+    #[test]
+    fn zero_rate_workload_fires_nothing() {
+        let mut spec = tiny_spec();
+        spec.workload.ops_per_hour = 0.0;
+        let report = ScenarioRunner::new(spec).unwrap().run().unwrap();
+        assert_eq!(report.anycast.sent, 0);
+        assert_eq!(report.multicast.sent, 0);
+        assert_eq!(report.skipped_ops, 0);
+    }
+
+    #[test]
+    fn ops_land_inside_the_operation_window() {
+        let spec = tiny_spec();
+        let runner = ScenarioRunner::new(spec.clone()).unwrap();
+        let warm_end = SimTime::ZERO + SimDuration::from_mins(spec.warmup_mins);
+        let end = warm_end + SimDuration::from_mins(spec.duration_mins);
+        let timeline = runner.build_timeline(warm_end, end);
+        assert!(!timeline.is_empty());
+        for event in &timeline {
+            assert!(event.at >= warm_end && event.at < end);
+        }
+        // Sorted by (time, order).
+        assert!(timeline
+            .windows(2)
+            .all(|w| (w[0].at, w[0].order) <= (w[1].at, w[1].order)));
+    }
+}

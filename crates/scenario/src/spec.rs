@@ -1,0 +1,698 @@
+//! The declarative scenario description.
+//!
+//! A [`ScenarioSpec`] is everything needed to reproduce one experiment:
+//! the churning population, the predicate family, the oracle fidelity,
+//! the maintenance mode and engine, the operation workload, and an
+//! optional adversary mix. Specs are values — build them in code, or
+//! parse/render the text format (see [`crate::parse`]).
+//!
+//! All time quantities are integers in the unit their field name carries
+//! (`*_mins`, `*_secs`), so specs round-trip through text exactly.
+
+use avmem::harness::{
+    MaintenanceEngine, MaintenanceMode, OracleChoice, PredicateChoice, SimConfig,
+};
+use avmem::ops::{AnycastConfig, ForwardPolicy, MulticastConfig, MulticastStrategy};
+use avmem::predicate::{HorizontalRule, VerticalRule};
+use avmem::SliverScope;
+use avmem::AvailabilityTarget;
+use avmem_sim::SimDuration;
+use avmem_trace::{ChurnTrace, CrowdDirection, FlashCrowdModel, GridModel, OvernetModel};
+
+/// Anything that can go wrong building or running a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The spec violates an invariant; the message names it.
+    Invalid(String),
+    /// A trace file could not be read or parsed.
+    Trace(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+            ScenarioError::Trace(msg) => write!(f, "trace error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A complete, reproducible experiment description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (reports carry it).
+    pub name: String,
+    /// Master seed: trace generation, maintenance, and every operation
+    /// stream are keyed off it.
+    pub seed: u64,
+    /// Operation-phase length in minutes (after warm-up).
+    pub duration_mins: u64,
+    /// Maintenance-only lead-in in minutes before the first operation.
+    pub warmup_mins: u64,
+    /// Overlay-health sampling interval in minutes.
+    pub health_every_mins: u64,
+    /// The churning population.
+    pub churn: ChurnSpec,
+    /// The membership predicate building the overlay.
+    pub predicate: PredicateSpec,
+    /// The availability oracle the overlay queries.
+    pub oracle: OracleSpec,
+    /// Maintenance mode and execution engine.
+    pub maintenance: MaintenanceSpec,
+    /// The operation workload.
+    pub workload: WorkloadSpec,
+    /// Optional selfish-flooder mix.
+    pub adversary: Option<AdversarySpec>,
+}
+
+/// The churn model driving node up/down state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnSpec {
+    /// Synthetic Overnet-like churn (the paper's workload).
+    Overnet {
+        /// Population size.
+        hosts: usize,
+        /// Trace length in days.
+        days: u64,
+    },
+    /// Reboot-heavy Grid'5000-style churn.
+    Grid {
+        /// Population size.
+        machines: usize,
+        /// Trace length in days.
+        days: u64,
+    },
+    /// A flash crowd joining a running system.
+    FlashCrowd {
+        /// Population size.
+        hosts: usize,
+        /// Trace length in days.
+        days: u64,
+        /// Fraction of hosts in the arriving crowd.
+        fraction: f64,
+        /// Where in the trace the crowd arrives, as a fraction.
+        switch_at: f64,
+    },
+    /// A mass departure partway through the trace.
+    MassDeparture {
+        /// Population size.
+        hosts: usize,
+        /// Trace length in days.
+        days: u64,
+        /// Fraction of hosts departing.
+        fraction: f64,
+        /// Where in the trace the crowd departs, as a fraction.
+        switch_at: f64,
+    },
+    /// An `AVTRACE v1` file on disk (real measured churn).
+    TraceFile {
+        /// Path to the trace file.
+        path: String,
+    },
+}
+
+/// The membership predicate family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredicateSpec {
+    /// AVMEM slivers (rules I.B + II.B).
+    Avmem {
+        /// Horizontal-band half-width.
+        epsilon: f64,
+        /// Vertical constant `c₁`.
+        c1: f64,
+        /// Horizontal constant `c₂`.
+        c2: f64,
+    },
+    /// Consistent-random baseline.
+    Random {
+        /// Target expected out-degree.
+        degree: f64,
+    },
+}
+
+/// The availability-oracle fidelity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleSpec {
+    /// Ground truth.
+    Exact,
+    /// Per-querier noise and staleness.
+    Noisy {
+        /// Uniform error amplitude.
+        error: f64,
+        /// Cache staleness in minutes.
+        staleness_mins: u64,
+    },
+    /// Noise shared across queriers (AVMON-aggregate model).
+    NoisyShared {
+        /// Uniform error amplitude.
+        error: f64,
+        /// Aggregate staleness in minutes.
+        staleness_mins: u64,
+    },
+    /// The full ping-based AVMON service (default parameters).
+    Avmon,
+}
+
+/// Maintenance mode plus execution engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenanceSpec {
+    /// How the overlay is maintained.
+    pub mode: MaintenanceModeSpec,
+    /// How cohorts execute.
+    pub engine: EngineSpec,
+}
+
+/// How the overlay is maintained during the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaintenanceModeSpec {
+    /// Live shuffle/discovery/refresh through the event engine.
+    EventDriven {
+        /// Shuffle/discovery period in seconds.
+        protocol_secs: u64,
+        /// Refresh period in minutes.
+        refresh_mins: u64,
+    },
+    /// Periodic converged rebuilds; between rebuilds operations see the
+    /// (stale) last-rebuilt overlay.
+    Converged {
+        /// Rebuild interval in minutes.
+        rebuild_every_mins: u64,
+    },
+}
+
+/// Cohort execution engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineSpec {
+    /// Straight-line reference engine.
+    Serial,
+    /// Phase-parallel engine; `threads == 0` sizes to the machine.
+    Parallel {
+        /// Worker-thread cap (0 = all cores).
+        threads: usize,
+    },
+}
+
+/// The operation workload: a deterministic Poisson-like arrival schedule
+/// of anycast/multicast calls (plus adversary probes when configured).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Mean operation arrival rate (exponential inter-arrivals).
+    pub ops_per_hour: f64,
+    /// Fraction of operations that are anycasts (the rest multicast).
+    pub anycast_fraction: f64,
+    /// Anycast forwarding policy (also stage 1 of each multicast).
+    pub policy: PolicySpec,
+    /// Sliver lists forwarding may use.
+    pub scope: ScopeSpec,
+    /// Anycast TTL in hops.
+    pub ttl: u32,
+    /// Which availability band initiators are drawn from.
+    pub initiators: BandSpec,
+    /// Dissemination strategy inside multicast ranges.
+    pub multicast: MulticastSpec,
+    /// Weighted mix of availability targets operations address.
+    pub targets: Vec<TargetMix>,
+}
+
+/// Anycast forwarding policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// Greedy, no acknowledgements.
+    Greedy,
+    /// Greedy with acknowledgement and retries.
+    RetriedGreedy {
+        /// Retry budget.
+        retries: u32,
+    },
+    /// Simulated-annealing forwarding.
+    Annealing,
+}
+
+/// Sliver-list scope for forwarding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeSpec {
+    /// Horizontal sliver only.
+    Hs,
+    /// Vertical sliver only.
+    Vs,
+    /// Both slivers.
+    Both,
+}
+
+/// Initiator availability band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandSpec {
+    /// True availability in `[0, 1/3)`.
+    Low,
+    /// True availability in `[1/3, 2/3)`.
+    Mid,
+    /// True availability in `[2/3, 1]`.
+    High,
+    /// Any online node.
+    Any,
+}
+
+/// Multicast dissemination strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulticastSpec {
+    /// Flood on first receipt.
+    Flood,
+    /// Periodic bounded gossip.
+    Gossip {
+        /// Neighbors contacted per period.
+        fanout: u32,
+        /// Gossip periods after first receipt.
+        rounds: u32,
+        /// Period length in seconds.
+        period_secs: u64,
+    },
+}
+
+/// One weighted entry of the target mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetMix {
+    /// Relative weight (need not be normalized).
+    pub weight: f64,
+    /// The availability region addressed.
+    pub target: TargetSpec,
+}
+
+/// An availability target in spec form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TargetSpec {
+    /// All nodes with availability in `[lo, hi]`.
+    Range {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// All nodes with availability above `min`.
+    Threshold {
+        /// Exclusive lower bound.
+        min: f64,
+    },
+}
+
+/// Selfish-flooder adversary mix (see `avmem::harness::attack`): a
+/// fraction of workload arrivals become flood probes, each measuring how
+/// many online non-neighbors would accept the selfish sender's message
+/// under receiver-side verification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversarySpec {
+    /// Fraction of arrivals that are selfish flood probes.
+    pub flooder_fraction: f64,
+    /// Verification cushion receivers apply.
+    pub cushion: f64,
+    /// Non-neighbors probed per flood attempt.
+    pub probes: u32,
+}
+
+impl ScenarioSpec {
+    /// Checks every cross-field invariant the parser cannot see, returning
+    /// the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Invalid`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let fail = |msg: String| Err(ScenarioError::Invalid(msg));
+        // Strings embedded in rendered spec text and JSON reports: no
+        // quotes (the text format cannot escape them) and no control
+        // characters (JSON escapes would be ill-formed).
+        let renderable = |s: &str| !s.contains('"') && !s.chars().any(char::is_control);
+        if self.name.is_empty() {
+            return fail("name must be non-empty".into());
+        }
+        if !renderable(&self.name) {
+            return fail("name must not contain quotes or control characters".into());
+        }
+        if self.duration_mins == 0 {
+            return fail("duration_mins must be positive".into());
+        }
+        if self.health_every_mins == 0 {
+            return fail("health_every_mins must be positive".into());
+        }
+        match &self.churn {
+            ChurnSpec::Overnet { hosts, days } | ChurnSpec::FlashCrowd { hosts, days, .. }
+            | ChurnSpec::MassDeparture { hosts, days, .. } => {
+                if *hosts == 0 || *days == 0 {
+                    return fail("churn needs hosts > 0 and days > 0".into());
+                }
+            }
+            ChurnSpec::Grid { machines, days } => {
+                if *machines == 0 || *days == 0 {
+                    return fail("churn needs machines > 0 and days > 0".into());
+                }
+            }
+            ChurnSpec::TraceFile { path } => {
+                if path.is_empty() {
+                    return fail("trace-file churn needs a path".into());
+                }
+                if !renderable(path) {
+                    return fail("trace path must not contain quotes or control characters".into());
+                }
+            }
+        }
+        if let ChurnSpec::FlashCrowd { fraction, switch_at, .. }
+        | ChurnSpec::MassDeparture { fraction, switch_at, .. } = &self.churn
+        {
+            if !(0.0..=1.0).contains(fraction) || !(0.0..=1.0).contains(switch_at) {
+                return fail("crowd fraction and switch_at must be in [0, 1]".into());
+            }
+        }
+        match &self.predicate {
+            PredicateSpec::Avmem { epsilon, c1, c2 } => {
+                if !(*epsilon > 0.0 && *epsilon < 0.5) {
+                    return fail(format!("epsilon {epsilon} must be in (0, 0.5)"));
+                }
+                if !(c1.is_finite() && *c1 > 0.0 && c2.is_finite() && *c2 > 0.0) {
+                    return fail("c1 and c2 must be positive".into());
+                }
+            }
+            PredicateSpec::Random { degree } => {
+                if !(degree.is_finite() && *degree > 0.0) {
+                    return fail("random predicate needs degree > 0".into());
+                }
+            }
+        }
+        if let OracleSpec::Noisy { error, staleness_mins }
+        | OracleSpec::NoisyShared { error, staleness_mins } = &self.oracle
+        {
+            if !(0.0..=1.0).contains(error) {
+                return fail(format!("oracle error {error} must be in [0, 1]"));
+            }
+            if *staleness_mins == 0 {
+                return fail("oracle staleness_mins must be positive".into());
+            }
+        }
+        match &self.maintenance.mode {
+            MaintenanceModeSpec::EventDriven { protocol_secs, refresh_mins } => {
+                if *protocol_secs == 0 || *refresh_mins == 0 {
+                    return fail("event-driven periods must be positive".into());
+                }
+            }
+            MaintenanceModeSpec::Converged { rebuild_every_mins } => {
+                if *rebuild_every_mins == 0 {
+                    return fail("rebuild_every_mins must be positive".into());
+                }
+            }
+        }
+        let w = &self.workload;
+        if !(w.ops_per_hour.is_finite() && w.ops_per_hour >= 0.0) {
+            return fail(format!("ops_per_hour {} must be finite and ≥ 0", w.ops_per_hour));
+        }
+        if !(0.0..=1.0).contains(&w.anycast_fraction) {
+            return fail("anycast_fraction must be in [0, 1]".into());
+        }
+        if w.ttl == 0 {
+            return fail("ttl must be positive".into());
+        }
+        if let MulticastSpec::Gossip { fanout, rounds, period_secs } = w.multicast {
+            if fanout == 0 || rounds == 0 || period_secs == 0 {
+                return fail("gossip fanout, rounds and period must be positive".into());
+            }
+        }
+        if w.targets.is_empty() {
+            return fail("workload needs at least one [[target]]".into());
+        }
+        for (i, mix) in w.targets.iter().enumerate() {
+            if !(mix.weight.is_finite() && mix.weight > 0.0) {
+                return fail(format!("target {i} weight must be positive"));
+            }
+            match mix.target {
+                TargetSpec::Range { lo, hi } => {
+                    if !((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi) {
+                        return fail(format!("target {i} range must satisfy 0 ≤ lo ≤ hi ≤ 1"));
+                    }
+                }
+                TargetSpec::Threshold { min } => {
+                    if !(0.0..1.0).contains(&min) {
+                        return fail(format!("target {i} threshold must satisfy 0 ≤ min < 1"));
+                    }
+                }
+            }
+        }
+        if let Some(adv) = &self.adversary {
+            if !(0.0..=1.0).contains(&adv.flooder_fraction) {
+                return fail("flooder_fraction must be in [0, 1]".into());
+            }
+            if !(adv.cushion.is_finite() && adv.cushion >= 0.0) {
+                return fail("cushion must be non-negative".into());
+            }
+            if adv.probes == 0 {
+                return fail("adversary probes must be positive".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the churn trace the scenario runs over (generating it, or
+    /// reading the configured `AVTRACE v1` file).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Trace`] when a trace file cannot be read,
+    /// and [`ScenarioError::Invalid`] when the trace is shorter than
+    /// `warmup + duration`.
+    pub fn build_trace(&self) -> Result<ChurnTrace, ScenarioError> {
+        let trace = match &self.churn {
+            ChurnSpec::Overnet { hosts, days } => {
+                OvernetModel::default().hosts(*hosts).days(*days).generate(self.seed)
+            }
+            ChurnSpec::Grid { machines, days } => {
+                GridModel::new().machines(*machines).days(*days).generate(self.seed)
+            }
+            ChurnSpec::FlashCrowd { hosts, days, fraction, switch_at } => {
+                FlashCrowdModel::new(CrowdDirection::Join)
+                    .hosts(*hosts)
+                    .days(*days)
+                    .crowd_fraction(*fraction)
+                    .switch_point(*switch_at)
+                    .generate(self.seed)
+            }
+            ChurnSpec::MassDeparture { hosts, days, fraction, switch_at } => {
+                FlashCrowdModel::new(CrowdDirection::Leave)
+                    .hosts(*hosts)
+                    .days(*days)
+                    .crowd_fraction(*fraction)
+                    .switch_point(*switch_at)
+                    .generate(self.seed)
+            }
+            ChurnSpec::TraceFile { path } => {
+                let file = std::fs::File::open(path)
+                    .map_err(|e| ScenarioError::Trace(format!("open {path}: {e}")))?;
+                ChurnTrace::read_from(file)
+                    .map_err(|e| ScenarioError::Trace(format!("parse {path}: {e}")))?
+            }
+        };
+        let needed = SimDuration::from_mins(self.warmup_mins + self.duration_mins);
+        if trace.duration() < needed {
+            return Err(ScenarioError::Invalid(format!(
+                "trace covers {:.1} h but warmup + duration needs {:.1} h",
+                trace.duration().as_secs_f64() / 3600.0,
+                needed.as_secs_f64() / 3600.0
+            )));
+        }
+        Ok(trace)
+    }
+
+    /// The harness configuration this spec describes.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut config = SimConfig::paper_default(self.seed);
+        config.predicate = match self.predicate {
+            PredicateSpec::Avmem { epsilon, c1, c2 } => PredicateChoice::Avmem {
+                epsilon,
+                vertical: VerticalRule::Logarithmic { c1 },
+                horizontal: HorizontalRule::LogarithmicConstant { c2 },
+            },
+            PredicateSpec::Random { degree } => PredicateChoice::Random {
+                expected_degree: degree,
+            },
+        };
+        config.oracle = match self.oracle {
+            OracleSpec::Exact => OracleChoice::Exact,
+            OracleSpec::Noisy { error, staleness_mins } => OracleChoice::Noisy {
+                error,
+                staleness: SimDuration::from_mins(staleness_mins),
+            },
+            OracleSpec::NoisyShared { error, staleness_mins } => OracleChoice::NoisyShared {
+                error,
+                staleness: SimDuration::from_mins(staleness_mins),
+            },
+            OracleSpec::Avmon => OracleChoice::Avmon {
+                config: avmem_avmon::AvmonConfig::default(),
+            },
+        };
+        config.maintenance = match self.maintenance.mode {
+            MaintenanceModeSpec::EventDriven { protocol_secs, refresh_mins } => {
+                MaintenanceMode::EventDriven {
+                    protocol_period: SimDuration::from_secs(protocol_secs),
+                    refresh_period: SimDuration::from_mins(refresh_mins),
+                }
+            }
+            // The runner drives converged rebuilds itself; the harness
+            // mode stays Converged so advance_to is maintenance-free.
+            MaintenanceModeSpec::Converged { .. } => MaintenanceMode::Converged,
+        };
+        config.engine = self.maintenance.engine.to_engine();
+        config
+    }
+}
+
+impl EngineSpec {
+    /// The harness engine this spec selects.
+    pub fn to_engine(&self) -> MaintenanceEngine {
+        match *self {
+            EngineSpec::Serial => MaintenanceEngine::Serial,
+            EngineSpec::Parallel { threads: 0 } => MaintenanceEngine::Parallel { threads: None },
+            EngineSpec::Parallel { threads } => MaintenanceEngine::Parallel {
+                threads: Some(threads),
+            },
+        }
+    }
+}
+
+impl ScopeSpec {
+    /// The harness sliver scope.
+    pub fn to_scope(self) -> SliverScope {
+        match self {
+            ScopeSpec::Hs => SliverScope::HsOnly,
+            ScopeSpec::Vs => SliverScope::VsOnly,
+            ScopeSpec::Both => SliverScope::Both,
+        }
+    }
+}
+
+impl PolicySpec {
+    /// The harness forwarding policy.
+    pub fn to_policy(self) -> ForwardPolicy {
+        match self {
+            PolicySpec::Greedy => ForwardPolicy::Greedy,
+            PolicySpec::RetriedGreedy { retries } => ForwardPolicy::RetriedGreedy { retries },
+            PolicySpec::Annealing => ForwardPolicy::SimulatedAnnealing,
+        }
+    }
+}
+
+impl TargetSpec {
+    /// The harness availability target.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range bounds — excluded by
+    /// [`ScenarioSpec::validate`].
+    pub fn to_target(self) -> AvailabilityTarget {
+        match self {
+            TargetSpec::Range { lo, hi } => AvailabilityTarget::range(lo, hi),
+            TargetSpec::Threshold { min } => AvailabilityTarget::threshold(min),
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The anycast configuration every workload anycast (and multicast
+    /// stage 1) uses.
+    pub fn anycast_config(&self) -> AnycastConfig {
+        AnycastConfig {
+            policy: self.policy.to_policy(),
+            scope: self.scope.to_scope(),
+            ttl: self.ttl,
+        }
+    }
+
+    /// The multicast configuration every workload multicast uses.
+    pub fn multicast_config(&self) -> MulticastConfig {
+        let strategy = match self.multicast {
+            MulticastSpec::Flood => MulticastStrategy::Flood,
+            MulticastSpec::Gossip { fanout, rounds, period_secs } => MulticastStrategy::Gossip {
+                fanout,
+                rounds,
+                period: SimDuration::from_secs(period_secs),
+            },
+        };
+        MulticastConfig {
+            strategy,
+            scope: self.scope.to_scope(),
+            anycast: self.anycast_config(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+
+    fn valid() -> ScenarioSpec {
+        builtin::builtin("smoke").expect("smoke builtin exists")
+    }
+
+    #[test]
+    fn builtin_passes_validation() {
+        valid().validate().expect("builtin must validate");
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut spec = valid();
+        spec.duration_mins = 0;
+        assert!(spec.validate().is_err());
+
+        // Names that could not be rendered back (render/parse round-trip
+        // and JSON reports both embed them) are rejected up front.
+        let mut spec = valid();
+        spec.name = "has \"quotes\"".into();
+        assert!(spec.validate().is_err());
+        let mut spec = valid();
+        spec.name = "control\u{1}char".into();
+        assert!(spec.validate().is_err());
+        let mut spec = valid();
+        spec.churn = ChurnSpec::TraceFile { path: "bad\"path".into() };
+        assert!(spec.validate().is_err());
+
+        let mut spec = valid();
+        spec.workload.targets.clear();
+        assert!(spec.validate().is_err());
+
+        let mut spec = valid();
+        spec.workload.targets[0].weight = -1.0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = valid();
+        spec.predicate = PredicateSpec::Avmem { epsilon: 0.9, c1: 2.5, c2: 2.0 };
+        assert!(spec.validate().is_err());
+
+        let mut spec = valid();
+        spec.adversary = Some(AdversarySpec {
+            flooder_fraction: 2.0,
+            cushion: 0.1,
+            probes: 10,
+        });
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn trace_shorter_than_run_is_rejected() {
+        let mut spec = valid();
+        spec.churn = ChurnSpec::Overnet { hosts: 30, days: 1 };
+        spec.warmup_mins = 23 * 60;
+        spec.duration_mins = 120; // 25 h needed, 24 h trace
+        assert!(matches!(spec.build_trace(), Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn sim_config_reflects_spec() {
+        let mut spec = valid();
+        spec.maintenance.engine = EngineSpec::Parallel { threads: 3 };
+        spec.oracle = OracleSpec::Noisy { error: 0.05, staleness_mins: 20 };
+        let config = spec.sim_config();
+        assert_eq!(
+            config.engine,
+            MaintenanceEngine::Parallel { threads: Some(3) }
+        );
+        assert!(matches!(config.oracle, OracleChoice::Noisy { .. }));
+    }
+}

@@ -1,0 +1,283 @@
+//! Property tests for the scenario text format: render → parse is the
+//! identity on arbitrary valid specs, and malformed inputs are rejected
+//! with the offending line number.
+
+use proptest::prelude::*;
+
+use avmem_scenario::{
+    parse_spec, AdversarySpec, BandSpec, ChurnSpec, EngineSpec, MaintenanceModeSpec,
+    MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ScenarioSpec,
+    ScopeSpec, TargetMix, TargetSpec, WorkloadSpec,
+};
+
+fn arb_churn() -> impl Strategy<Value = ChurnSpec> {
+    prop_oneof![
+        (1usize..5000, 1u64..8)
+            .prop_map(|(hosts, days)| ChurnSpec::Overnet { hosts, days }),
+        (1usize..5000, 1u64..8)
+            .prop_map(|(machines, days)| ChurnSpec::Grid { machines, days }),
+        (1usize..5000, 1u64..8, 0.0f64..=1.0, 0.0f64..=1.0).prop_map(
+            |(hosts, days, fraction, switch_at)| ChurnSpec::FlashCrowd {
+                hosts,
+                days,
+                fraction,
+                switch_at,
+            }
+        ),
+        (1usize..5000, 1u64..8, 0.0f64..=1.0, 0.0f64..=1.0).prop_map(
+            |(hosts, days, fraction, switch_at)| ChurnSpec::MassDeparture {
+                hosts,
+                days,
+                fraction,
+                switch_at,
+            }
+        ),
+        (0u64..1000).prop_map(|n| ChurnSpec::TraceFile {
+            path: format!("traces/churn-{n}.avt"),
+        }),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = PredicateSpec> {
+    prop_oneof![
+        (0.01f64..0.49, 0.1f64..10.0, 0.1f64..10.0)
+            .prop_map(|(epsilon, c1, c2)| PredicateSpec::Avmem { epsilon, c1, c2 }),
+        (1.0f64..40.0).prop_map(|degree| PredicateSpec::Random { degree }),
+    ]
+}
+
+fn arb_oracle() -> impl Strategy<Value = OracleSpec> {
+    prop_oneof![
+        Just(OracleSpec::Exact),
+        (0.0f64..0.5, 1u64..120).prop_map(|(error, staleness_mins)| OracleSpec::Noisy {
+            error,
+            staleness_mins,
+        }),
+        (0.0f64..0.5, 1u64..120).prop_map(|(error, staleness_mins)| {
+            OracleSpec::NoisyShared {
+                error,
+                staleness_mins,
+            }
+        }),
+        Just(OracleSpec::Avmon),
+    ]
+}
+
+fn arb_maintenance() -> impl Strategy<Value = MaintenanceSpec> {
+    let mode = prop_oneof![
+        (1u64..600, 1u64..120).prop_map(|(protocol_secs, refresh_mins)| {
+            MaintenanceModeSpec::EventDriven {
+                protocol_secs,
+                refresh_mins,
+            }
+        }),
+        (1u64..240).prop_map(|rebuild_every_mins| MaintenanceModeSpec::Converged {
+            rebuild_every_mins,
+        }),
+    ];
+    let engine = prop_oneof![
+        Just(EngineSpec::Serial),
+        (0usize..16).prop_map(|threads| EngineSpec::Parallel { threads }),
+    ];
+    (mode, engine).prop_map(|(mode, engine)| MaintenanceSpec { mode, engine })
+}
+
+fn arb_target() -> impl Strategy<Value = TargetMix> {
+    let target = prop_oneof![
+        (0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            TargetSpec::Range { lo, hi }
+        }),
+        (0.0f64..1.0).prop_map(|min| TargetSpec::Threshold { min }),
+    ];
+    (0.01f64..10.0, target).prop_map(|(weight, target)| TargetMix { weight, target })
+}
+
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    let policy = prop_oneof![
+        Just(PolicySpec::Greedy),
+        (1u32..20).prop_map(|retries| PolicySpec::RetriedGreedy { retries }),
+        Just(PolicySpec::Annealing),
+    ];
+    let scope = prop_oneof![
+        Just(ScopeSpec::Hs),
+        Just(ScopeSpec::Vs),
+        Just(ScopeSpec::Both)
+    ];
+    let band = prop_oneof![
+        Just(BandSpec::Low),
+        Just(BandSpec::Mid),
+        Just(BandSpec::High),
+        Just(BandSpec::Any),
+    ];
+    let multicast = prop_oneof![
+        Just(MulticastSpec::Flood),
+        (1u32..10, 1u32..6, 1u64..10).prop_map(|(fanout, rounds, period_secs)| {
+            MulticastSpec::Gossip {
+                fanout,
+                rounds,
+                period_secs,
+            }
+        }),
+    ];
+    (
+        (0.0f64..500.0, 0.0f64..=1.0, 1u32..12),
+        policy,
+        scope,
+        band,
+        multicast,
+        proptest::collection::vec(arb_target(), 1..4),
+    )
+        .prop_map(
+            |((ops_per_hour, anycast_fraction, ttl), policy, scope, initiators, multicast, targets)| {
+                WorkloadSpec {
+                    ops_per_hour,
+                    anycast_fraction,
+                    policy,
+                    scope,
+                    ttl,
+                    initiators,
+                    multicast,
+                    targets,
+                }
+            },
+        )
+}
+
+fn arb_adversary() -> impl Strategy<Value = Option<AdversarySpec>> {
+    prop_oneof![
+        Just(None),
+        (0.0f64..=1.0, 0.0f64..0.5, 1u32..100).prop_map(|(flooder_fraction, cushion, probes)| {
+            Some(AdversarySpec {
+                flooder_fraction,
+                cushion,
+                probes,
+            })
+        }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (0u64..1000, 0u64..u64::from(u32::MAX), 1u64..3000, 0u64..3000, 1u64..240),
+        arb_churn(),
+        arb_predicate(),
+        arb_oracle(),
+        arb_maintenance(),
+        (arb_workload(), arb_adversary()),
+    )
+        .prop_map(
+            |(
+                (name_tag, seed, duration_mins, warmup_mins, health_every_mins),
+                churn,
+                predicate,
+                oracle,
+                maintenance,
+                (workload, adversary),
+            )| {
+                ScenarioSpec {
+                    name: format!("generated-{name_tag}"),
+                    seed,
+                    duration_mins,
+                    warmup_mins,
+                    health_every_mins,
+                    churn,
+                    predicate,
+                    oracle,
+                    maintenance,
+                    workload,
+                    adversary,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn render_parse_round_trips(spec in arb_spec()) {
+        let rendered = spec.render();
+        let reparsed = match parse_spec(&rendered) {
+            Ok(reparsed) => reparsed,
+            Err(e) => panic!("rendered spec did not parse: {e}\n{rendered}"),
+        };
+        prop_assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn rendering_is_stable(spec in arb_spec()) {
+        // render(parse(render(s))) == render(s): one canonical text.
+        let rendered = spec.render();
+        let again = parse_spec(&rendered).expect("round trip").render();
+        prop_assert_eq!(rendered, again);
+    }
+
+    #[test]
+    fn generated_specs_validate(spec in arb_spec()) {
+        // The generators stay inside every invariant validate() checks.
+        prop_assert!(spec.validate().is_ok(), "{:?}", spec.validate().err());
+    }
+}
+
+/// Corrupting any single line of a rendered spec must never be silently
+/// *misread* — it either still parses (the line was a no-op change) or
+/// fails with that line's number.
+#[test]
+fn corrupted_lines_are_rejected_with_their_line_number() {
+    let spec = avmem_scenario::builtin::builtin("overnet-day").unwrap();
+    let rendered = spec.render();
+    let lines: Vec<&str> = rendered.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut corrupted = lines.clone();
+        let broken = format!("{line} ??");
+        corrupted[i] = &broken;
+        let text = corrupted.join("\n");
+        match parse_spec(&text) {
+            Ok(_) => panic!("corrupting line {} was accepted: {broken:?}", i + 1),
+            Err(e) => assert_eq!(
+                e.line,
+                i + 1,
+                "corrupted line {} reported at line {}: {e}",
+                i + 1,
+                e.line
+            ),
+        }
+    }
+}
+
+#[test]
+fn malformed_inputs_name_the_offending_line() {
+    let cases: &[(&str, usize, &str)] = &[
+        ("name = \"x\"\n[churn\n", 2, "unterminated"),
+        ("name = \"x\"\n[[churn]]\n", 2, "unknown array section"),
+        ("name = \"x\"\n= 4\n", 2, "invalid key"),
+        ("name = \"x\"\nkey =\n", 2, "no value"),
+        ("name = unquoted\n", 1, "double-quoted"),
+        (
+            "name = \"x\"\n[churn]\nmodel = \"overnet\"\nhosts = -3\ndays = 1\n",
+            4,
+            "non-negative integer",
+        ),
+        (
+            "name = \"x\"\n[churn]\nmodel = \"martian\"\n",
+            3,
+            "unknown churn model",
+        ),
+        (
+            "name = \"x\"\n[churn]\nmodel = \"overnet\"\nhosts = 9\ndays = 1\n\
+             [workload]\nops_per_hour = \"fast\"\n",
+            7,
+            "needs a number",
+        ),
+    ];
+    for &(input, line, needle) in cases {
+        let err = parse_spec(input).unwrap_err();
+        assert_eq!(err.line, line, "{input:?} reported {err}");
+        assert!(
+            err.message.contains(needle),
+            "{input:?} produced {err:?}, expected {needle:?}"
+        );
+    }
+}

@@ -100,6 +100,26 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// Timestamp of the earliest pending event, without popping it.
+    ///
+    /// Drivers that interleave external work with event processing (e.g.
+    /// operation injection between maintenance cohorts) use this to decide
+    /// how far they can advance before the next cohort is due.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use avmem_sim::{Engine, SimTime};
+    ///
+    /// let mut engine = Engine::new();
+    /// assert_eq!(engine.peek_time(), None);
+    /// engine.schedule(SimTime::from_millis(40), "tick");
+    /// assert_eq!(engine.peek_time(), Some(SimTime::from_millis(40)));
+    /// ```
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|sched| sched.time)
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// Events scheduled in the past (before [`Engine::now`]) are dispatched

@@ -17,6 +17,9 @@
 //! * [`GridModel`] — a reboot-heavy Grid'5000-style generator (§1 of the
 //!   paper cites machines rebooting tens of times per day), for workload
 //!   sensitivity studies;
+//! * [`FlashCrowdModel`] — population-scale regime changes: a flash
+//!   crowd joining a running system, or a mass departure, for scenario
+//!   stress tests;
 //! * [`AvailabilityPdf`] — the discretized availability PDF `p(·)` that
 //!   the AVMEM predicates take as a consistent, system-wide input,
 //!   together with the derived quantities `N*_av(x)` and `N*min_av(x)`
@@ -40,6 +43,7 @@
 //! ```
 
 pub mod churn;
+pub mod flash;
 pub mod grid;
 pub mod io;
 pub mod online;
@@ -47,6 +51,7 @@ pub mod overnet;
 pub mod pdf;
 
 pub use churn::{ChurnStats, ChurnTrace};
+pub use flash::{CrowdDirection, FlashCrowdModel};
 pub use grid::GridModel;
 pub use online::OnlineIndex;
 pub use overnet::OvernetModel;

@@ -282,7 +282,7 @@ impl OvernetModel {
 /// `p_down = 1 / mean_up` and derive `p_up = a·p_down / (1−a)`; when that
 /// exceeds 1 (very high availability with short sessions) we instead pin
 /// `p_up = 1` and derive `p_down = (1−a)/a`.
-fn transition_probabilities(a: f64, mean_up: f64) -> (f64, f64) {
+pub(crate) fn transition_probabilities(a: f64, mean_up: f64) -> (f64, f64) {
     let p_down = 1.0 / mean_up;
     let p_up = a * p_down / (1.0 - a);
     if p_up <= 1.0 {

@@ -1,4 +1,5 @@
-//! Availability-dependent publish-subscribe (the AVCast use case).
+//! Availability-dependent publish-subscribe (the AVCast use case),
+//! expressed as a declarative scenario.
 //!
 //! §1 of the paper motivates threshold-multicast with "a
 //! publish-subscribe or multicast application where packets are sent out
@@ -6,11 +7,13 @@
 //! application would incentivize hosts to have higher availability, in
 //! order to obtain good reliability."
 //!
-//! This example publishes a stream of packets to subscribers above an
-//! availability threshold, comparing the flooding and gossip
-//! dissemination strategies on reliability, latency and message cost —
-//! and then shows the incentive effect: per-node delivery rate grows with
-//! the node's availability.
+//! This example describes the publisher's day in the `avmem_scenario`
+//! text format — a pure multicast workload above an availability
+//! threshold — then runs it twice, comparing flooding and gossip
+//! dissemination on reliability and message cost, and shows the
+//! incentive effect straight off the report's per-decile delivery
+//! series: deliveries per subscriber grow with the subscriber's
+//! availability.
 //!
 //! Run with:
 //!
@@ -18,84 +21,98 @@
 //! cargo run -p avmem_integration --release --example avcast_publish
 //! ```
 
-use std::collections::HashMap;
+use avmem_scenario::{parse_spec, MulticastSpec, ScenarioRunner};
 
-use avmem::harness::{AvmemSim, InitiatorBand, SimConfig};
-use avmem::ops::{AvailabilityTarget, MulticastConfig, MulticastStrategy};
-use avmem_sim::SimDuration;
-use avmem_trace::OvernetModel;
-use avmem_util::NodeId;
+const PUBLISH_SCENARIO: &str = r#"
+name = "avcast-publish"
+seed = 9
+warmup_mins = 1440
+duration_mins = 360
+health_every_mins = 120
+
+[churn]
+model = "overnet"
+hosts = 400
+days = 2
+
+[maintenance]
+mode = "converged"
+rebuild_every_mins = 60
+engine = "parallel"
+
+[workload]
+ops_per_hour = 10.0
+anycast_fraction = 0.0   # pure publish: every operation is a multicast
+policy = "retried-greedy"
+retries = 8
+scope = "both"
+ttl = 6
+initiators = "high"
+multicast = "flood"
+
+[[target]]
+weight = 1.0
+kind = "threshold"
+min = 0.6
+"#;
 
 fn main() {
-    let trace = OvernetModel::default().hosts(400).days(2).generate(5);
-    let mut sim = AvmemSim::new(trace, SimConfig::paper_default(9));
-    sim.warm_up(SimDuration::from_hours(24));
+    let base = parse_spec(PUBLISH_SCENARIO).expect("example scenario parses");
 
-    let target = AvailabilityTarget::threshold(0.6);
-    let packets = 30;
+    // Subscriber population per availability decile, for the
+    // packets-per-subscriber incentive curve.
+    let trace = base.build_trace().expect("trace builds");
+    let mut subscribers = [0usize; 10];
+    for i in 0..trace.num_nodes() {
+        let av = trace.long_term_availability(i).value();
+        if av > 0.6 {
+            subscribers[((av * 10.0) as usize).min(9)] += 1;
+        }
+    }
 
     for (label, strategy) in [
-        ("flooding", MulticastStrategy::Flood),
-        ("gossip", MulticastStrategy::paper_gossip()),
+        ("flooding", MulticastSpec::Flood),
+        (
+            "gossip",
+            MulticastSpec::Gossip {
+                fanout: 5,
+                rounds: 2,
+                period_secs: 1,
+            },
+        ),
     ] {
-        let config = MulticastConfig {
-            strategy,
-            ..MulticastConfig::paper_default()
-        };
-        let mut reliability_sum = 0.0;
-        let mut reliability_count = 0usize;
-        let mut messages = 0u64;
-        let mut worst_ms = 0u64;
-        let mut per_node_deliveries: HashMap<NodeId, usize> = HashMap::new();
+        let mut spec = base.clone();
+        spec.workload.multicast = strategy;
+        let report = ScenarioRunner::new(spec)
+            .expect("spec validates")
+            .run()
+            .expect("scenario runs");
 
-        for _ in 0..packets {
-            let Some(publisher) = sim.random_online_initiator(InitiatorBand::High) else {
-                continue;
-            };
-            let outcome = sim.multicast(publisher, target, config);
-            messages += u64::from(outcome.messages) + u64::from(outcome.anycast.messages);
-            if let Some(worst) = outcome.worst_latency() {
-                worst_ms = worst_ms.max(worst.as_millis());
-            }
-            for &node in outcome.deliveries.keys() {
-                *per_node_deliveries.entry(node).or_insert(0) += 1;
-            }
-            let world = sim.world();
-            if let Some(r) = outcome.reliability(&world, target) {
-                reliability_sum += r;
-                reliability_count += 1;
-            }
-        }
-
-        println!("{label}: published {packets} packets to subscribers with av > 0.6");
+        let m = &report.multicast;
         println!(
-            "  mean reliability {:.1}%, worst latency {} ms, {} total messages",
-            100.0 * reliability_sum / reliability_count.max(1) as f64,
-            worst_ms,
-            messages
+            "{label}: published {} packets to subscribers with av > 0.6",
+            m.sent
+        );
+        println!(
+            "  mean reliability {:.1}%, spam {:.1}%, {} total messages",
+            100.0 * m.mean_reliability(),
+            100.0 * m.mean_spam(),
+            m.total_messages
         );
 
-        // The incentive effect: bucket delivery counts by subscriber
-        // availability.
-        let mut bucket_sum = [0usize; 4];
-        let mut bucket_n = [0usize; 4];
-        for (&node, &count) in &per_node_deliveries {
-            let av = sim.trace().long_term_availability(node.raw() as usize).value();
-            let b = (((av - 0.6) / 0.1).floor() as usize).min(3);
-            bucket_sum[b] += count;
-            bucket_n[b] += 1;
-        }
+        // The incentive effect: packets per subscriber by availability
+        // decile (only deciles above the 0.6 threshold are populated).
         println!("  deliveries per subscriber by availability band:");
-        for b in 0..4 {
-            if bucket_n[b] == 0 {
+        for (d, &nodes) in subscribers.iter().enumerate() {
+            if nodes == 0 || m.deliveries_by_decile[d] == 0 {
                 continue;
             }
             println!(
                 "    av ∈ [{:.1}, {:.1}): {:.1} packets/node ({} nodes)",
-                0.6 + 0.1 * b as f64,
-                0.6 + 0.1 * (b + 1) as f64,
-                bucket_sum[b] as f64 / bucket_n[b] as f64,
-                bucket_n[b]
+                d as f64 / 10.0,
+                (d + 1) as f64 / 10.0,
+                m.deliveries_by_decile[d] as f64 / nodes as f64,
+                nodes
             );
         }
     }
