@@ -9,15 +9,48 @@
 //! estimates are stale (refreshed once per probe slot), noisy (monitors
 //! ping at finite rate, pings can be lost), and slightly inconsistent
 //! over time.
+//!
+//! # Architecture
+//!
+//! The service is laid out for bulk slot sweeps rather than per-node
+//! stepping:
+//!
+//! * the monitor relation is stored **twice**, as build-once CSR
+//!   indexes — forward (`monitor → targets`) for the ping phase and
+//!   inverted (`target → (monitor, estimator)`) for the aggregation
+//!   phase, so neither phase ever scans the population;
+//! * estimators live in one **flat columnar arena** aligned with the
+//!   forward index (no per-monitor `Vec`s, no pointer chasing on the
+//!   sweep);
+//! * ping-loss randomness is **counter-keyed** per `(seed, monitor,
+//!   slot)` stream, so the outcome of a slot is a pure function of the
+//!   key material — independent of processing order and thread count;
+//! * [`AvmonService::step_to`] processes each slot in **two parallel
+//!   phases** over the persistent worker pool
+//!   ([`avmem_util::parallel`]): pings parallel over monitors (each
+//!   monitor owns a disjoint arena range), aggregation parallel over
+//!   targets (each target reads its inverted-index row, with one
+//!   reusable median scratch per worker).
+//!
+//! Results are bit-identical for every thread count; the
+//! `service_equivalence` integration tests pin the refactored pipeline
+//! to a seed-style serial reference.
 
 use avmem_sim::{SimDuration, SimTime};
 use avmem_trace::ChurnTrace;
+use avmem_util::parallel::{default_threads, par_chunks_mut};
 use avmem_util::{Availability, NodeId, Rng, SplitMix64};
 use serde::{Deserialize, Serialize};
 
 use crate::assignment::MonitorAssignment;
 use crate::estimator::PingEstimator;
 use crate::oracle::AvailabilityOracle;
+
+/// Purpose tag of the counter-keyed ping-loss streams: every draw comes
+/// from `SplitMix64::keyed(&[seed, STREAM_PING, monitor, slot])`, so a
+/// monitor-slot's losses are a property of the key, never of which
+/// worker processed the monitor or in which order.
+const STREAM_PING: u64 = 0x4156_4d4f_4e50;
 
 /// Configuration of the AVMON service.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,46 +104,97 @@ impl Default for AvmonConfig {
 pub struct AvmonService {
     config: AvmonConfig,
     assignment: MonitorAssignment,
-    /// `targets[m]` = indices of the nodes monitor `m` observes.
-    targets: Vec<Vec<usize>>,
-    /// `estimators[m][k]` = estimator of monitor `m` for `targets[m][k]`.
-    estimators: Vec<Vec<PingEstimator>>,
+    /// Seed of the counter-keyed ping-loss streams.
+    seed: u64,
+    /// Chunk fan-out for the parallel slot phases. Results are
+    /// bit-identical for every value; see [`AvmonService::set_threads`].
+    threads: usize,
+    /// Forward CSR: monitor `m` observes
+    /// `target_ids[target_offsets[m]..target_offsets[m + 1]]`.
+    target_offsets: Vec<usize>,
+    target_ids: Vec<u32>,
+    /// Flat estimator arena aligned with `target_ids`: the estimator of
+    /// monitor `m` for its `k`-th target is
+    /// `estimators[target_offsets[m] + k]`.
+    estimators: Vec<PingEstimator>,
+    /// Inverted CSR: target `t` is observed by
+    /// `inv_entries[inv_offsets[t]..inv_offsets[t + 1]]`, each entry a
+    /// `(monitor, arena index)` pair, ascending by monitor.
+    inv_offsets: Vec<usize>,
+    inv_entries: Vec<(u32, u32)>,
     /// Aggregated (median) estimate per target, refreshed each processed
     /// slot from the monitors online in that slot; retains the previous
     /// value when no monitor is online (staleness).
     aggregate: Vec<Option<Availability>>,
     next_slot: usize,
-    rng: SplitMix64,
 }
 
 impl AvmonService {
     /// Builds the service for a trace population: computes the consistent
-    /// monitor assignment and empty estimators. `seed` drives ping-loss
-    /// randomness only.
+    /// monitor assignment (rows hashed in parallel over the worker pool)
+    /// and the forward + inverted CSR indexes with empty estimators.
+    /// `seed` drives ping-loss randomness only.
     pub fn new(trace: &ChurnTrace, config: AvmonConfig, seed: u64) -> Self {
         let n = trace.num_nodes();
         let assignment = MonitorAssignment::new(config.cms, n as f64);
-        let mut targets = vec![Vec::new(); n];
-        for (m, monitor_targets) in targets.iter_mut().enumerate() {
-            let m_id = trace.node_id(m);
-            for x in 0..n {
-                if assignment.is_monitor(m_id, trace.node_id(x)) {
-                    monitor_targets.push(x);
+        // Each monitor's target row is an independent N-scan of the
+        // consistent-assignment hash — the build's O(N²) SHA-256 cost —
+        // so rows are computed in parallel.
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+        par_chunks_mut(&mut rows, 1, default_threads(), |offset, chunk| {
+            for (k, row) in chunk.iter_mut().enumerate() {
+                let m_id = trace.node_id(offset + k);
+                for x in 0..n {
+                    if assignment.is_monitor(m_id, trace.node_id(x)) {
+                        row.push(x as u32);
+                    }
                 }
             }
+        });
+        let total: usize = rows.iter().map(Vec::len).sum();
+        assert!(
+            u32::try_from(total).is_ok(),
+            "monitor-target pairs exceed the index width"
+        );
+        let mut target_offsets = Vec::with_capacity(n + 1);
+        let mut target_ids = Vec::with_capacity(total);
+        target_offsets.push(0);
+        for row in &rows {
+            target_ids.extend_from_slice(row);
+            target_offsets.push(target_ids.len());
         }
-        let estimators = targets
-            .iter()
-            .map(|ts| ts.iter().map(|_| PingEstimator::new(config.alpha)).collect())
-            .collect();
+        // Invert: count per target, prefix-sum, then one placement pass.
+        // Monitors are visited in ascending order, so each target's
+        // entries come out sorted by monitor.
+        let mut inv_offsets = vec![0usize; n + 1];
+        for &t in &target_ids {
+            inv_offsets[t as usize + 1] += 1;
+        }
+        for t in 0..n {
+            inv_offsets[t + 1] += inv_offsets[t];
+        }
+        let mut cursor = inv_offsets[..n].to_vec();
+        let mut inv_entries = vec![(0u32, 0u32); total];
+        for m in 0..n {
+            let start = target_offsets[m];
+            for (k, &t) in target_ids[start..target_offsets[m + 1]].iter().enumerate() {
+                let t = t as usize;
+                inv_entries[cursor[t]] = (m as u32, (start + k) as u32);
+                cursor[t] += 1;
+            }
+        }
         AvmonService {
             config,
             assignment,
-            targets,
-            estimators,
+            seed,
+            threads: default_threads(),
+            target_offsets,
+            target_ids,
+            estimators: vec![PingEstimator::new(config.alpha); total],
+            inv_offsets,
+            inv_entries,
             aggregate: vec![None; n],
             next_slot: 0,
-            rng: SplitMix64::new(seed),
         }
     }
 
@@ -119,16 +203,27 @@ impl AvmonService {
         self.assignment
     }
 
-    /// The monitors of `target` (by index) in this population.
+    /// Sets the chunk fan-out of the parallel slot phases. Purely a
+    /// performance knob: every thread count produces bit-identical
+    /// estimates (randomness is keyed, and the two phases write disjoint
+    /// state), which the `service_equivalence` tests pin.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The monitors of `target` (by index) in this population, served by
+    /// the inverted index in `O(monitors of target)`, ascending.
     pub fn monitors_of_index(&self, target: usize) -> Vec<usize> {
-        (0..self.targets.len())
-            .filter(|&m| self.targets[m].contains(&target))
+        self.inv_entries[self.inv_offsets[target]..self.inv_offsets[target + 1]]
+            .iter()
+            .map(|&(m, _)| m as usize)
             .collect()
     }
 
     /// Processes all trace slots with start time `< now` that have not
     /// been processed yet: every online monitor pings its targets once
-    /// per slot, then per-target aggregates are refreshed.
+    /// per slot, then per-target aggregates are refreshed. Chopping the
+    /// advance into several calls is identical to one big call.
     pub fn step_to(&mut self, trace: &ChurnTrace, now: SimTime) {
         let slot_ms = trace.slot_duration().as_millis();
         let last_slot = ((now.as_millis() / slot_ms) as usize).min(trace.num_slots() - 1);
@@ -138,44 +233,89 @@ impl AvmonService {
         }
     }
 
+    /// One slot of the monitoring pipeline, in two parallel phases.
     fn process_slot(&mut self, trace: &ChurnTrace, slot: usize) {
         let n = trace.num_nodes();
-        // Ping phase.
-        for m in 0..n {
-            if !trace.is_online_in_slot(m, slot) {
-                continue;
-            }
-            for (k, &t) in self.targets[m].clone().iter().enumerate() {
-                let target_online = trace.is_online_in_slot(t, slot);
-                let answered =
-                    target_online && !(self.config.ping_loss > 0.0 && self.rng.chance(self.config.ping_loss));
-                self.estimators[m][k].record(answered);
-            }
-        }
-        // Aggregation phase: median over online monitors' estimates.
-        for target in 0..n {
-            let mut values: Vec<f64> = Vec::new();
+        let threads = self.threads;
+        // Ping phase — parallel over monitors. Every monitor owns the
+        // disjoint arena range `target_offsets[m]..target_offsets[m+1]`,
+        // carved into per-monitor lanes up front; loss draws come from
+        // the monitor-slot's keyed stream, in target (CSR) order.
+        {
+            let config = self.config;
+            let seed = self.seed;
+            let target_ids = &self.target_ids;
+            let target_offsets = &self.target_offsets;
+            let mut lanes: Vec<&mut [PingEstimator]> = Vec::with_capacity(n);
+            let mut rest: &mut [PingEstimator] = &mut self.estimators;
             for m in 0..n {
-                if !trace.is_online_in_slot(m, slot) {
-                    continue;
-                }
-                if let Some(k) = self.targets[m].iter().position(|&t| t == target) {
-                    let est = if self.config.use_aged {
-                        self.estimators[m][k].aged()
-                    } else {
-                        self.estimators[m][k].raw()
-                    };
-                    if let Some(av) = est {
-                        values.push(av.value());
+                let len = target_offsets[m + 1] - target_offsets[m];
+                let (lane, tail) = rest.split_at_mut(len);
+                lanes.push(lane);
+                rest = tail;
+            }
+            par_chunks_mut(&mut lanes, 1, threads, |offset, chunk| {
+                for (k, lane) in chunk.iter_mut().enumerate() {
+                    let m = offset + k;
+                    if lane.is_empty() || !trace.is_online_in_slot(m, slot) {
+                        continue;
+                    }
+                    let targets = &target_ids[target_offsets[m]..target_offsets[m + 1]];
+                    let mut loss = (config.ping_loss > 0.0).then(|| {
+                        SplitMix64::keyed(&[seed, STREAM_PING, m as u64, slot as u64])
+                    });
+                    for (est, &t) in lane.iter_mut().zip(targets) {
+                        // The loss draw happens only for online targets,
+                        // mirroring a real ping: a down host loses the
+                        // ping deterministically, no coin needed.
+                        let answered = trace.is_online_in_slot(t as usize, slot)
+                            && loss
+                                .as_mut()
+                                .map_or(true, |rng| !rng.chance(config.ping_loss));
+                        est.record(answered);
                     }
                 }
-            }
-            if !values.is_empty() {
-                values.sort_by(|a, b| a.partial_cmp(b).expect("estimates are never NaN"));
-                let median = values[values.len() / 2];
-                self.aggregate[target] = Some(Availability::saturating(median));
-            }
-            // else: keep the stale cached aggregate (or None).
+            });
+        }
+        // Aggregation phase — parallel over targets via the inverted
+        // index: median of the online monitors' current estimates, with
+        // one reusable median scratch per worker. Entries are ascending
+        // by monitor, so the collected values (and their sorted median)
+        // match a serial monitor scan exactly.
+        {
+            let config = self.config;
+            let estimators = &self.estimators;
+            let inv_offsets = &self.inv_offsets;
+            let inv_entries = &self.inv_entries;
+            par_chunks_mut(&mut self.aggregate, 1, threads, |offset, chunk| {
+                let mut values: Vec<f64> = Vec::new();
+                for (k, slot_agg) in chunk.iter_mut().enumerate() {
+                    let t = offset + k;
+                    values.clear();
+                    for &(m, est) in &inv_entries[inv_offsets[t]..inv_offsets[t + 1]] {
+                        if !trace.is_online_in_slot(m as usize, slot) {
+                            continue;
+                        }
+                        let estimator = &estimators[est as usize];
+                        let est = if config.use_aged {
+                            estimator.aged()
+                        } else {
+                            estimator.raw()
+                        };
+                        if let Some(av) = est {
+                            values.push(av.value());
+                        }
+                    }
+                    if !values.is_empty() {
+                        values.sort_by(|a, b| {
+                            a.partial_cmp(b).expect("estimates are never NaN")
+                        });
+                        let median = values[values.len() / 2];
+                        *slot_agg = Some(Availability::saturating(median));
+                    }
+                    // else: keep the stale cached aggregate (or None).
+                }
+            });
         }
     }
 
@@ -327,11 +467,41 @@ mod tests {
     fn monitors_of_index_matches_assignment() {
         let trace = small_trace();
         let service = AvmonService::new(&trace, AvmonConfig::default(), 1);
-        let monitors = service.monitors_of_index(5);
-        for m in monitors {
-            assert!(service
-                .assignment()
-                .is_monitor(trace.node_id(m), trace.node_id(5)));
+        for target in [0usize, 5, 41, 79] {
+            let monitors = service.monitors_of_index(target);
+            // Sorted ascending, no duplicates, and exactly the nodes the
+            // assignment rule names.
+            assert!(monitors.windows(2).all(|w| w[0] < w[1]));
+            let expected: Vec<usize> = (0..trace.num_nodes())
+                .filter(|&m| {
+                    service
+                        .assignment()
+                        .is_monitor(trace.node_id(m), trace.node_id(target))
+                })
+                .collect();
+            assert_eq!(monitors, expected, "target {target}");
         }
+    }
+
+    #[test]
+    fn forward_and_inverted_indexes_agree() {
+        let trace = small_trace();
+        let service = AvmonService::new(&trace, AvmonConfig::default(), 1);
+        let n = trace.num_nodes();
+        // Every forward (m → t) edge appears exactly once inverted, and
+        // its arena index points back into monitor m's lane.
+        let mut seen = 0usize;
+        for t in 0..n {
+            for &(m, est) in
+                &service.inv_entries[service.inv_offsets[t]..service.inv_offsets[t + 1]]
+            {
+                let (m, est) = (m as usize, est as usize);
+                assert!(est >= service.target_offsets[m]);
+                assert!(est < service.target_offsets[m + 1]);
+                assert_eq!(service.target_ids[est] as usize, t);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, service.target_ids.len());
     }
 }

@@ -1,0 +1,270 @@
+//! Pins the batched, parallel [`AvmonService`] to a seed-style serial
+//! reference implementation.
+//!
+//! The contract under test: the service's per-target aggregates (and
+//! error summary) are a pure function of `(trace, config, seed)` —
+//! independent of the worker-thread fan-out, of how `step_to` calls chop
+//! the timeline, and of the CSR/inverted-index layout. The reference
+//! below mirrors the original per-node pipeline: nested per-monitor
+//! target `Vec`s, an `O(N)` `position()` scan per (target, monitor) pair
+//! during aggregation, and a serial monitor loop — with ping-loss draws
+//! taken from the same counter-keyed `(seed, STREAM_PING, monitor,
+//! slot)` streams the service uses. With `ping_loss = 0` no stream is
+//! ever drawn, so the reference is *exactly* the seed implementation.
+
+use avmem_avmon::{AvailabilityOracle, AvmonConfig, AvmonService, MonitorAssignment, PingEstimator};
+use avmem_sim::{SimDuration, SimTime};
+use avmem_trace::{ChurnTrace, OvernetModel};
+use avmem_util::{Availability, NodeId, Rng, SplitMix64};
+
+/// Must match `avmem_avmon::service::STREAM_PING`.
+const STREAM_PING: u64 = 0x4156_4d4f_4e50;
+
+/// The seed-style serial monitoring pipeline: nested Vecs, per-target
+/// monitor scans, one monitor at a time.
+struct SerialReference {
+    config: AvmonConfig,
+    seed: u64,
+    /// `targets[m]` = indices of the nodes monitor `m` observes.
+    targets: Vec<Vec<usize>>,
+    /// `estimators[m][k]` = estimator of monitor `m` for `targets[m][k]`.
+    estimators: Vec<Vec<PingEstimator>>,
+    aggregate: Vec<Option<Availability>>,
+    next_slot: usize,
+}
+
+impl SerialReference {
+    fn new(trace: &ChurnTrace, config: AvmonConfig, seed: u64) -> Self {
+        let n = trace.num_nodes();
+        let assignment = MonitorAssignment::new(config.cms, n as f64);
+        let mut targets = vec![Vec::new(); n];
+        for (m, monitor_targets) in targets.iter_mut().enumerate() {
+            let m_id = trace.node_id(m);
+            for x in 0..n {
+                if assignment.is_monitor(m_id, trace.node_id(x)) {
+                    monitor_targets.push(x);
+                }
+            }
+        }
+        let estimators = targets
+            .iter()
+            .map(|ts| ts.iter().map(|_| PingEstimator::new(config.alpha)).collect())
+            .collect();
+        SerialReference {
+            config,
+            seed,
+            targets,
+            estimators,
+            aggregate: vec![None; n],
+            next_slot: 0,
+        }
+    }
+
+    fn step_to(&mut self, trace: &ChurnTrace, now: SimTime) {
+        let slot_ms = trace.slot_duration().as_millis();
+        let last_slot = ((now.as_millis() / slot_ms) as usize).min(trace.num_slots() - 1);
+        while self.next_slot <= last_slot {
+            self.process_slot(trace, self.next_slot);
+            self.next_slot += 1;
+        }
+    }
+
+    fn process_slot(&mut self, trace: &ChurnTrace, slot: usize) {
+        let n = trace.num_nodes();
+        // Ping phase: one monitor at a time, targets in list order.
+        for m in 0..n {
+            if !trace.is_online_in_slot(m, slot) {
+                continue;
+            }
+            let mut loss = (self.config.ping_loss > 0.0).then(|| {
+                SplitMix64::keyed(&[self.seed, STREAM_PING, m as u64, slot as u64])
+            });
+            for (k, &t) in self.targets[m].clone().iter().enumerate() {
+                let answered = trace.is_online_in_slot(t, slot)
+                    && loss
+                        .as_mut()
+                        .map_or(true, |rng| !rng.chance(self.config.ping_loss));
+                self.estimators[m][k].record(answered);
+            }
+        }
+        // Aggregation phase: median over online monitors' estimates,
+        // found by scanning every monitor's target list.
+        for target in 0..n {
+            let mut values: Vec<f64> = Vec::new();
+            for m in 0..n {
+                if !trace.is_online_in_slot(m, slot) {
+                    continue;
+                }
+                if let Some(k) = self.targets[m].iter().position(|&t| t == target) {
+                    let est = if self.config.use_aged {
+                        self.estimators[m][k].aged()
+                    } else {
+                        self.estimators[m][k].raw()
+                    };
+                    if let Some(av) = est {
+                        values.push(av.value());
+                    }
+                }
+            }
+            if !values.is_empty() {
+                values.sort_by(|a, b| a.partial_cmp(b).expect("estimates are never NaN"));
+                self.aggregate[target] = Some(Availability::saturating(values[values.len() / 2]));
+            }
+        }
+    }
+}
+
+fn trace(hosts: usize, seed: u64) -> ChurnTrace {
+    OvernetModel::default().hosts(hosts).days(1).generate(seed)
+}
+
+/// All aggregates of the service, queried through the oracle interface.
+fn aggregates(service: &AvmonService, n: usize) -> Vec<Option<f64>> {
+    (0..n)
+        .map(|i| {
+            service
+                .estimate(NodeId::new(0), NodeId::new(i as u64), SimTime::ZERO)
+                .map(|av| av.value())
+        })
+        .collect()
+}
+
+/// One (config, chop pattern, thread count) cell against the reference.
+fn check_cell(config: AvmonConfig, chop: &[u64], threads: usize, label: &str) {
+    let trace = trace(90, 17);
+    let n = trace.num_nodes();
+    let mut reference = SerialReference::new(&trace, config, 99);
+    let mut service = AvmonService::new(&trace, config, 99);
+    service.set_threads(threads);
+    let mut now = SimTime::ZERO;
+    for &mins in chop {
+        now += SimDuration::from_mins(mins);
+        reference.step_to(&trace, now);
+        service.step_to(&trace, now);
+        let expected: Vec<Option<f64>> =
+            reference.aggregate.iter().map(|a| a.map(|av| av.value())).collect();
+        assert_eq!(
+            aggregates(&service, n),
+            expected,
+            "{label}: aggregates diverged at {now:?}"
+        );
+    }
+    // Guard against vacuous equality.
+    assert!(
+        aggregates(&service, n).iter().filter(|a| a.is_some()).count() > n / 2,
+        "{label}: reference run produced almost no estimates"
+    );
+    assert!(
+        service.mean_absolute_error(&trace).is_some(),
+        "{label}: no error summary"
+    );
+}
+
+#[test]
+fn matches_seed_reference_exactly_without_ping_loss() {
+    // ping_loss = 0 ⇒ no RNG anywhere: the reference is bit-for-bit the
+    // seed implementation, and the batched service must match it.
+    for threads in [1, 2, 8] {
+        check_cell(
+            AvmonConfig::default(),
+            &[240, 240, 480],
+            threads,
+            &format!("no-loss/threads={threads}"),
+        );
+    }
+}
+
+#[test]
+fn matches_keyed_reference_with_ping_loss() {
+    let config = AvmonConfig {
+        ping_loss: 0.25,
+        ..AvmonConfig::default()
+    };
+    for threads in [1, 2, 8] {
+        check_cell(
+            config,
+            &[360, 600],
+            threads,
+            &format!("lossy/threads={threads}"),
+        );
+    }
+}
+
+#[test]
+fn matches_keyed_reference_in_aged_mode() {
+    let config = AvmonConfig {
+        ping_loss: 0.1,
+        use_aged: true,
+        ..AvmonConfig::default()
+    };
+    check_cell(config, &[720], 4, "aged");
+}
+
+#[test]
+fn chopped_advances_equal_one_shot() {
+    // step_to(a); step_to(b) must equal step_to(b): slot processing is a
+    // function of the slot index alone.
+    let config = AvmonConfig {
+        ping_loss: 0.3,
+        ..AvmonConfig::default()
+    };
+    let trace = trace(70, 23);
+    let n = trace.num_nodes();
+    let end = SimTime::ZERO + SimDuration::from_hours(20);
+    let mut one_shot = AvmonService::new(&trace, config, 5);
+    one_shot.step_to(&trace, end);
+    let mut chopped = AvmonService::new(&trace, config, 5);
+    let mut now = SimTime::ZERO;
+    while now < end {
+        now += SimDuration::from_mins(35);
+        chopped.step_to(&trace, now.min(end));
+    }
+    assert_eq!(one_shot.slots_processed(), chopped.slots_processed());
+    assert_eq!(aggregates(&one_shot, n), aggregates(&chopped, n));
+}
+
+#[test]
+fn thread_counts_agree_with_each_other() {
+    // Direct service-vs-service sweep (no reference in the loop), over a
+    // lossy config where any ordering bug in the keyed streams shows.
+    let config = AvmonConfig {
+        ping_loss: 0.4,
+        ..AvmonConfig::default()
+    };
+    let trace = trace(120, 31);
+    let n = trace.num_nodes();
+    let end = SimTime::ZERO + trace.duration();
+    let mut base = AvmonService::new(&trace, config, 7);
+    base.set_threads(1);
+    base.step_to(&trace, end);
+    let base_aggregates = aggregates(&base, n);
+    assert!(base_aggregates.iter().any(Option::is_some));
+    for threads in [2, 3, 8] {
+        let mut other = AvmonService::new(&trace, config, 7);
+        other.set_threads(threads);
+        other.step_to(&trace, end);
+        assert_eq!(
+            aggregates(&other, n),
+            base_aggregates,
+            "threads={threads} diverged"
+        );
+        assert_eq!(other.mean_absolute_error(&trace), base.mean_absolute_error(&trace));
+    }
+}
+
+#[test]
+fn monitors_of_index_matches_the_assignment_rule() {
+    let trace = trace(60, 41);
+    let service = AvmonService::new(&trace, AvmonConfig::default(), 1);
+    for target in 0..trace.num_nodes() {
+        let monitors = service.monitors_of_index(target);
+        let expected: Vec<usize> = (0..trace.num_nodes())
+            .filter(|&m| {
+                service
+                    .assignment()
+                    .is_monitor(trace.node_id(m), trace.node_id(target))
+            })
+            .collect();
+        assert_eq!(monitors, expected, "target {target}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Benchmarks of the AVMON monitoring service's hot paths: the per-slot
+//! ping + aggregation sweep (the cost every full-AVMON-fidelity hour
+//! pays once per trace slot) and the build-once assignment/index
+//! construction. The slot sweep runs to 10⁴ monitors — the scale whose
+//! pre-refactor `O(N²)` aggregation capped full-AVMON runs.
+//!
+//! Set `AVMEM_BENCH_QUICK=1` (the CI bench-smoke setting) to run only
+//! small sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use avmem_avmon::{AvmonConfig, AvmonService};
+use avmem_sim::SimTime;
+use avmem_trace::{ChurnTrace, OvernetModel};
+
+/// Whether the quick (CI smoke) profile is requested.
+fn quick() -> bool {
+    std::env::var_os("AVMEM_BENCH_QUICK").is_some()
+}
+
+fn trace(hosts: usize) -> ChurnTrace {
+    OvernetModel::default().hosts(hosts).days(1).generate(23)
+}
+
+/// One slot of the monitoring pipeline (ping phase over every online
+/// monitor + aggregation over every target), on a service that has
+/// already processed a day of history — the steady-state advance cost.
+fn bench_slot_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("avmon_step");
+    group.sample_size(if quick() { 2 } else { 5 });
+    let sizes: &[usize] = if quick() {
+        &[300, 1_000]
+    } else {
+        &[1_000, 2_500, 10_000]
+    };
+    for &hosts in sizes {
+        let trace = trace(hosts);
+        // Lossy config so the keyed ping-loss streams are on the path.
+        let config = AvmonConfig {
+            ping_loss: 0.05,
+            ..AvmonConfig::default()
+        };
+        let mut warm = AvmonService::new(&trace, config, 42);
+        let slots = trace.num_slots();
+        let slot_ms = trace.slot_duration().as_millis();
+        let warm_until = SimTime::ZERO + trace.slot_duration().mul((slots - 2) as u64);
+        warm.step_to(&trace, warm_until);
+        let next = SimTime::ZERO + avmem_sim::SimDuration::from_millis(slot_ms * slots as u64);
+        group.bench_with_input(BenchmarkId::new("slot", hosts), &hosts, |b, _| {
+            b.iter(|| {
+                // Clone-then-step isolates one slot's sweep; the clone is
+                // a flat memcpy of the arenas, small next to the sweep.
+                let mut service = warm.clone();
+                service.step_to(&trace, next);
+                black_box(service.slots_processed())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Service construction: the O(N²) consistent-assignment scan (SHA-256
+/// bound, parallel over the worker pool) plus CSR + inverted-index
+/// assembly.
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("avmon_build");
+    group.sample_size(2);
+    let sizes: &[usize] = if quick() { &[200] } else { &[500, 1_000] };
+    for &hosts in sizes {
+        let trace = trace(hosts);
+        group.bench_with_input(BenchmarkId::new("build", hosts), &hosts, |b, _| {
+            b.iter(|| {
+                let service = AvmonService::new(&trace, AvmonConfig::default(), 42);
+                black_box(service.slots_processed())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slot_sweep, bench_build);
+criterion_main!(benches);

@@ -22,10 +22,11 @@
 //!   least-recently-used row when full; bulk reads ([`PairHashes::row`])
 //!   read through on a hit but do *not* populate, so a one-shot rebuild
 //!   sweep cannot wash the hot set out. When the hot working set turns
-//!   out not to fit at all (every admitted row is evicted before its
-//!   first hit), admission is suspended and misses degrade to per-pair
-//!   hashing — an over-budget *and* over-capacity population behaves
-//!   like direct mode instead of thrashing (see [`LruRows`]).
+//!   out not to fit at all (admitted rows keep getting evicted before
+//!   repaying their `N`-hash build cost), admission is suspended and
+//!   misses degrade to per-pair hashing — an over-budget *and*
+//!   over-capacity population behaves like direct mode instead of
+//!   thrashing (see [`LruRows`]).
 //! * **direct** (budget below one row) — nothing is stored; single-pair
 //!   reads hash on the fly and bulk consumers fill a caller-provided
 //!   scratch row, keeping memory `O(N)` per thread.
@@ -81,10 +82,11 @@ enum Store {
     Direct,
 }
 
-/// Consecutive never-hit evictions before the LRU concludes the working
-/// set does not fit and suspends admission (see [`LruRows::insert`]).
-/// Bounds the worst-case wasted work at `THRASH_EVICTIONS · N` hashes
-/// per run before the cache degrades to direct per-pair hashing.
+/// Consecutive under-amortized evictions before the LRU concludes the
+/// working set does not fit and suspends admission (see
+/// [`LruRows::insert`]). Bounds the worst-case wasted work at
+/// `THRASH_EVICTIONS · N` hashes per run before the cache degrades to
+/// direct per-pair hashing.
 const THRASH_EVICTIONS: u32 = 64;
 
 /// The mutable interior of the LRU mode: materialized rows, a recency
@@ -92,14 +94,19 @@ const THRASH_EVICTIONS: u32 = 64;
 /// `O(log capacity)` — no full scans under the lock), and a thrash
 /// detector.
 ///
-/// Materializing a row costs `N` SHA-256 hashes and only pays off when
-/// the row is *hit* before eviction; when the hot working set exceeds
-/// the capacity, every inserted row is evicted unused and the cache
-/// would do `O(N)` work where direct hashing does `O(1)` per read. The
-/// detector counts consecutive evictions of never-hit rows; at
-/// [`THRASH_EVICTIONS`] it stops admitting new rows for the rest of the
-/// run (existing entries keep serving hits), so the over-capacity
-/// regime degrades to direct hashing instead of thrashing.
+/// Materializing a row costs `N` SHA-256 hashes and each later hit
+/// saves one, so a row must serve ~`N` hits before eviction just to
+/// repay its own build; when the hot working set exceeds the capacity,
+/// rows are evicted long before that and the cache does `O(N)` work
+/// where direct hashing does `O(1)` per read. A burst of same-row point
+/// reads (event-driven discovery touches a few hundred pairs of the
+/// source's row per tick) racks up *some* hits without coming anywhere
+/// near amortizing, which is why the detector counts consecutive
+/// evictions of **under-amortized** victims — fewer hits than the row
+/// is long — not merely never-hit ones. At [`THRASH_EVICTIONS`] it
+/// stops admitting new rows for the rest of the run (existing entries
+/// keep serving hits), so the over-capacity regime degrades to direct
+/// hashing instead of thrashing.
 #[derive(Debug, Default)]
 struct LruRows {
     rows: HashMap<usize, LruEntry>,
@@ -107,8 +114,8 @@ struct LruRows {
     /// increments), so this is a total recency order.
     by_stamp: BTreeMap<u64, usize>,
     clock: u64,
-    /// Consecutive evictions whose victim was never hit.
-    zero_hit_evictions: u32,
+    /// Consecutive evictions whose victim had not repaid its build cost.
+    wasted_evictions: u32,
     /// Admission suspended: the working set was observed not to fit.
     bypass: bool,
 }
@@ -116,20 +123,25 @@ struct LruRows {
 #[derive(Debug)]
 struct LruEntry {
     stamp: u64,
-    /// Reads served since insertion (eviction victims with `hits == 0`
-    /// were pure waste — the thrash signal).
-    hits: u32,
+    /// Pair hashes this entry has saved since insertion: 1 per point
+    /// read, a full row length per bulk read — so an eviction victim
+    /// with `hits` below its row length was a net loss (the thrash
+    /// signal), and one that served even a single bulk sweep has repaid
+    /// its build.
+    hits: u64,
     row: Arc<[f64]>,
 }
 
 impl LruRows {
-    /// Returns the cached row `x`, bumping its recency.
-    fn touch(&mut self, x: usize) -> Option<Arc<[f64]>> {
+    /// Returns the cached row `x`, bumping its recency and crediting
+    /// `saved` hashes toward its amortization (1 for a point read,
+    /// the row length for a bulk read — see [`LruEntry::hits`]).
+    fn touch(&mut self, x: usize, saved: u64) -> Option<Arc<[f64]>> {
         let entry = self.rows.get_mut(&x)?;
         self.clock += 1;
         self.by_stamp.remove(&entry.stamp);
         entry.stamp = self.clock;
-        entry.hits += 1;
+        entry.hits += saved;
         self.by_stamp.insert(entry.stamp, x);
         Some(Arc::clone(&entry.row))
     }
@@ -141,13 +153,17 @@ impl LruRows {
         if !self.rows.contains_key(&x) && self.rows.len() >= capacity {
             if let Some((_, coldest)) = self.by_stamp.pop_first() {
                 let victim = self.rows.remove(&coldest).expect("index and map agree");
-                if victim.hits == 0 {
-                    self.zero_hit_evictions += 1;
-                    if self.zero_hit_evictions >= THRASH_EVICTIONS {
+                // The build cost `N` hashes; `hits` counts the hashes
+                // the entry saved. Victims short of that never
+                // amortized — sustained, that means the cache is a net
+                // slowdown.
+                if victim.hits < victim.row.len() as u64 {
+                    self.wasted_evictions += 1;
+                    if self.wasted_evictions >= THRASH_EVICTIONS {
                         self.bypass = true;
                     }
                 } else {
-                    self.zero_hit_evictions = 0;
+                    self.wasted_evictions = 0;
                 }
             }
         }
@@ -289,7 +305,7 @@ impl PairHashes {
             Store::Lru { state, capacity } => {
                 {
                     let mut lru = state.lock().expect("lru poisoned");
-                    if let Some(row) = lru.touch(x) {
+                    if let Some(row) = lru.touch(x, 1) {
                         return row[y];
                     }
                     if lru.bypass {
@@ -334,7 +350,13 @@ impl PairHashes {
             Store::Cached { rows } => rows[x].get_or_init(|| hash_row(x, self.n)),
             Store::Lru { state, .. } => {
                 scratch.clear();
-                let hot = state.lock().expect("lru poisoned").touch(x);
+                // A bulk hit saves a whole row's worth of hashing —
+                // credit it as such, so rows serving rebuild sweeps are
+                // never mistaken for under-amortized thrash victims.
+                let hot = state
+                    .lock()
+                    .expect("lru poisoned")
+                    .touch(x, self.n as u64);
                 match hot {
                     Some(row) => scratch.extend_from_slice(&row),
                     None => {
@@ -519,7 +541,57 @@ mod tests {
         };
         let lru = state.lock().unwrap();
         assert!(!lru.bypass);
-        assert_eq!(lru.zero_hit_evictions, 0);
+        assert_eq!(lru.wasted_evictions, 0);
+    }
+
+    #[test]
+    fn lru_bulk_hits_repay_the_build_cost() {
+        // A row admitted by a point read and then served to one bulk
+        // sweep has saved a full row's worth of hashing: its eviction
+        // must not count toward the thrash signal.
+        let n = 16;
+        let hashes = PairHashes::lru(n, 1);
+        let mut scratch = Vec::new();
+        let _ = hashes.get(3, 0); // admit row 3 (hits: 0)
+        let _ = hashes.row(3, &mut scratch); // bulk hit (hits: n)
+        let _ = hashes.get(4, 0); // evicts row 3
+        let Store::Lru { state, .. } = &hashes.store else {
+            panic!("expected LRU storage");
+        };
+        let lru = state.lock().unwrap();
+        assert_eq!(
+            lru.wasted_evictions, 0,
+            "a bulk-serving victim amortized its build"
+        );
+    }
+
+    #[test]
+    fn lru_suspends_admission_under_burst_reads_that_never_amortize() {
+        // The event-driven discovery pattern at over-capacity
+        // populations: each tick point-reads a handful of pairs from one
+        // source row, so every admitted row collects a few same-burst
+        // hits — far short of the N-hash build cost — and is then
+        // evicted. The under-amortization detector must still conclude
+        // the cache is a net loss and suspend admission.
+        let n = 32;
+        let hashes = PairHashes::lru(n, 2);
+        let expect = PairHashes::compute(n);
+        for round in 0..(THRASH_EVICTIONS as usize + 8) {
+            let x = round % n;
+            for y in 0..6 {
+                assert_eq!(hashes.get(x, y), expect.get(x, y), "({x},{y})");
+            }
+        }
+        let Store::Lru { state, .. } = &hashes.store else {
+            panic!("expected LRU storage");
+        };
+        let lru = state.lock().unwrap();
+        assert!(lru.bypass, "burst-hit thrash must suspend admission");
+        // Values keep agreeing after the bypass too.
+        drop(lru);
+        for x in 0..n {
+            assert_eq!(hashes.get(x, 9), expect.get(x, 9));
+        }
     }
 
     #[test]

@@ -620,7 +620,11 @@ impl AvmemSim {
         };
 
         let mut seeder = SplitMix64::new(config.seed);
-        let oracle = SimOracle::build(config.oracle, &trace, seeder.next_u64());
+        let mut oracle = SimOracle::build(config.oracle, &trace, seeder.next_u64());
+        // The AVMON service sweeps its ping/aggregate phases on the
+        // worker pool; fan them out like the maintenance engine's
+        // per-cohort phases (bit-identical for every thread count).
+        oracle.set_threads(config.engine.threads());
         let net = Network::new(config.latency, 0.0, seeder.next_u64());
         let rng = Xoshiro256::new(seeder.next_u64());
 
@@ -787,8 +791,8 @@ impl AvmemSim {
     /// see [`AvmemSim::rebuild_node`] — but produces HS/VS *sets*
     /// identical to a naive scan classifying every ordered pair (the
     /// `rebuild_equivalence` integration tests pin this down). Nodes are
-    /// independent, so the population is rebuilt in parallel with scoped
-    /// threads; results do not depend on the thread count.
+    /// independent, so the population is rebuilt in parallel on the
+    /// persistent worker pool; results do not depend on the thread count.
     fn rebuild_converged(&mut self) {
         let n = self.trace.num_nodes();
         // With a querier-independent oracle (exact, shared-noise, AVMON

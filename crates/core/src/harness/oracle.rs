@@ -41,10 +41,20 @@ impl SimOracle {
     }
 
     /// Advances time-dependent oracles (the AVMON service processes all
-    /// pings up to `now`; the others are time-indexed functions).
+    /// pings up to `now` in batched parallel slot sweeps over the worker
+    /// pool; the others are time-indexed functions).
     pub fn advance(&mut self, trace: &ChurnTrace, now: SimTime) {
         if let SimOracle::Avmon(service) = self {
             service.step_to(trace, now);
+        }
+    }
+
+    /// Sets the chunk fan-out of the AVMON service's parallel slot
+    /// phases (a no-op for the instant oracles). Purely a performance
+    /// knob: estimates are bit-identical for every thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        if let SimOracle::Avmon(service) = self {
+            service.set_threads(threads);
         }
     }
 

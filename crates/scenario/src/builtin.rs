@@ -279,6 +279,85 @@ hi = 0.95
 "#,
     },
     Builtin {
+        name: "stress-10k-avmon",
+        blurb: "10,000-host stress at full AVMON fidelity: every availability answer comes from the ping service",
+        source: r#"
+name = "stress-10k-avmon"
+seed = 27
+warmup_mins = 30
+duration_mins = 120
+health_every_mins = 30
+
+[churn]
+model = "overnet"
+hosts = 10000
+days = 1
+
+[oracle]
+kind = "avmon"
+
+[maintenance]
+mode = "event-driven"
+protocol_secs = 60
+refresh_mins = 20
+engine = "parallel"
+
+[workload]
+ops_per_hour = 30.0
+anycast_fraction = 0.9
+policy = "retried-greedy"
+retries = 8
+scope = "both"
+ttl = 6
+initiators = "any"
+multicast = "flood"
+
+[[target]]
+weight = 1.0
+kind = "range"
+lo = 0.85
+hi = 0.95
+"#,
+    },
+    Builtin {
+        name: "stress-100k",
+        blurb: "100,000-host yardstick: live event-driven maintenance plus operations at 10^5 scale",
+        source: r#"
+name = "stress-100k"
+seed = 29
+warmup_mins = 10
+duration_mins = 20
+health_every_mins = 10
+
+[churn]
+model = "overnet"
+hosts = 100000
+days = 1
+
+[maintenance]
+mode = "event-driven"
+protocol_secs = 60
+refresh_mins = 20
+engine = "parallel"
+
+[workload]
+ops_per_hour = 30.0
+anycast_fraction = 0.9
+policy = "retried-greedy"
+retries = 8
+scope = "both"
+ttl = 6
+initiators = "any"
+multicast = "flood"
+
+[[target]]
+weight = 1.0
+kind = "range"
+lo = 0.85
+hi = 0.95
+"#,
+    },
+    Builtin {
         name: "smoke",
         blurb: "CI-sized sanity run: 120 hosts, one hour of mixed traffic (< 1 s)",
         source: r#"

@@ -53,64 +53,23 @@ const H0: [u32; 8] = [
 pub fn sha256(data: &[u8]) -> Digest {
     let mut state = H0;
 
+    // Whole blocks straight from the input; the FIPS padding (0x80, zero
+    // fill, 8-byte big-endian bit length) fits a fixed two-block tail, so
+    // hashing never allocates — the predicate and monitor-assignment hot
+    // paths call this hundreds of millions of times per run.
+    let mut blocks = data.chunks_exact(64);
+    for block in &mut blocks {
+        compress(&mut state, block);
+    }
+    let rem = blocks.remainder();
     let bit_len = (data.len() as u64).wrapping_mul(8);
-    // Message + 0x80 + zero padding + 8-byte length, padded to 64-byte blocks.
-    let total = data.len() + 1 + 8;
-    let padded_len = total.div_ceil(64) * 64;
-    let mut padded = vec![0u8; padded_len];
-    padded[..data.len()].copy_from_slice(data);
-    padded[data.len()] = 0x80;
-    padded[padded_len - 8..].copy_from_slice(&bit_len.to_be_bytes());
-
-    let mut w = [0u32; 64];
-    for block in padded.chunks_exact(64) {
-        for (i, word) in w.iter_mut().take(16).enumerate() {
-            *word = u32::from_be_bytes([
-                block[4 * i],
-                block[4 * i + 1],
-                block[4 * i + 2],
-                block[4 * i + 3],
-            ]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
-        }
-
-        state[0] = state[0].wrapping_add(a);
-        state[1] = state[1].wrapping_add(b);
-        state[2] = state[2].wrapping_add(c);
-        state[3] = state[3].wrapping_add(d);
-        state[4] = state[4].wrapping_add(e);
-        state[5] = state[5].wrapping_add(f);
-        state[6] = state[6].wrapping_add(g);
-        state[7] = state[7].wrapping_add(h);
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_len = if rem.len() < 56 { 64 } else { 128 };
+    tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_be_bytes());
+    for block in tail[..tail_len].chunks_exact(64) {
+        compress(&mut state, block);
     }
 
     let mut out = [0u8; 32];
@@ -118,6 +77,58 @@ pub fn sha256(data: &[u8]) -> Digest {
         out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
     }
     out
+}
+
+/// One SHA-256 compression round over a 64-byte block.
+fn compress(state: &mut [u32; 8], block: &[u8]) {
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let temp1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = temp1.wrapping_add(temp2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
 }
 
 /// Maps a digest to the unit interval `[0, 1)` using its first 8 bytes.
@@ -185,11 +196,22 @@ pub fn consistent_hash(x: NodeId, y: NodeId) -> f64 {
 /// assert_ne!(a, b);
 /// ```
 pub fn consistent_hash_keyed(key: &[u8], x: NodeId, y: NodeId) -> f64 {
-    let mut buf = Vec::with_capacity(key.len() + 16);
-    buf.extend_from_slice(key);
-    buf.extend_from_slice(&x.to_bytes());
-    buf.extend_from_slice(&y.to_bytes());
-    normalized_hash(&buf)
+    // Domain tags are short; a stack buffer keeps the per-pair hot path
+    // (the AVMON monitor assignment evaluates all N² ordered pairs)
+    // allocation-free. The hashed bytes are identical either way.
+    if key.len() <= 32 {
+        let mut buf = [0u8; 48];
+        buf[..key.len()].copy_from_slice(key);
+        buf[key.len()..key.len() + 8].copy_from_slice(&x.to_bytes());
+        buf[key.len() + 8..key.len() + 16].copy_from_slice(&y.to_bytes());
+        normalized_hash(&buf[..key.len() + 16])
+    } else {
+        let mut buf = Vec::with_capacity(key.len() + 16);
+        buf.extend_from_slice(key);
+        buf.extend_from_slice(&x.to_bytes());
+        buf.extend_from_slice(&y.to_bytes());
+        normalized_hash(&buf)
+    }
 }
 
 #[cfg(test)]

@@ -17,8 +17,9 @@
 //!   bit-reproducible;
 //! * [`stats`] — summary statistics, histograms and empirical CDFs used by
 //!   the experiment harness;
-//! * [`parallel`] — scoped chunk-parallelism for the simulator's few hot
-//!   loops (no external thread-pool dependency).
+//! * [`parallel`] — chunk-parallelism for the simulator's hot loops on a
+//!   persistent, lazily started worker pool (no external thread-pool
+//!   dependency; `AVMEM_THREADS` caps it).
 //!
 //! # Examples
 //!

@@ -1,32 +1,306 @@
-//! Minimal scoped data-parallelism helpers.
+//! Minimal data-parallelism helpers on a persistent worker pool.
 //!
-//! The workspace is offline (no rayon); the few hot loops that benefit
-//! from threads — pair-hash row computation and the converged overlay
-//! rebuild — all reduce to "run independent work over contiguous chunks
-//! of a slice". [`par_chunks_mut`] provides exactly that on top of
-//! `std::thread::scope`, degrading to an inline call when only one
-//! thread (or one chunk) is useful so single-core machines pay no
-//! spawning overhead.
+//! The workspace is offline (no rayon); the hot loops that benefit from
+//! threads — pair-hash row computation, the converged overlay rebuild,
+//! the batched event-driven maintenance phases, and the AVMON ping/
+//! aggregate sweeps — all reduce to "run independent work over
+//! contiguous chunks of a slice". [`par_chunks_mut`] provides exactly
+//! that; since the maintenance loop dispatches one such section *per
+//! timestamp cohort* (thousands per simulated hour), the chunks execute
+//! on a lazily started, process-wide [`WorkerPool`] whose threads park
+//! between jobs instead of being respawned per section.
 //!
 //! Work items must be *independent*: results may not depend on how the
 //! slice is split, which keeps every caller deterministic regardless of
-//! the machine's core count.
+//! the machine's core count or the pool's size. The `AVMEM_THREADS`
+//! environment variable caps the global pool (and the default chunk
+//! fan-out) when set.
 
-/// Number of worker threads worth spawning on this machine.
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Number of worker threads worth using on this machine: the
+/// `AVMEM_THREADS` environment variable when set to a positive integer,
+/// otherwise the available hardware parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    match std::env::var("AVMEM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// A job as the pool stores it: lifetime-erased (see
+/// [`WorkerPool::run_boxed`] for why that is sound).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between the submitting threads and the pool workers.
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here while the queue is empty.
+    work: Condvar,
+}
+
+struct PoolState {
+    /// Pending jobs, each tagged with its batch — concurrent batches
+    /// interleave in the queue but complete independently.
+    queue: Vec<(Task, Arc<BatchCtl>)>,
+    shutdown: bool,
+}
+
+/// Per-batch completion accounting: each [`WorkerPool::run_boxed`] call
+/// owns one, so concurrent batches on the shared pool cannot observe
+/// each other's completion or steal each other's panics.
+struct BatchCtl {
+    progress: Mutex<BatchProgress>,
+    /// The batch's submitter parks here until `pending` reaches zero.
+    done: Condvar,
+}
+
+struct BatchProgress {
+    /// Jobs of this batch not yet finished (queued or running).
+    pending: usize,
+    /// First panic payload observed in a job of this batch.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+thread_local! {
+    /// Whether the current thread is executing a pool job. Nested
+    /// [`WorkerPool::run_boxed`] calls from inside a job run inline —
+    /// a worker blocking on its own batch would deadlock the pool.
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A persistent pool of parked worker threads for scoped, blocking
+/// data-parallel sections.
+///
+/// Unlike `std::thread::scope`, which spawns and joins OS threads per
+/// section, the pool's workers are spawned once and park on a condvar
+/// between jobs — per-section overhead is one lock round-trip and an
+/// unpark, which is what makes per-cohort parallelism in the maintenance
+/// loop affordable. A section ([`WorkerPool::run_boxed`]) blocks the
+/// submitting thread until every job of the batch has finished, so jobs
+/// may borrow from the submitting stack frame.
+///
+/// The process-wide pool used by [`par_chunks_mut`] is [`global_pool`];
+/// explicitly sized pools are mainly for tests.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::parallel::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let mut halves = vec![0u64; 2];
+/// let (lo, hi) = halves.split_at_mut(1);
+/// pool.run_boxed(vec![
+///     Box::new(|| lo[0] = 1),
+///     Box::new(|| hi[0] = 2),
+/// ]);
+/// assert_eq!(halves, vec![1, 2]);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` total parallelism: `threads - 1`
+    /// parked worker threads plus the submitting thread, which always
+    /// participates in its own batches.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queue: Vec::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("avmem-pool-{k}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a pool worker failed")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Total parallelism of the pool (background workers + the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a batch of independent jobs to completion, in parallel when
+    /// the pool has background workers, and returns once every job has
+    /// finished. Jobs may borrow data from the caller's stack frame: the
+    /// blocking-until-done contract is exactly what makes the internal
+    /// lifetime erasure sound (no job can outlive this call).
+    ///
+    /// Jobs must be independent — execution order and thread placement
+    /// are unspecified. Single-job batches, pools without background
+    /// workers, and nested calls from inside a pool job all degrade to
+    /// running inline on the caller's thread.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the batch still runs to completion and the first
+    /// panic payload of *this batch* is resumed on the caller (matching
+    /// `std::thread::scope`). Batches are accounted independently, so
+    /// concurrent submitters on the shared pool neither wait on each
+    /// other's jobs nor observe each other's panics — though a submitter
+    /// may execute another batch's queued jobs while its own are in
+    /// flight.
+    pub fn run_boxed<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if jobs.len() <= 1 || self.workers.is_empty() || IN_POOL_JOB.with(Cell::get) {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        // SAFETY: only the lifetime bound is erased; the layout of
+        // `Vec<Box<dyn FnOnce() + Send>>` does not depend on it. Every
+        // erased job is executed (or dropped) before this function
+        // returns — the wait loop below blocks until the batch's
+        // `pending` count reaches zero — so no job or its borrows
+        // outlive `'scope`.
+        let erased: Vec<Task> = unsafe {
+            std::mem::transmute::<
+                Vec<Box<dyn FnOnce() + Send + 'scope>>,
+                Vec<Box<dyn FnOnce() + Send + 'static>>,
+            >(jobs)
+        };
+        let ctl = Arc::new(BatchCtl {
+            progress: Mutex::new(BatchProgress {
+                pending: erased.len(),
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            state
+                .queue
+                .extend(erased.into_iter().map(|task| (task, Arc::clone(&ctl))));
+        }
+        self.shared.work.notify_all();
+        // The submitter works through the queue alongside the workers
+        // (possibly including other batches' jobs — helping global
+        // progress is never wrong, and its own jobs may be behind them).
+        loop {
+            let popped = {
+                let mut state = self.shared.state.lock().expect("pool lock poisoned");
+                state.queue.pop()
+            };
+            match popped {
+                Some((task, batch)) => run_task(task, &batch),
+                None => break,
+            }
+        }
+        let mut progress = ctl.progress.lock().expect("batch lock poisoned");
+        while progress.pending > 0 {
+            progress = ctl.done.wait(progress).expect("batch lock poisoned");
+        }
+        if let Some(payload) = progress.panic.take() {
+            drop(progress);
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs one popped task, recording a panic into its batch and
+/// signalling the batch's submitter when the batch completes.
+fn run_task(task: Task, batch: &BatchCtl) {
+    let result = IN_POOL_JOB.with(|flag| {
+        let prev = flag.replace(true);
+        let result = catch_unwind(AssertUnwindSafe(task));
+        flag.set(prev);
+        result
+    });
+    let mut progress = batch.progress.lock().expect("batch lock poisoned");
+    if let Err(payload) = result {
+        progress.panic.get_or_insert(payload);
+    }
+    progress.pending -= 1;
+    if progress.pending == 0 {
+        batch.done.notify_all();
+    }
+}
+
+/// The body of one background worker: park on the condvar until a job
+/// (or shutdown) arrives, run it, repeat.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (task, batch) = {
+            let mut state = shared.state.lock().expect("pool lock poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(popped) = state.queue.pop() {
+                    break popped;
+                }
+                state = shared.work.wait(state).expect("pool lock poisoned");
+            }
+        };
+        run_task(task, &batch);
+    }
+}
+
+/// The process-wide pool every [`par_chunks_mut`] section runs on,
+/// started on first use and sized by [`default_threads`] (so
+/// `AVMEM_THREADS` caps it). Its workers live for the rest of the
+/// process, parked whenever no section is in flight.
+pub fn global_pool() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| WorkerPool::new(default_threads()))
 }
 
 /// Splits `items` into up to `threads` contiguous chunks (each a multiple
 /// of `align` items, except possibly the last) and runs `f(offset, chunk)`
-/// on each, in parallel via `std::thread::scope`.
+/// on each, in parallel on the global [`WorkerPool`].
 ///
 /// `offset` is the index of the chunk's first element in `items`, so
 /// workers can recover global positions. With `threads <= 1`, or when the
 /// slice holds at most one `align`-unit, `f` runs inline on the caller's
-/// thread with no spawning.
+/// thread with no dispatch. `threads` controls only the chunk fan-out —
+/// execution parallelism is capped by the pool — and since work items
+/// must be independent, results never depend on either.
 ///
 /// # Examples
 ///
@@ -62,18 +336,18 @@ where
         return;
     }
     let chunk_len = units.div_ceil(threads) * align;
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut rest = items;
-        let mut offset = 0;
-        while !rest.is_empty() {
-            let take = chunk_len.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            scope.spawn(move || f(offset, head));
-            offset += take;
-            rest = tail;
-        }
-    });
+    let f = &f;
+    let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    let mut offset = 0;
+    while !rest.is_empty() {
+        let take = chunk_len.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        jobs.push(Box::new(move || f(offset, head)));
+        offset += take;
+        rest = tail;
+    }
+    global_pool().run_boxed(jobs);
 }
 
 /// Collects mutable references to the elements of `items` at
@@ -191,6 +465,196 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_runs_every_job_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let pool = WorkerPool::new(4);
+        for batch in [0usize, 1, 2, 7, 33] {
+            let counters: Vec<AtomicU32> = (0..batch).map(|_| AtomicU32::new(0)).collect();
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = counters
+                .iter()
+                .map(|c| {
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_boxed(jobs);
+            assert!(
+                counters.iter().all(|c| c.load(Ordering::SeqCst) == 1),
+                "batch={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_spreads_jobs_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+        // Many slow-ish jobs on a wide pool: with workers parked and
+        // ready, at least one job should land off the submitting thread.
+        // (On a 1-core machine the workers still exist — parallelism is
+        // about threads, not cores.)
+        let pool = WorkerPool::new(4);
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|_| {
+                Box::new(|| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::yield_now();
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_boxed(jobs);
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn pool_blocks_until_borrowed_jobs_finish() {
+        // The scoped contract: jobs borrow the caller's stack data and
+        // every write is visible after run_boxed returns.
+        let pool = WorkerPool::new(3);
+        for _ in 0..50 {
+            let mut data = [0u64; 24];
+            let chunks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+                .chunks_mut(3)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    Box::new(move || {
+                        for slot in chunk {
+                            *slot = i as u64 + 1;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_boxed(chunks);
+            assert!(data.iter().all(|&x| x != 0));
+        }
+    }
+
+    #[test]
+    fn pool_propagates_job_panics() {
+        let pool = WorkerPool::new(3);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 5 {
+                            panic!("job 5 exploded");
+                        }
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.run_boxed(jobs);
+        }));
+        let payload = result.expect_err("panic must propagate to the submitter");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("(non-str payload)");
+        assert!(msg.contains("exploded"), "unexpected payload {msg}");
+        // The pool must stay usable after a panicked batch.
+        let mut v = [0u8; 4];
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = v
+            .chunks_mut(1)
+            .map(|c| {
+                Box::new(move || c[0] = 1) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_boxed(jobs);
+        assert_eq!(v, [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn concurrent_batches_are_accounted_independently() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // Two submitters share one pool; one batch panics. The panic
+        // must surface on its own submitter only, and the clean batch
+        // must run every job and return normally.
+        let pool = WorkerPool::new(4);
+        for _ in 0..20 {
+            let clean_runs = AtomicU32::new(0);
+            std::thread::scope(|scope| {
+                let pool = &pool;
+                let clean_runs = &clean_runs;
+                let panicky = scope.spawn(move || {
+                    std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+                            .map(|i| {
+                                Box::new(move || {
+                                    if i % 2 == 0 {
+                                        panic!("poison batch");
+                                    }
+                                }) as Box<dyn FnOnce() + Send>
+                            })
+                            .collect();
+                        pool.run_boxed(jobs);
+                    }))
+                });
+                let clean = scope.spawn(move || {
+                    std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                            .map(|_| {
+                                Box::new(|| {
+                                    clean_runs.fetch_add(1, Ordering::SeqCst);
+                                }) as Box<dyn FnOnce() + Send + '_>
+                            })
+                            .collect();
+                        pool.run_boxed(jobs);
+                    }))
+                });
+                assert!(
+                    panicky.join().expect("thread itself must not die").is_err(),
+                    "the poisoned batch must panic on its own submitter"
+                );
+                assert!(
+                    clean.join().expect("thread itself must not die").is_ok(),
+                    "the clean batch must not inherit a foreign panic"
+                );
+            });
+            assert_eq!(clean_runs.load(Ordering::SeqCst), 8);
+        }
+    }
+
+    #[test]
+    fn nested_sections_run_inline_without_deadlock() {
+        // par_chunks_mut from inside a pool job must not block on the
+        // pool it is running on.
+        let mut outer = vec![0u64; 8];
+        par_chunks_mut(&mut outer, 1, 4, |offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let mut inner = vec![0u64; 16];
+                par_chunks_mut(&mut inner, 1, 4, |o, c| {
+                    for (j, s) in c.iter_mut().enumerate() {
+                        *s = (o + j) as u64;
+                    }
+                });
+                *slot = inner.iter().sum::<u64>() + (offset + k) as u64;
+            }
+        });
+        for (i, &x) in outer.iter().enumerate() {
+            assert_eq!(x, 120 + i as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut hit = false;
+        pool.run_boxed(vec![Box::new(|| hit = true)]);
+        assert!(hit);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = global_pool() as *const WorkerPool;
+        let b = global_pool() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert!(global_pool().threads() >= 1);
     }
 
     #[test]
