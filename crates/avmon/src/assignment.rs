@@ -1,43 +1,65 @@
-//! Consistent monitor assignment.
+//! Consistent monitor assignment strategies.
 //!
 //! AVMON's contribution (leveraged as a black box by AVMEM) is selecting,
 //! for every node `x`, a small random-but-*consistent* set of monitor
-//! nodes: `m` monitors `x` iff `H(id(m), id(x)) ≤ cms / N*`. Consistency
-//! means the relation is a pure function of identities, so a selfish node
-//! can neither choose its monitors nor deny the relationship; randomness
-//! (via the hash) spreads monitoring load uniformly.
+//! nodes. Consistency means the relation is a pure function of identities
+//! and membership, so a selfish node can neither choose its monitors nor
+//! deny the relationship; randomness (via the hash) spreads monitoring
+//! load uniformly. Two strategies implement that contract:
 //!
-//! The hash is drawn from a keyed family (domain tag `"avmon"`) so it is
-//! independent of the AVMEM membership predicate's hash.
+//! * [`AllPairsAssignment`] — the paper's original rule: `m` monitors `x`
+//!   iff `H(id(m), id(x)) ≤ cms / N*`. The reference for randomness and
+//!   consistency, but discovering a node's monitors costs a population
+//!   scan and building all monitor sets costs O(N²) hashes.
+//! * [`RingAssignment`] — a consistent-hash ring: monitors sit on a keyed
+//!   [`HashRing`] with virtual points, every target owns a lookup point,
+//!   and a target's monitors are its `k` distinct clockwise ring
+//!   successors. Build drops to O(N log N), and a membership change
+//!   perturbs only the arcs next to the changed points —
+//!   [`RingAssignment::join`] / [`RingAssignment::leave`] return the
+//!   affected targets as an O(k)-sized delta instead of forcing a global
+//!   rebuild.
+//!
+//! [`MonitorAssignment`] is the strategy enum the service stores; the
+//! all-pairs constructor keeps its historical `new(cms, n_star)` shape.
+//!
+//! The hashes are drawn from keyed families (domain tags `"avmon"` and
+//! `"avmon-ring"`) so both strategies are independent of the AVMEM
+//! membership predicate's hash and of each other.
 
-use avmem_util::{consistent_hash_keyed, NodeId};
+use avmem_util::{consistent_hash_keyed, consistent_point_keyed, HashRing, NodeId};
 use serde::{Deserialize, Serialize};
 
 const DOMAIN: &[u8] = b"avmon";
+/// Domain key of the monitor ring (member placement points).
+const RING_DOMAIN: &[u8] = b"avmon-ring";
+/// Domain key of target lookup points — distinct from the member domain
+/// so a node's lookup point never coincides with its own ring points.
+const RING_TARGET_DOMAIN: &[u8] = b"avmon-ring/target";
 
-/// The consistent monitor-assignment rule.
+/// The paper's all-pairs hash-threshold rule: `m` monitors `x` iff
+/// `H(id(m), id(x)) ≤ cms / N*`.
 ///
 /// # Examples
 ///
 /// ```
-/// use avmem_avmon::MonitorAssignment;
+/// use avmem_avmon::AllPairsAssignment;
 /// use avmem_util::NodeId;
 ///
-/// let assignment = MonitorAssignment::new(8.0, 1000.0);
-/// let x = NodeId::new(42);
+/// let rule = AllPairsAssignment::new(8.0, 1000.0);
+/// let (m, x) = (NodeId::new(7), NodeId::new(42));
 /// // The relation is consistent: any evaluation agrees.
-/// let m = NodeId::new(7);
-/// assert_eq!(assignment.is_monitor(m, x), assignment.is_monitor(m, x));
+/// assert_eq!(rule.is_monitor(m, x), rule.is_monitor(m, x));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct MonitorAssignment {
+pub struct AllPairsAssignment {
     /// Target expected number of monitors per node (`cms` in AVMON).
     cms: f64,
     /// The stable system size estimate `N*`.
     n_star: f64,
 }
 
-impl MonitorAssignment {
+impl AllPairsAssignment {
     /// Creates an assignment rule with expected `cms` monitors per node
     /// in a system of `n_star` nodes.
     ///
@@ -47,7 +69,7 @@ impl MonitorAssignment {
     pub fn new(cms: f64, n_star: f64) -> Self {
         assert!(cms > 0.0, "cms must be positive");
         assert!(n_star > 0.0, "n_star must be positive");
-        MonitorAssignment { cms, n_star }
+        AllPairsAssignment { cms, n_star }
     }
 
     /// The monitor-set probability threshold `cms / N*` (capped at 1).
@@ -60,6 +82,253 @@ impl MonitorAssignment {
     /// Consistent: depends only on the two identities.
     pub fn is_monitor(&self, monitor: NodeId, target: NodeId) -> bool {
         monitor != target && consistent_hash_keyed(DOMAIN, monitor, target) <= self.threshold()
+    }
+}
+
+/// Ring-based monitor assignment with O(k) incremental membership.
+///
+/// Monitors own `vnodes` points each on a keyed [`HashRing`]; every
+/// target (member or not — offline nodes keep being monitored, which is
+/// how downtime gets measured) owns one fixed lookup point, and its
+/// monitors are the first `k` distinct ring members clockwise from that
+/// point, never itself. The assignment is a pure function of the member
+/// set, so any party evaluating it agrees — the consistency property the
+/// paper's selfishness analysis rests on.
+///
+/// [`RingAssignment::join`] and [`RingAssignment::leave`] update the
+/// member set and return the targets whose monitor sets *may* have
+/// changed: a conservative window of O(k + vnodes) expected size found
+/// by walking the ring backwards from each touched point, instead of
+/// the O(N) rescan the all-pairs rule would need.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_avmon::RingAssignment;
+///
+/// let mut ring = RingAssignment::new(100, 8, 4, 0..100u32);
+/// let before = ring.monitors_of_index(17);
+/// assert_eq!(before.len(), 4);
+///
+/// // A leave only disturbs the arcs next to the leaver's points.
+/// let affected = ring.leave(42);
+/// assert!(affected.len() < 100);
+/// for t in 0..100u32 {
+///     assert!(!ring.monitors_of_index(t).contains(&42));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingAssignment {
+    k: u32,
+    ring: HashRing,
+    /// Lookup point of each target, indexed by target.
+    points: Vec<u128>,
+    /// Target indexes sorted by lookup point, aligned with
+    /// `sorted_points` — the range structure behind the delta windows.
+    order: Vec<u32>,
+    sorted_points: Vec<u128>,
+}
+
+impl RingAssignment {
+    /// Builds the assignment for a population of `n` targets (indexes
+    /// `0..n`), with `vnodes` ring points per monitor and `k` monitors
+    /// per target. `members` is the initial monitor membership (typically
+    /// the currently-online nodes). O(N log N).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `vnodes == 0`, `n` exceeds `u32`, or a member
+    /// index is out of `0..n`.
+    pub fn new<I>(n: usize, vnodes: u32, k: u32, members: I) -> Self
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        assert!(k > 0, "a target needs at least one monitor");
+        let n_u32 = u32::try_from(n).expect("population exceeds the u32 index width");
+        let points: Vec<u128> = (0..n_u32)
+            .map(|t| {
+                consistent_point_keyed(RING_TARGET_DOMAIN, NodeId::new(u64::from(t)), NodeId::new(0))
+            })
+            .collect();
+        let mut order: Vec<u32> = (0..n_u32).collect();
+        order.sort_unstable_by_key(|&t| points[t as usize]);
+        let sorted_points: Vec<u128> = order.iter().map(|&t| points[t as usize]).collect();
+        let mut ring = HashRing::new(RING_DOMAIN, vnodes);
+        for m in members {
+            assert!(m < n_u32, "member {m} outside the population 0..{n}");
+            ring.insert(m);
+        }
+        RingAssignment {
+            k,
+            ring,
+            points,
+            order,
+            sorted_points,
+        }
+    }
+
+    /// Monitors per target.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Virtual ring points per monitor.
+    pub fn vnodes(&self) -> u32 {
+        self.ring.vnodes()
+    }
+
+    /// Number of targets in the population.
+    pub fn num_targets(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of monitors currently on the ring.
+    pub fn num_members(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether `member` is currently on the ring.
+    pub fn is_member(&self, member: u32) -> bool {
+        self.ring.contains(member)
+    }
+
+    /// The monitors of `target`: its `k` distinct ring successors,
+    /// excluding itself, in clockwise walk order. Fewer than `k` when
+    /// the ring holds fewer (other) members.
+    pub fn monitors_of_index(&self, target: u32) -> Vec<u32> {
+        self.ring.distinct_successors(
+            self.points[target as usize],
+            self.k as usize,
+            Some(target),
+        )
+    }
+
+    /// Adds `member` to the ring and returns the targets whose monitor
+    /// sets may have changed, ascending and deduplicated. No-op (empty
+    /// delta) if the member is already present.
+    pub fn join(&mut self, member: u32) -> Vec<u32> {
+        if !self.ring.insert(member) {
+            return Vec::new();
+        }
+        self.affected_by(member)
+    }
+
+    /// Removes `member` from the ring and returns the targets whose
+    /// monitor sets may have changed, ascending and deduplicated. No-op
+    /// (empty delta) if the member was not present.
+    ///
+    /// The windows are computed *before* the points disappear — they
+    /// bound the walks that used to end at the removed points.
+    pub fn leave(&mut self, member: u32) -> Vec<u32> {
+        if !self.ring.contains(member) {
+            return Vec::new();
+        }
+        let affected = self.affected_by(member);
+        self.ring.remove(member);
+        affected
+    }
+
+    /// Targets whose clockwise `k`-distinct-successor walk can reach one
+    /// of `member`'s ring points: for each point `p`, the window extends
+    /// counter-clockwise until `k + 2` distinct owners have been passed
+    /// (`+2` covers the target's self-exclusion and `member` itself
+    /// owning other points in the arc) — any target further back
+    /// resolves all `k` monitors before reaching `p`, changed or not.
+    fn affected_by(&self, member: u32) -> Vec<u32> {
+        let distinct = self.k as usize + 2;
+        let mut affected: Vec<u32> = Vec::new();
+        for p in self.ring.member_points(member) {
+            match self.ring.predecessor_window_start(p, distinct) {
+                Some(start) => self.targets_in_arc(start, p, &mut affected),
+                None => {
+                    // The ring is too small to bound the walk: every
+                    // target's monitor set is up for grabs.
+                    return (0..self.points.len() as u32).collect();
+                }
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        affected
+    }
+
+    /// Appends the targets with lookup points in the clockwise arc
+    /// `(from, to]` (wrap-aware) to `out`.
+    fn targets_in_arc(&self, from: u128, to: u128, out: &mut Vec<u32>) {
+        let lo = self.sorted_points.partition_point(|&p| p <= from);
+        let hi = self.sorted_points.partition_point(|&p| p <= to);
+        if from < to {
+            out.extend_from_slice(&self.order[lo..hi]);
+        } else {
+            // Wraps over the top of the circle.
+            out.extend_from_slice(&self.order[lo..]);
+            out.extend_from_slice(&self.order[..hi]);
+        }
+    }
+}
+
+/// The monitor-assignment strategy in force: the all-pairs reference
+/// rule or the incremental ring.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_avmon::MonitorAssignment;
+/// use avmem_util::NodeId;
+///
+/// // The historical constructor builds the all-pairs reference.
+/// let assignment = MonitorAssignment::new(8.0, 1000.0);
+/// let (m, x) = (NodeId::new(7), NodeId::new(42));
+/// assert_eq!(assignment.is_monitor(m, x), assignment.is_monitor(m, x));
+///
+/// // The ring strategy answers the same question from ring geometry.
+/// let ring = MonitorAssignment::ring(100, 8, 4, 0..100u32);
+/// let monitors = ring.monitors_of(NodeId::new(17), (0..100).map(NodeId::new));
+/// assert_eq!(monitors.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub enum MonitorAssignment {
+    /// The paper's all-pairs hash-threshold rule.
+    AllPairs(AllPairsAssignment),
+    /// Consistent-hash-ring successors with incremental join/leave.
+    Ring(RingAssignment),
+}
+
+impl MonitorAssignment {
+    /// Creates the all-pairs reference rule with expected `cms` monitors
+    /// per node in a system of `n_star` nodes (the historical
+    /// constructor).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cms > 0` and `n_star > 0`.
+    pub fn new(cms: f64, n_star: f64) -> Self {
+        MonitorAssignment::AllPairs(AllPairsAssignment::new(cms, n_star))
+    }
+
+    /// Creates a ring assignment over `n` targets; see
+    /// [`RingAssignment::new`].
+    pub fn ring<I>(n: usize, vnodes: u32, k: u32, members: I) -> Self
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        MonitorAssignment::Ring(RingAssignment::new(n, vnodes, k, members))
+    }
+
+    /// Whether `monitor` is assigned to observe `target`. For the ring
+    /// strategy the identities must be population indexes (`0..n`);
+    /// anything outside is never a monitor.
+    pub fn is_monitor(&self, monitor: NodeId, target: NodeId) -> bool {
+        match self {
+            MonitorAssignment::AllPairs(rule) => rule.is_monitor(monitor, target),
+            MonitorAssignment::Ring(ring) => {
+                let (m, t) = (monitor.raw(), target.raw());
+                if m == t || t >= ring.num_targets() as u64 || m >= ring.num_targets() as u64 {
+                    return false;
+                }
+                ring.monitors_of_index(t as u32).contains(&(m as u32))
+            }
+        }
     }
 
     /// All monitors of `target` within `population`.
@@ -82,6 +351,22 @@ impl MonitorAssignment {
             .into_iter()
             .filter(|&x| self.is_monitor(monitor, x))
             .collect()
+    }
+
+    /// The all-pairs rule, if that is the strategy in force.
+    pub fn as_all_pairs(&self) -> Option<&AllPairsAssignment> {
+        match self {
+            MonitorAssignment::AllPairs(rule) => Some(rule),
+            MonitorAssignment::Ring(_) => None,
+        }
+    }
+
+    /// The ring, if that is the strategy in force.
+    pub fn as_ring(&self) -> Option<&RingAssignment> {
+        match self {
+            MonitorAssignment::Ring(ring) => Some(ring),
+            MonitorAssignment::AllPairs(_) => None,
+        }
     }
 }
 
@@ -149,13 +434,121 @@ mod tests {
 
     #[test]
     fn threshold_caps_at_one() {
-        let assignment = MonitorAssignment::new(50.0, 10.0);
-        assert_eq!(assignment.threshold(), 1.0);
+        let rule = AllPairsAssignment::new(50.0, 10.0);
+        assert_eq!(rule.threshold(), 1.0);
     }
 
     #[test]
     #[should_panic(expected = "cms must be positive")]
     fn zero_cms_panics() {
         let _ = MonitorAssignment::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn ring_gives_exactly_k_monitors() {
+        let ring = RingAssignment::new(200, 8, 5, 0..200u32);
+        for t in 0..200u32 {
+            let monitors = ring.monitors_of_index(t);
+            assert_eq!(monitors.len(), 5, "target {t}");
+            assert!(!monitors.contains(&t), "target {t} monitors itself");
+        }
+    }
+
+    #[test]
+    fn ring_enum_view_agrees_with_index_view() {
+        let assignment = MonitorAssignment::ring(80, 4, 3, 0..80u32);
+        let ring = assignment.as_ring().unwrap();
+        for t in [0u32, 7, 79] {
+            let by_index: Vec<NodeId> = {
+                let mut m = ring.monitors_of_index(t);
+                m.sort_unstable();
+                m.into_iter().map(|i| NodeId::new(u64::from(i))).collect()
+            };
+            let mut by_id = assignment.monitors_of(NodeId::new(u64::from(t)), ids(80));
+            by_id.sort_unstable();
+            assert_eq!(by_id, by_index);
+        }
+    }
+
+    #[test]
+    fn ring_join_delta_covers_every_changed_target() {
+        let n = 150u32;
+        let mut ring = RingAssignment::new(n as usize, 4, 4, 0..n - 1);
+        let before: Vec<Vec<u32>> = (0..n).map(|t| ring.monitors_of_index(t)).collect();
+        let affected = ring.join(n - 1);
+        assert!(ring.is_member(n - 1));
+        for t in 0..n {
+            let after = ring.monitors_of_index(t);
+            if after != before[t as usize] {
+                assert!(
+                    affected.contains(&t),
+                    "target {t} changed but was not reported affected"
+                );
+            }
+        }
+        // The delta is local, not a global rebuild.
+        assert!(
+            affected.len() < n as usize / 2,
+            "join affected {} of {n} targets",
+            affected.len()
+        );
+    }
+
+    #[test]
+    fn ring_leave_delta_covers_every_changed_target() {
+        let n = 150u32;
+        let mut ring = RingAssignment::new(n as usize, 4, 4, 0..n);
+        let before: Vec<Vec<u32>> = (0..n).map(|t| ring.monitors_of_index(t)).collect();
+        let affected = ring.leave(77);
+        assert!(!ring.is_member(77));
+        for t in 0..n {
+            let after = ring.monitors_of_index(t);
+            if after != before[t as usize] {
+                assert!(
+                    affected.contains(&t),
+                    "target {t} changed but was not reported affected"
+                );
+            }
+        }
+        assert!(affected.len() < n as usize / 2);
+    }
+
+    #[test]
+    fn ring_join_then_leave_round_trips() {
+        let mut ring = RingAssignment::new(120, 4, 4, 0..120u32);
+        let before: Vec<Vec<u32>> = (0..120u32).map(|t| ring.monitors_of_index(t)).collect();
+        ring.leave(60);
+        ring.join(60);
+        let after: Vec<Vec<u32>> = (0..120u32).map(|t| ring.monitors_of_index(t)).collect();
+        assert_eq!(before, after, "assignment must be a pure function of membership");
+    }
+
+    #[test]
+    fn ring_redundant_join_and_leave_are_empty_deltas() {
+        let mut ring = RingAssignment::new(50, 4, 3, 0..25u32);
+        assert!(ring.join(10).is_empty(), "member already present");
+        assert!(ring.leave(40).is_empty(), "member already absent");
+    }
+
+    #[test]
+    fn ring_offline_targets_keep_their_monitors() {
+        // Targets outside the member set (offline nodes) still resolve k
+        // monitors — downtime is only measurable if someone keeps
+        // pinging you.
+        let ring = RingAssignment::new(100, 4, 4, 0..50u32);
+        for t in 50..100u32 {
+            let monitors = ring.monitors_of_index(t);
+            assert_eq!(monitors.len(), 4);
+            assert!(monitors.iter().all(|&m| m < 50));
+        }
+    }
+
+    #[test]
+    fn tiny_ring_reports_every_target_affected() {
+        // With fewer members than k + 2 distinct owners the delta
+        // windows cannot bound the walk, so the delta degrades to "all".
+        let mut ring = RingAssignment::new(30, 2, 4, 0..3u32);
+        let affected = ring.join(3);
+        assert_eq!(affected, (0..30u32).collect::<Vec<_>>());
     }
 }

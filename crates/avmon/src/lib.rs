@@ -9,11 +9,15 @@
 //! authors use their own AVMON system (Morales & Gupta, ICDCS 2007). This
 //! crate rebuilds the pieces of AVMON that AVMEM depends on:
 //!
-//! * [`assignment`] — AVMON's core idea: **consistent monitor selection**.
-//!   Node `m` monitors node `x` iff `H(id(m), id(x)) ≤ cms / N*`, a
-//!   predicate any third party can verify, giving each node an expected
-//!   `cms` monitors chosen uniformly at random — selfish nodes cannot
-//!   choose their own monitors;
+//! * [`assignment`] — AVMON's core idea: **consistent monitor selection**,
+//!   as a strategy: the paper's all-pairs rule (`m` monitors `x` iff
+//!   `H(id(m), id(x)) ≤ cms / N*`, a predicate any third party can
+//!   verify, giving each node an expected `cms` uniformly random
+//!   monitors — selfish nodes cannot choose their own monitors), and a
+//!   consistent-hash-ring strategy ([`RingAssignment`]) with the same
+//!   consistency contract but an O(N log N) build and O(k) incremental
+//!   [`join`](RingAssignment::join) / [`leave`](RingAssignment::leave)
+//!   deltas under churn;
 //! * [`estimator`] — per-target ping bookkeeping: raw (lifetime fraction
 //!   of answered pings) and aged (exponentially weighted) availability
 //!   estimates;
@@ -36,7 +40,7 @@ pub mod estimator;
 pub mod oracle;
 pub mod service;
 
-pub use assignment::MonitorAssignment;
+pub use assignment::{AllPairsAssignment, MonitorAssignment, RingAssignment};
 pub use estimator::PingEstimator;
 pub use oracle::{AvailabilityOracle, NoisyOracle, TraceOracle};
-pub use service::{AvmonConfig, AvmonService};
+pub use service::{AssignmentChoice, AvmonConfig, AvmonService};

@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 
 use avmem_avmon::{
-    AvailabilityOracle, MonitorAssignment, NoisyOracle, PingEstimator, TraceOracle,
+    AvailabilityOracle, MonitorAssignment, NoisyOracle, PingEstimator, RingAssignment,
+    TraceOracle,
 };
 use avmem_sim::{SimDuration, SimTime};
 use avmem_trace::OvernetModel;
@@ -97,6 +98,43 @@ proptest! {
     }
 
     #[test]
+    fn ring_assigns_exactly_k_distinct_monitors(
+        n in 20usize..200,
+        vnodes in 1u32..8,
+        k in 1u32..8,
+    ) {
+        // With every node a member and n ≫ k, each target must get
+        // exactly k distinct monitors, never including itself.
+        let ring = RingAssignment::new(n, vnodes, k, 0..n as u32);
+        for t in 0..n as u32 {
+            let monitors = ring.monitors_of_index(t);
+            prop_assert_eq!(monitors.len(), k as usize, "target {} got {:?}", t, &monitors);
+            let mut deduped = monitors.clone();
+            deduped.sort_unstable();
+            deduped.dedup();
+            prop_assert_eq!(deduped.len(), k as usize, "duplicate monitor for target {}", t);
+            prop_assert!(!monitors.contains(&t), "target {} monitors itself", t);
+            prop_assert!(monitors.iter().all(|&m| m < n as u32));
+        }
+    }
+
+    #[test]
+    fn ring_assignment_is_consistent(
+        n in 20usize..150,
+        vnodes in 1u32..6,
+        k in 1u32..6,
+    ) {
+        // Consistency (the AVMON property AVMEM relies on): the same
+        // membership always yields the same monitors, regardless of how
+        // the ring was reached.
+        let a = RingAssignment::new(n, vnodes, k, 0..n as u32);
+        let b = RingAssignment::new(n, vnodes, k, 0..n as u32);
+        for t in 0..n as u32 {
+            prop_assert_eq!(a.monitors_of_index(t), b.monitors_of_index(t));
+        }
+    }
+
+    #[test]
     fn shared_noise_is_querier_invariant(
         error in 0.0f64..0.3,
         seed in any::<u64>(),
@@ -119,4 +157,76 @@ proptest! {
             oracle.estimate(NodeId::new(q2), x, t)
         );
     }
+}
+
+/// Targets-per-monitor load for every member of a full ring.
+fn monitor_loads(n: usize, vnodes: u32, k: u32) -> Vec<usize> {
+    let ring = RingAssignment::new(n, vnodes, k, 0..n as u32);
+    let mut loads = vec![0usize; n];
+    for t in 0..n as u32 {
+        for m in ring.monitors_of_index(t) {
+            loads[m as usize] += 1;
+        }
+    }
+    loads
+}
+
+#[test]
+fn ring_load_evens_out_as_vnodes_grow() {
+    // Each target has k monitors, so mean load is exactly k; virtual
+    // points shrink the spread around it. Deterministic (keyed hashes),
+    // so the bounds are exact, not statistical.
+    let (n, k) = (400, 4);
+    let spread = |vnodes: u32| {
+        let loads = monitor_loads(n, vnodes, k);
+        let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+        assert!((mean - k as f64).abs() < 1e-9, "mean load must be k");
+        let var = loads
+            .iter()
+            .map(|&l| (l as f64 - mean).powi(2))
+            .sum::<f64>()
+            / loads.len() as f64;
+        let max = *loads.iter().max().unwrap();
+        (var, max)
+    };
+    let (var_1, max_1) = spread(1);
+    let (var_32, max_32) = spread(32);
+    assert!(
+        var_32 < var_1 / 2.0,
+        "32 vnodes should at least halve load variance: {var_32} vs {var_1}"
+    );
+    assert!(max_32 <= max_1, "max load should not grow: {max_32} vs {max_1}");
+    assert!(
+        (max_32 as f64) < 3.0 * k as f64,
+        "max load {max_32} should stay within 3x the mean {k}"
+    );
+}
+
+#[test]
+fn join_and_leave_deltas_do_not_scale_with_n() {
+    // The O(k) claim: the number of targets touched by one membership
+    // change depends on k and vnodes, never on N. Sample many members at
+    // two ring sizes an order of magnitude apart and compare worst cases.
+    let (vnodes, k) = (8, 4);
+    let max_delta = |n: usize| {
+        let mut ring = RingAssignment::new(n, vnodes, k, 0..n as u32);
+        let mut worst = 0usize;
+        for m in (0..n as u32).step_by(n / 40) {
+            let left = ring.leave(m);
+            let rejoined = ring.join(m);
+            worst = worst.max(left.len()).max(rejoined.len());
+        }
+        worst
+    };
+    let small = max_delta(2_000);
+    let large = max_delta(20_000);
+    // Worst case over the sample must not grow with N (generous slack:
+    // arc occupancy is hash-random, so allow 2x wiggle either way).
+    assert!(
+        (large as f64) < 2.0 * small as f64 + 16.0,
+        "delta grew with N: {small} targets at 2k hosts, {large} at 20k"
+    );
+    // And both are tiny against N — far below any linear term.
+    assert!(small < 2_000 / 10, "delta {small} not sublinear at 2k hosts");
+    assert!(large < 20_000 / 100, "delta {large} not sublinear at 20k hosts");
 }

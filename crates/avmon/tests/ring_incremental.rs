@@ -1,0 +1,250 @@
+//! Pins the incrementally-maintained ring pipeline to a from-scratch
+//! reference.
+//!
+//! The contract under test: an [`AvmonService`] in ring mode that tracks
+//! churn through O(k) [`RingAssignment::join`] / [`RingAssignment::leave`]
+//! deltas — repairing its fixed-width rows and recycling estimator slots
+//! in place — produces **bit-identical** estimates to a reference that
+//! rebuilds the ring assignment from scratch out of every slot's online
+//! set, carrying estimator state per surviving `(monitor, target)` edge
+//! and dropping it the moment an edge leaves the assignment. If a delta
+//! window ever misses an affected target, or a recycled slot leaks a
+//! stale estimator, the two diverge.
+//!
+//! Ping losses come from per-edge keyed streams, so the reference is
+//! exact with and without loss; at `ping_loss = 0` no stream is drawn at
+//! all. Cells sweep chunk fan-outs 1/2/8 as required by the layout's
+//! order-independence claim.
+
+use std::collections::HashMap;
+
+use avmem_avmon::{
+    AssignmentChoice, AvailabilityOracle, AvmonConfig, AvmonService, PingEstimator,
+    RingAssignment,
+};
+use avmem_sim::{SimDuration, SimTime};
+use avmem_trace::{ChurnTrace, OvernetModel};
+use avmem_util::{Availability, NodeId, Rng, SplitMix64};
+
+/// Must match `avmem_avmon::service::STREAM_PING_EDGE`.
+const STREAM_PING_EDGE: u64 = 0x4156_4d4f_4e51;
+
+const VNODES: u32 = 8;
+const K: u32 = 4;
+
+/// From-scratch reference: every slot rebuilds the ring assignment from
+/// that slot's online set and keeps estimator state only for edges that
+/// survived from the previous slot's assignment.
+struct RebuildReference {
+    config: AvmonConfig,
+    seed: u64,
+    n: usize,
+    estimators: HashMap<(u32, u32), PingEstimator>,
+    aggregate: Vec<Option<Availability>>,
+    next_slot: usize,
+}
+
+impl RebuildReference {
+    fn new(trace: &ChurnTrace, config: AvmonConfig, seed: u64) -> Self {
+        RebuildReference {
+            config,
+            seed,
+            n: trace.num_nodes(),
+            estimators: HashMap::new(),
+            aggregate: vec![None; trace.num_nodes()],
+            next_slot: 0,
+        }
+    }
+
+    fn step_to(&mut self, trace: &ChurnTrace, now: SimTime) {
+        let slot_ms = trace.slot_duration().as_millis();
+        let last_slot = ((now.as_millis() / slot_ms) as usize).min(trace.num_slots() - 1);
+        while self.next_slot <= last_slot {
+            self.process_slot(trace, self.next_slot);
+            self.next_slot += 1;
+        }
+    }
+
+    fn process_slot(&mut self, trace: &ChurnTrace, slot: usize) {
+        let members = (0..self.n as u32).filter(|&i| trace.is_online_in_slot(i as usize, slot));
+        let ring = RingAssignment::new(self.n, VNODES, K, members);
+        let assignment: Vec<Vec<u32>> = (0..self.n as u32)
+            .map(|t| ring.monitors_of_index(t))
+            .collect();
+        // Edge survival: keep state for edges still assigned, drop the
+        // rest (a monitor that loses a target and later regains it
+        // starts fresh — exactly the service's slot recycling).
+        let mut surviving: HashMap<(u32, u32), PingEstimator> = HashMap::new();
+        for (t, monitors) in assignment.iter().enumerate() {
+            for &m in monitors {
+                let edge = (m, t as u32);
+                let est = self
+                    .estimators
+                    .remove(&edge)
+                    .unwrap_or_else(|| PingEstimator::new(self.config.alpha));
+                surviving.insert(edge, est);
+            }
+        }
+        self.estimators = surviving;
+        // Ping phase: ring members are online by construction; the
+        // target answers iff it is online and the edge's keyed loss
+        // stream spares the ping.
+        for (t, monitors) in assignment.iter().enumerate() {
+            for &m in monitors {
+                let answered = trace.is_online_in_slot(t, slot)
+                    && (self.config.ping_loss <= 0.0 || {
+                        let mut rng = SplitMix64::keyed(&[
+                            self.seed,
+                            STREAM_PING_EDGE,
+                            u64::from(m),
+                            t as u64,
+                            slot as u64,
+                        ]);
+                        !rng.chance(self.config.ping_loss)
+                    });
+                self.estimators
+                    .get_mut(&(m, t as u32))
+                    .expect("edge was just installed")
+                    .record(answered);
+            }
+        }
+        // Aggregation: median of the assigned monitors' estimates.
+        for (t, monitors) in assignment.iter().enumerate() {
+            let mut values: Vec<f64> = Vec::new();
+            for &m in monitors {
+                let estimator = &self.estimators[&(m, t as u32)];
+                let est = if self.config.use_aged {
+                    estimator.aged()
+                } else {
+                    estimator.raw()
+                };
+                if let Some(av) = est {
+                    values.push(av.value());
+                }
+            }
+            if !values.is_empty() {
+                values.sort_by(|a, b| a.partial_cmp(b).expect("estimates are never NaN"));
+                self.aggregate[t] = Some(Availability::saturating(values[values.len() / 2]));
+            }
+        }
+    }
+}
+
+fn ring_config() -> AvmonConfig {
+    AvmonConfig {
+        assignment: AssignmentChoice::Ring { vnodes: VNODES, k: K },
+        ..AvmonConfig::default()
+    }
+}
+
+fn trace(hosts: usize, seed: u64) -> ChurnTrace {
+    OvernetModel::default().hosts(hosts).days(1).generate(seed)
+}
+
+fn aggregates(service: &AvmonService, n: usize) -> Vec<Option<f64>> {
+    (0..n)
+        .map(|i| {
+            service
+                .estimate(NodeId::new(0), NodeId::new(i as u64), SimTime::ZERO)
+                .map(|av| av.value())
+        })
+        .collect()
+}
+
+/// One (config, chop pattern, thread count) cell against the reference.
+fn check_cell(config: AvmonConfig, chop: &[u64], threads: usize, label: &str) {
+    let trace = trace(90, 17);
+    let n = trace.num_nodes();
+    let mut reference = RebuildReference::new(&trace, config, 99);
+    let mut service = AvmonService::new(&trace, config, 99);
+    service.set_threads(threads);
+    let mut now = SimTime::ZERO;
+    for &mins in chop {
+        now += SimDuration::from_mins(mins);
+        reference.step_to(&trace, now);
+        service.step_to(&trace, now);
+        let expected: Vec<Option<f64>> = reference
+            .aggregate
+            .iter()
+            .map(|a| a.map(|av| av.value()))
+            .collect();
+        assert_eq!(
+            aggregates(&service, n),
+            expected,
+            "{label}: aggregates diverged at {now:?}"
+        );
+    }
+    // Guard against vacuous equality.
+    assert!(
+        aggregates(&service, n).iter().filter(|a| a.is_some()).count() > n / 2,
+        "{label}: reference run produced almost no estimates"
+    );
+}
+
+#[test]
+fn incremental_deltas_match_rebuild_without_ping_loss() {
+    // ping_loss = 0 ⇒ no RNG anywhere: any divergence is a delta-window
+    // or slot-recycling bug, bit for bit.
+    for threads in [1, 2, 8] {
+        check_cell(
+            ring_config(),
+            &[240, 240, 480],
+            threads,
+            &format!("no-loss/threads={threads}"),
+        );
+    }
+}
+
+#[test]
+fn incremental_deltas_match_rebuild_with_ping_loss() {
+    let config = AvmonConfig {
+        ping_loss: 0.25,
+        ..ring_config()
+    };
+    for threads in [1, 2, 8] {
+        check_cell(
+            config,
+            &[360, 600],
+            threads,
+            &format!("lossy/threads={threads}"),
+        );
+    }
+}
+
+#[test]
+fn incremental_deltas_match_rebuild_in_aged_mode() {
+    let config = AvmonConfig {
+        ping_loss: 0.1,
+        use_aged: true,
+        ..ring_config()
+    };
+    check_cell(config, &[720], 4, "aged");
+}
+
+#[test]
+fn ring_thread_counts_agree_with_each_other() {
+    // Service-vs-service sweep over a lossy config: the fixed-width
+    // layout must be chunk-order independent.
+    let config = AvmonConfig {
+        ping_loss: 0.4,
+        ..ring_config()
+    };
+    let trace = trace(120, 31);
+    let n = trace.num_nodes();
+    let end = SimTime::ZERO + trace.duration();
+    let mut base = AvmonService::new(&trace, config, 7);
+    base.set_threads(1);
+    base.step_to(&trace, end);
+    let base_aggregates = aggregates(&base, n);
+    assert!(base_aggregates.iter().any(Option::is_some));
+    for threads in [2, 3, 8] {
+        let mut other = AvmonService::new(&trace, config, 7);
+        other.set_threads(threads);
+        other.step_to(&trace, end);
+        assert_eq!(
+            aggregates(&other, n),
+            base_aggregates,
+            "threads={threads} diverged"
+        );
+    }
+}

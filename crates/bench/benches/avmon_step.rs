@@ -1,8 +1,10 @@
 //! Benchmarks of the AVMON monitoring service's hot paths: the per-slot
 //! ping + aggregation sweep (the cost every full-AVMON-fidelity hour
-//! pays once per trace slot) and the build-once assignment/index
-//! construction. The slot sweep runs to 10⁴ monitors — the scale whose
-//! pre-refactor `O(N²)` aggregation capped full-AVMON runs.
+//! pays once per trace slot), the build-once assignment/index
+//! construction for both assignment strategies (all-pairs vs ring), and
+//! the ring's O(k) join/leave churn deltas. The slot sweep runs to 10⁴
+//! monitors — the scale whose pre-refactor `O(N²)` aggregation capped
+//! full-AVMON runs; the ring build runs to 10⁵.
 //!
 //! Set `AVMEM_BENCH_QUICK=1` (the CI bench-smoke setting) to run only
 //! small sizes.
@@ -10,7 +12,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use avmem_avmon::{AvmonConfig, AvmonService};
+use avmem_avmon::{AssignmentChoice, AvmonConfig, AvmonService, RingAssignment};
 use avmem_sim::SimTime;
 use avmem_trace::{ChurnTrace, OvernetModel};
 
@@ -79,5 +81,70 @@ fn bench_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_slot_sweep, bench_build);
+/// Assignment-strategy build cost, apples to apples: a full ring-mode
+/// service build (ring + rows + arena) against the all-pairs scan. The
+/// all-pairs rule is O(N²) SHA-256 — 32 s at 10⁴ hosts — so it stops at
+/// 10³ here; the ring's O(N log N) build runs to 10⁵.
+fn bench_assignment_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_build");
+    group.sample_size(2);
+    let all_pairs_sizes: &[usize] = if quick() { &[200] } else { &[500, 1_000] };
+    let ring_sizes: &[usize] = if quick() { &[200] } else { &[1_000, 10_000, 100_000] };
+    for &hosts in all_pairs_sizes {
+        let trace = trace(hosts);
+        group.bench_with_input(BenchmarkId::new("all-pairs", hosts), &hosts, |b, _| {
+            b.iter(|| {
+                let service = AvmonService::new(&trace, AvmonConfig::default(), 42);
+                black_box(service.slots_processed())
+            })
+        });
+    }
+    for &hosts in ring_sizes {
+        let trace = trace(hosts);
+        let config = AvmonConfig {
+            assignment: AssignmentChoice::Ring { vnodes: 8, k: 8 },
+            ..AvmonConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("ring", hosts), &hosts, |b, _| {
+            b.iter(|| {
+                let service = AvmonService::new(&trace, config, 42);
+                black_box(service.slots_processed())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One membership churn event against the ring: `leave` + re-`join` of
+/// a member, returning the affected-target deltas. Run at two sizes an
+/// order of magnitude apart — O(k) means the numbers should match, not
+/// scale with N.
+fn bench_assignment_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_update");
+    group.sample_size(if quick() { 2 } else { 5 });
+    let sizes: &[usize] = if quick() { &[1_000] } else { &[10_000, 100_000] };
+    for &n in sizes {
+        let mut ring = RingAssignment::new(n, 8, 8, 0..n as u32);
+        group.bench_with_input(BenchmarkId::new("leave_join", n), &n, |b, _| {
+            let mut member = 0u32;
+            b.iter(|| {
+                // Walk a coprime stride so successive events hit
+                // different ring neighborhoods.
+                member = (member + 7_919) % n as u32;
+                let left = ring.leave(member);
+                let rejoined = ring.join(member);
+                black_box(left.len() + rejoined.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_slot_sweep,
+    bench_build,
+    bench_assignment_build,
+    bench_assignment_update
+);
 criterion_main!(benches);

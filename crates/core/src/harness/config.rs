@@ -67,7 +67,10 @@ pub enum OracleChoice {
         /// How long an aggregate answer stays fixed.
         staleness: SimDuration,
     },
-    /// The full ping-based AVMON service.
+    /// The full ping-based AVMON service. `config.assignment` picks the
+    /// monitor-assignment strategy: the paper's all-pairs rule, or the
+    /// consistent-hash ring whose O(k) churn deltas make 10⁵–10⁶-host
+    /// populations buildable.
     Avmon {
         /// AVMON parameters.
         config: AvmonConfig,

@@ -532,6 +532,19 @@ struct MaintSchedule {
     plan: BatchPlan,
 }
 
+/// Lightweight overlay-health numbers, computed by
+/// [`AvmemSim::health_stats`] without building an [`OverlaySnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthStats {
+    /// Nodes online at sample time.
+    pub online: usize,
+    /// Mean total degree (|HS| + |VS|) over online nodes.
+    pub mean_degree: f64,
+    /// Fraction of online nodes inside the largest weakly-connected
+    /// component of the both-sliver overlay.
+    pub largest_component: f64,
+}
+
 /// The full-system simulation.
 pub struct AvmemSim {
     trace: ChurnTrace,
@@ -1183,6 +1196,78 @@ impl AvmemSim {
         OverlaySnapshot::new(nodes, self.predicate.epsilon())
     }
 
+    /// Streaming overlay health: the numbers a health sample needs,
+    /// without materializing a snapshot.
+    ///
+    /// [`snapshot`](Self::snapshot) clones every node's sliver lists and
+    /// queries the oracle per node — fine for analysis, but at 10⁵–10⁶
+    /// hosts a periodic health probe spends more memory and time on the
+    /// clone than the whole maintenance slice it interrupts. This path
+    /// walks the live membership state once: online count from the
+    /// trace, mean degree with the same accumulation order as
+    /// [`OverlaySnapshot::mean_degree`] (ascending node index, so the
+    /// two agree bit for bit), and the largest weakly-connected
+    /// component over both-endpoint-online sliver edges via union-find
+    /// (the same component structure the snapshot's BFS finds).
+    pub fn health_stats(&self) -> HealthStats {
+        let n = self.trace.num_nodes();
+        let mut online = vec![false; n];
+        let mut online_count = 0usize;
+        for (i, flag) in online.iter_mut().enumerate() {
+            if self.trace.is_online(i, self.now) {
+                *flag = true;
+                online_count += 1;
+            }
+        }
+        if online_count == 0 {
+            return HealthStats {
+                online: 0,
+                mean_degree: 0.0,
+                largest_component: 0.0,
+            };
+        }
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                // Path halving.
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        let mut degree_sum = 0.0f64;
+        for i in 0..n {
+            if !online[i] {
+                continue;
+            }
+            let membership = &self.memberships[i];
+            degree_sum += (membership.hs().len() + membership.vs().len()) as f64;
+            for neighbor in membership.hs().iter().chain(membership.vs().iter()) {
+                let j = neighbor.id.raw() as usize;
+                if online[j] {
+                    let (a, b) = (find(&mut parent, i as u32), find(&mut parent, j as u32));
+                    if a != b {
+                        parent[a as usize] = b;
+                    }
+                }
+            }
+        }
+        let mut component_size = vec![0u32; n];
+        let mut best = 0u32;
+        for (i, &up) in online.iter().enumerate() {
+            if up {
+                let root = find(&mut parent, i as u32) as usize;
+                component_size[root] += 1;
+                best = best.max(component_size[root]);
+            }
+        }
+        HealthStats {
+            online: online_count,
+            mean_degree: degree_sum / online_count as f64,
+            largest_component: f64::from(best) / online_count as f64,
+        }
+    }
+
     /// Picks a uniformly random *online* node whose true availability
     /// lies in `band`, or `None` if no such node is online.
     ///
@@ -1347,6 +1432,27 @@ mod tests {
         let mut sim = small_sim(1);
         sim.warm_up(SimDuration::from_hours(2));
         assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn health_stats_matches_the_snapshot_metrics() {
+        use crate::membership::SliverScope;
+        // The streaming health path must agree with the snapshot-based
+        // metrics exactly — same mean-degree accumulation order, same
+        // component structure — at several points of a churning run.
+        let mut sim = small_sim(4);
+        for _ in 0..3 {
+            sim.warm_up(SimDuration::from_hours(6));
+            let stats = sim.health_stats();
+            let snapshot = sim.snapshot();
+            assert_eq!(stats.online, snapshot.online_count());
+            assert_eq!(stats.mean_degree, snapshot.mean_degree());
+            assert_eq!(
+                stats.largest_component,
+                snapshot.largest_component_fraction(SliverScope::Both)
+            );
+        }
+        assert!(sim.health_stats().mean_degree > 1.0, "vacuous overlay");
     }
 
     #[test]

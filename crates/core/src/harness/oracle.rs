@@ -16,8 +16,9 @@ pub enum SimOracle {
     Exact(TraceOracle),
     /// Ground truth + per-querier noise/staleness.
     Noisy(NoisyOracle<TraceOracle>),
-    /// Full ping-based monitoring.
-    Avmon(AvmonService),
+    /// Full ping-based monitoring (boxed: the service's assignment
+    /// state dwarfs the instant oracles).
+    Avmon(Box<AvmonService>),
 }
 
 impl SimOracle {
@@ -35,14 +36,16 @@ impl SimOracle {
                 NoisyOracle::shared(TraceOracle::new(trace), error, staleness, seed),
             ),
             OracleChoice::Avmon { config } => {
-                SimOracle::Avmon(AvmonService::new(trace, config, seed))
+                SimOracle::Avmon(Box::new(AvmonService::new(trace, config, seed)))
             }
         }
     }
 
     /// Advances time-dependent oracles (the AVMON service processes all
     /// pings up to `now` in batched parallel slot sweeps over the worker
-    /// pool; the others are time-indexed functions).
+    /// pool — in ring-assignment mode each slot first replays the
+    /// trace's join/leave churn into incremental O(k) reassignment
+    /// deltas; the others are time-indexed functions).
     pub fn advance(&mut self, trace: &ChurnTrace, now: SimTime) {
         if let SimOracle::Avmon(service) = self {
             service.step_to(trace, now);

@@ -8,9 +8,11 @@
 //! scenario run my-experiment.scn --seed 9 --engine serial --json
 //! ```
 //!
-//! `run` resolves its argument as a built-in name first, then as a file
-//! path. Overrides: `--seed N`, `--engine serial|parallel`,
-//! `--threads K` (0 = all cores), `--json` for machine-readable output.
+//! `run` and `check` resolve their argument as a built-in name first,
+//! then as a file path. Run overrides: `--seed N`,
+//! `--engine serial|parallel`, `--threads K` (0 = all cores),
+//! `--warmup-mins N` / `--duration-mins N` (truncated CI smokes of big
+//! scenarios), `--json` for machine-readable output.
 
 use std::process::ExitCode;
 
@@ -22,13 +24,15 @@ fn usage() -> &'static str {
      commands:\n\
      \x20 list                        list built-in scenarios\n\
      \x20 show <name>                 print a built-in scenario's spec text\n\
-     \x20 check <file>                parse and validate a spec file\n\
+     \x20 check <name|file>           parse and validate a built-in or spec file\n\
      \x20 run <name|file> [options]   run a scenario and print its report\n\
      \n\
      run options:\n\
      \x20 --seed <n>                  override the spec's seed\n\
      \x20 --engine serial|parallel    override the maintenance engine\n\
      \x20 --threads <k>               worker threads for --engine parallel (0 = all cores)\n\
+     \x20 --warmup-mins <n>           override the spec's warmup length\n\
+     \x20 --duration-mins <n>         override the spec's measured duration\n\
      \x20 --json                      print the report as JSON\n"
 }
 
@@ -45,8 +49,8 @@ fn main() -> ExitCode {
             None => fail("show needs a scenario name"),
         },
         Some("check") => match args.get(1) {
-            Some(path) => check(path),
-            None => fail("check needs a spec file path"),
+            Some(which) => check(which),
+            None => fail("check needs a scenario name or spec file path"),
         },
         Some("run") => match args.get(1) {
             Some(which) => run(which, &args[2..]),
@@ -86,16 +90,34 @@ fn show(name: &str) -> ExitCode {
     }
 }
 
-fn check(path: &str) -> ExitCode {
-    match load_file(path) {
+fn check(which: &str) -> ExitCode {
+    match resolve(which) {
         Ok(spec) => {
             println!(
-                "{path}: ok — scenario {:?}, {} min of operations",
+                "{which}: ok — scenario {:?}, {} min of operations",
                 spec.name, spec.duration_mins
             );
             ExitCode::SUCCESS
         }
         Err(message) => fail(&message),
+    }
+}
+
+/// Resolves `which` as a built-in name first, then as a spec file path.
+fn resolve(which: &str) -> Result<ScenarioSpec, String> {
+    match builtin::builtin(which) {
+        Some(spec) => {
+            // Built-ins are validated by their own tests, but re-check
+            // here so `check <name>` means what it says.
+            spec.validate().map_err(|e| format!("{which}: {e}"))?;
+            Ok(spec)
+        }
+        None => load_file(which).map_err(|message| {
+            format!(
+                "{which:?} is neither a built-in (see `scenario list`) nor a readable \
+                 spec file: {message}"
+            )
+        }),
     }
 }
 
@@ -107,17 +129,9 @@ fn load_file(path: &str) -> Result<ScenarioSpec, String> {
 }
 
 fn run(which: &str, options: &[String]) -> ExitCode {
-    let mut spec = match builtin::builtin(which) {
-        Some(spec) => spec,
-        None => match load_file(which) {
-            Ok(spec) => spec,
-            Err(message) => {
-                return fail(&format!(
-                    "{which:?} is neither a built-in (see `scenario list`) nor a readable \
-                     spec file: {message}"
-                ))
-            }
-        },
+    let mut spec = match resolve(which) {
+        Ok(spec) => spec,
+        Err(message) => return fail(&message),
     };
 
     let mut engine: Option<&str> = None;
@@ -137,6 +151,14 @@ fn run(which: &str, options: &[String]) -> ExitCode {
             "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(k) => threads = Some(k),
                 None => return fail("--threads needs an integer"),
+            },
+            "--warmup-mins" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(mins) => spec.warmup_mins = mins,
+                None => return fail("--warmup-mins needs an integer"),
+            },
+            "--duration-mins" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(mins) => spec.duration_mins = mins,
+                None => return fail("--duration-mins needs an integer"),
             },
             "--json" => json = true,
             other => return fail(&format!("unknown run option {other:?}")),

@@ -321,7 +321,7 @@ hi = 0.95
     },
     Builtin {
         name: "stress-100k",
-        blurb: "100,000-host yardstick: live event-driven maintenance plus operations at 10^5 scale",
+        blurb: "100,000-host yardstick: live maintenance, operations and ring-AVMON monitoring at 10^5 scale",
         source: r#"
 name = "stress-100k"
 seed = 29
@@ -333,6 +333,56 @@ health_every_mins = 10
 model = "overnet"
 hosts = 100000
 days = 1
+
+[oracle]
+kind = "avmon"
+assignment = "ring"
+vnodes = 8
+monitors = 8
+
+[maintenance]
+mode = "event-driven"
+protocol_secs = 60
+refresh_mins = 20
+engine = "parallel"
+
+[workload]
+ops_per_hour = 30.0
+anycast_fraction = 0.9
+policy = "retried-greedy"
+retries = 8
+scope = "both"
+ttl = 6
+initiators = "any"
+multicast = "flood"
+
+[[target]]
+weight = 1.0
+kind = "range"
+lo = 0.85
+hi = 0.95
+"#,
+    },
+    Builtin {
+        name: "stress-1m",
+        blurb: "1,000,000-host frontier: ring-AVMON monitoring, live maintenance and operations at 10^6 scale",
+        source: r#"
+name = "stress-1m"
+seed = 31
+warmup_mins = 4
+duration_mins = 8
+health_every_mins = 4
+
+[churn]
+model = "overnet"
+hosts = 1000000
+days = 1
+
+[oracle]
+kind = "avmon"
+assignment = "ring"
+vnodes = 4
+monitors = 8
 
 [maintenance]
 mode = "event-driven"

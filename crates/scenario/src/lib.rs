@@ -49,7 +49,7 @@ pub use parse::{parse_spec, ParseError};
 pub use report::{AnycastStats, AttackStats, HealthSample, MulticastStats, ScenarioReport};
 pub use runner::ScenarioRunner;
 pub use spec::{
-    AdversarySpec, BandSpec, ChurnSpec, EngineSpec, MaintenanceModeSpec, MaintenanceSpec,
-    MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ScenarioError, ScenarioSpec,
-    ScopeSpec, TargetMix, TargetSpec, WorkloadSpec,
+    AdversarySpec, AssignmentSpec, BandSpec, ChurnSpec, EngineSpec, MaintenanceModeSpec,
+    MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ScenarioError,
+    ScenarioSpec, ScopeSpec, TargetMix, TargetSpec, WorkloadSpec,
 };

@@ -18,9 +18,9 @@
 use std::collections::BTreeMap;
 
 use crate::spec::{
-    AdversarySpec, BandSpec, ChurnSpec, EngineSpec, MaintenanceModeSpec, MaintenanceSpec,
-    MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ScenarioSpec, ScopeSpec, TargetMix,
-    TargetSpec, WorkloadSpec,
+    AdversarySpec, AssignmentSpec, BandSpec, ChurnSpec, EngineSpec, MaintenanceModeSpec,
+    MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ScenarioSpec,
+    ScopeSpec, TargetMix, TargetSpec, WorkloadSpec,
 };
 
 /// A parse failure, located at a 1-based source line.
@@ -467,7 +467,34 @@ pub fn parse_spec(input: &str) -> Result<ScenarioSpec, ParseError> {
                     error: section.f64_or("error", 0.05)?,
                     staleness_mins: section.u64_or("staleness_mins", 20)?,
                 },
-                "avmon" => OracleSpec::Avmon,
+                "avmon" => {
+                    let assignment = match section.raw_value("assignment") {
+                        None => AssignmentSpec::AllPairs,
+                        Some(value) => {
+                            let line = value.line;
+                            let name = section.str_of(value, "assignment")?;
+                            let ring = pick(
+                                &name,
+                                line,
+                                "assignment",
+                                &[("all-pairs", false), ("ring", true)],
+                            )?;
+                            if ring {
+                                AssignmentSpec::Ring {
+                                    vnodes: section.u64_or("vnodes", 8)? as u32,
+                                    monitors: section.u64_or("monitors", 8)? as u32,
+                                }
+                            } else {
+                                AssignmentSpec::AllPairs
+                            }
+                        }
+                    };
+                    // `vnodes`/`monitors` without `assignment = "ring"`
+                    // would dangle.
+                    let _ = section.u64_or("vnodes", 0)?;
+                    let _ = section.u64_or("monitors", 0)?;
+                    OracleSpec::Avmon { assignment }
+                }
                 other => {
                     return Err(ParseError::new(
                         kind_line,
@@ -781,7 +808,21 @@ impl ScenarioSpec {
                 )
                 .unwrap();
             }
-            OracleSpec::Avmon => writeln!(w, "kind = \"avmon\"").unwrap(),
+            OracleSpec::Avmon { assignment } => {
+                writeln!(w, "kind = \"avmon\"").unwrap();
+                match assignment {
+                    AssignmentSpec::AllPairs => {
+                        writeln!(w, "assignment = \"all-pairs\"").unwrap();
+                    }
+                    AssignmentSpec::Ring { vnodes, monitors } => {
+                        writeln!(
+                            w,
+                            "assignment = \"ring\"\nvnodes = {vnodes}\nmonitors = {monitors}"
+                        )
+                        .unwrap();
+                    }
+                }
+            }
         }
 
         writeln!(w, "\n[maintenance]").unwrap();

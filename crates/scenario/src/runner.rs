@@ -289,6 +289,11 @@ impl ScenarioRunner {
         let trace = sim.trace();
         let now = sim.now();
         let in_band = |i: usize| {
+            // `Any` needs no availability lookup — at 10⁶ hosts the
+            // per-candidate long-term-availability scan is the cost.
+            if matches!(band, BandSpec::Any) {
+                return true;
+            }
             let av = trace.long_term_availability(i).value();
             match band {
                 BandSpec::Low => av < 1.0 / 3.0,
@@ -448,6 +453,13 @@ impl ScenarioRunner {
     }
 }
 
+/// Population size past which health sampling switches from overlay
+/// snapshots to the streaming [`AvmemSim::health_stats`] path. A
+/// snapshot clones every node's sliver lists; at 10⁵–10⁶ hosts that
+/// transient dwarfs the sample itself, while the streaming path yields
+/// the identical numbers (pinned by a harness test).
+const STREAMING_HEALTH_HOSTS: usize = 100_000;
+
 /// Snapshots the overlay's health at `at`.
 fn health_sample(
     sim: &AvmemSim,
@@ -455,12 +467,23 @@ fn health_sample(
     ops_since_last: u64,
     attack_since_last: (u64, u64),
 ) -> HealthSample {
-    let snapshot = sim.snapshot();
+    let (online, mean_degree, largest_component) =
+        if sim.trace().num_nodes() >= STREAMING_HEALTH_HOSTS {
+            let stats = sim.health_stats();
+            (stats.online, stats.mean_degree, stats.largest_component)
+        } else {
+            let snapshot = sim.snapshot();
+            (
+                snapshot.online_count(),
+                snapshot.mean_degree(),
+                snapshot.largest_component_fraction(SliverScope::Both),
+            )
+        };
     HealthSample {
         at_mins: at.as_millis() / 60_000,
-        online: snapshot.online_count(),
-        mean_degree: snapshot.mean_degree(),
-        largest_component: snapshot.largest_component_fraction(SliverScope::Both),
+        online,
+        mean_degree,
+        largest_component,
         ops_since_last,
         attack_since_last,
     }

@@ -151,8 +151,29 @@ pub enum OracleSpec {
         /// Aggregate staleness in minutes.
         staleness_mins: u64,
     },
-    /// The full ping-based AVMON service (default parameters).
-    Avmon,
+    /// The full ping-based AVMON service (default ping parameters).
+    Avmon {
+        /// Monitor-assignment strategy the service runs with.
+        assignment: AssignmentSpec,
+    },
+}
+
+/// AVMON monitor-assignment strategy — the scenario-level fidelity knob
+/// trading the paper's exact all-pairs rule against ring scalability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AssignmentSpec {
+    /// The paper's all-pairs hash rule: O(N²) build, estimator history
+    /// never resets (most faithful, unusable past ~10⁴ hosts).
+    AllPairs,
+    /// Consistent-hash ring: O(N log N) build and O(k) join/leave deltas
+    /// under churn, at the cost of noisier estimates (reassignment
+    /// resets the affected edges' observation windows).
+    Ring {
+        /// Virtual points per ring member.
+        vnodes: u32,
+        /// Monitors per target (ring successors).
+        monitors: u32,
+    },
 }
 
 /// Maintenance mode plus execution engine.
@@ -388,6 +409,14 @@ impl ScenarioSpec {
                 return fail("oracle staleness_mins must be positive".into());
             }
         }
+        if let OracleSpec::Avmon {
+            assignment: AssignmentSpec::Ring { vnodes, monitors },
+        } = &self.oracle
+        {
+            if *vnodes == 0 || *monitors == 0 {
+                return fail("ring assignment needs vnodes >= 1 and monitors >= 1".into());
+            }
+        }
         match &self.maintenance.mode {
             MaintenanceModeSpec::EventDriven { protocol_secs, refresh_mins } => {
                 if *protocol_secs == 0 || *refresh_mins == 0 {
@@ -522,8 +551,16 @@ impl ScenarioSpec {
                 error,
                 staleness: SimDuration::from_mins(staleness_mins),
             },
-            OracleSpec::Avmon => OracleChoice::Avmon {
-                config: avmem_avmon::AvmonConfig::default(),
+            OracleSpec::Avmon { assignment } => OracleChoice::Avmon {
+                config: avmem_avmon::AvmonConfig {
+                    assignment: match assignment {
+                        AssignmentSpec::AllPairs => avmem_avmon::AssignmentChoice::AllPairs,
+                        AssignmentSpec::Ring { vnodes, monitors } => {
+                            avmem_avmon::AssignmentChoice::Ring { vnodes, k: monitors }
+                        }
+                    },
+                    ..avmem_avmon::AvmonConfig::default()
+                },
             },
         };
         config.maintenance = match self.maintenance.mode {

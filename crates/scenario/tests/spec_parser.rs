@@ -5,9 +5,9 @@
 use proptest::prelude::*;
 
 use avmem_scenario::{
-    parse_spec, AdversarySpec, BandSpec, ChurnSpec, EngineSpec, MaintenanceModeSpec,
-    MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ScenarioSpec,
-    ScopeSpec, TargetMix, TargetSpec, WorkloadSpec,
+    parse_spec, AdversarySpec, AssignmentSpec, BandSpec, ChurnSpec, EngineSpec,
+    MaintenanceModeSpec, MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec,
+    ScenarioSpec, ScopeSpec, TargetMix, TargetSpec, WorkloadSpec,
 };
 
 fn arb_churn() -> impl Strategy<Value = ChurnSpec> {
@@ -59,7 +59,12 @@ fn arb_oracle() -> impl Strategy<Value = OracleSpec> {
                 staleness_mins,
             }
         }),
-        Just(OracleSpec::Avmon),
+        Just(OracleSpec::Avmon {
+            assignment: AssignmentSpec::AllPairs,
+        }),
+        (1u32..32, 1u32..16).prop_map(|(vnodes, monitors)| OracleSpec::Avmon {
+            assignment: AssignmentSpec::Ring { vnodes, monitors },
+        }),
     ]
 }
 

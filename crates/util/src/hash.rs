@@ -196,6 +196,13 @@ pub fn consistent_hash(x: NodeId, y: NodeId) -> f64 {
 /// assert_ne!(a, b);
 /// ```
 pub fn consistent_hash_keyed(key: &[u8], x: NodeId, y: NodeId) -> f64 {
+    digest_to_unit(&keyed_pair_digest(key, x, y))
+}
+
+/// Digest of `key ‖ id(x) ‖ id(y)` shared by [`consistent_hash_keyed`]
+/// and [`consistent_point_keyed`], so both views of a pair agree on the
+/// underlying hash.
+fn keyed_pair_digest(key: &[u8], x: NodeId, y: NodeId) -> Digest {
     // Domain tags are short; a stack buffer keeps the per-pair hot path
     // (the AVMON monitor assignment evaluates all N² ordered pairs)
     // allocation-free. The hashed bytes are identical either way.
@@ -204,14 +211,37 @@ pub fn consistent_hash_keyed(key: &[u8], x: NodeId, y: NodeId) -> f64 {
         buf[..key.len()].copy_from_slice(key);
         buf[key.len()..key.len() + 8].copy_from_slice(&x.to_bytes());
         buf[key.len() + 8..key.len() + 16].copy_from_slice(&y.to_bytes());
-        normalized_hash(&buf[..key.len() + 16])
+        sha256(&buf[..key.len() + 16])
     } else {
         let mut buf = Vec::with_capacity(key.len() + 16);
         buf.extend_from_slice(key);
         buf.extend_from_slice(&x.to_bytes());
         buf.extend_from_slice(&y.to_bytes());
-        normalized_hash(&buf)
+        sha256(&buf)
     }
+}
+
+/// The 128-bit sibling of [`consistent_hash_keyed`]: the same keyed
+/// digest of the ordered pair, exposed as a full-precision point on the
+/// `u128` circle instead of a normalized `f64`.
+///
+/// Consistent-hash rings ([`crate::ring::HashRing`]) place members and
+/// lookups on this circle; 128 bits make accidental point collisions
+/// negligible even with `10⁶ hosts × vnodes` points on one ring, which
+/// an `f64` (53 significant bits) could not guarantee.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::{consistent_point_keyed, NodeId};
+///
+/// let p = consistent_point_keyed(b"ring", NodeId::new(1), NodeId::new(0));
+/// assert_eq!(p, consistent_point_keyed(b"ring", NodeId::new(1), NodeId::new(0)));
+/// assert_ne!(p, consistent_point_keyed(b"ring", NodeId::new(2), NodeId::new(0)));
+/// ```
+pub fn consistent_point_keyed(key: &[u8], x: NodeId, y: NodeId) -> u128 {
+    let digest = keyed_pair_digest(key, x, y);
+    u128::from_be_bytes(digest[..16].try_into().expect("digest has 32 bytes"))
 }
 
 #[cfg(test)]
@@ -307,6 +337,34 @@ mod tests {
         assert_ne!(
             consistent_hash_keyed(b"a", x, y),
             consistent_hash_keyed(b"b", x, y)
+        );
+    }
+
+    #[test]
+    fn keyed_point_and_keyed_hash_share_one_digest() {
+        // The f64 view is the first 8 bytes (53 bits kept); the u128
+        // point is the first 16 bytes. Their common prefix must agree.
+        for i in 0..50u64 {
+            let x = NodeId::new(i);
+            let y = NodeId::new(i.wrapping_mul(31) + 7);
+            let point = consistent_point_keyed(b"avmon", x, y);
+            let raw = (point >> 64) as u64;
+            let expect = (raw >> 11) as f64 / (1u64 << 53) as f64;
+            assert_eq!(consistent_hash_keyed(b"avmon", x, y), expect);
+        }
+    }
+
+    #[test]
+    fn keyed_point_separates_domains_and_pairs() {
+        let x = NodeId::new(1);
+        let y = NodeId::new(2);
+        assert_ne!(
+            consistent_point_keyed(b"a", x, y),
+            consistent_point_keyed(b"b", x, y)
+        );
+        assert_ne!(
+            consistent_point_keyed(b"a", x, y),
+            consistent_point_keyed(b"a", y, x)
         );
     }
 }

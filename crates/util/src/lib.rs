@@ -12,6 +12,8 @@
 //! * [`sha256`] — a from-scratch SHA-256 used to build the *normalized
 //!   consistent hash* `H(id(x), id(y)) ∈ [0, 1]` of the AVMEM predicate
 //!   framework (Eq. 1 of the paper);
+//! * [`ring`] — a keyed consistent-hash ring with virtual points, the
+//!   `O(log N)` backbone of the AVMON ring assignment strategy;
 //! * [`rng`] — deterministic, seedable random number generators
 //!   (SplitMix64 and xoshiro256**) so that whole-system simulations are
 //!   bit-reproducible;
@@ -41,10 +43,15 @@ pub mod availability;
 pub mod hash;
 pub mod id;
 pub mod parallel;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 
 pub use availability::{Availability, AvailabilityError};
-pub use hash::{consistent_hash, consistent_hash_keyed, normalized_hash, sha256, Digest};
+pub use hash::{
+    consistent_hash, consistent_hash_keyed, consistent_point_keyed, normalized_hash, sha256,
+    Digest,
+};
 pub use id::NodeId;
+pub use ring::HashRing;
 pub use rng::{Rng, SplitMix64, Xoshiro256};

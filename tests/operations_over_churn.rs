@@ -9,7 +9,8 @@
 //! (say) forwarding policy see identical workloads.
 
 use avmem_scenario::{
-    builtin, BandSpec, ChurnSpec, MaintenanceModeSpec, OracleSpec, PolicySpec, PredicateSpec,
+    builtin, AssignmentSpec, BandSpec, ChurnSpec, MaintenanceModeSpec, OracleSpec, PolicySpec,
+    PredicateSpec,
     ScenarioReport, ScenarioRunner, ScenarioSpec, ScopeSpec, TargetMix, TargetSpec,
 };
 
@@ -240,7 +241,9 @@ fn full_stack_event_driven_avmon_operations() {
         protocol_secs: 60,
         refresh_mins: 20,
     };
-    spec.oracle = OracleSpec::Avmon;
+    spec.oracle = OracleSpec::Avmon {
+        assignment: AssignmentSpec::AllPairs,
+    };
     spec.warmup_mins = 14 * 60;
     spec.duration_mins = 120;
     spec.workload.policy = PolicySpec::RetriedGreedy { retries: 8 };
