@@ -48,7 +48,8 @@
 
 use avmem_sim::{SimDuration, SimTime};
 use avmem_trace::ChurnTrace;
-use avmem_util::parallel::{default_threads, par_chunks_mut};
+use avmem_util::parallel::{default_threads, par_chunks_mut, par_each_mut};
+use avmem_util::ShardPartition;
 use avmem_util::{Availability, NodeId, Rng, SplitMix64};
 use serde::{Deserialize, Serialize};
 
@@ -181,6 +182,10 @@ pub struct AvmonService {
     /// Chunk fan-out for the parallel slot phases. Results are
     /// bit-identical for every value; see [`AvmonService::set_threads`].
     threads: usize,
+    /// Shard count partitioning the node-indexed slot phases (estimator
+    /// arena, aggregation) by owning shard; see
+    /// [`AvmonService::set_shards`].
+    shards: usize,
     index: MonitorIndex,
     /// Aggregated (median) estimate per target, refreshed each processed
     /// slot from the monitors online in that slot; retains the previous
@@ -215,6 +220,7 @@ impl AvmonService {
             assignment,
             seed,
             threads: default_threads(),
+            shards: default_threads(),
             index,
             aggregate: vec![None; n],
             next_slot: 0,
@@ -232,6 +238,17 @@ impl AvmonService {
     /// state), which the `service_equivalence` tests pin.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Sets the shard count partitioning the node-indexed slot phases —
+    /// each shard owns the contiguous estimator-arena and aggregate rows
+    /// of its nodes, matching the maintenance harness's ownership map.
+    /// Purely a performance knob: every shard count produces
+    /// bit-identical estimates (per-edge randomness is keyed and every
+    /// row's computation is independent), which the fan-out invariance
+    /// tests pin.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
     }
 
     /// The monitors of `target` (by index) in this population, ascending:
@@ -274,10 +291,12 @@ impl AvmonService {
     }
 
     /// One slot of the monitoring pipeline: ring resync (if churning),
-    /// then the two parallel phases.
+    /// then the two parallel phases, each partitioned into shard-owned
+    /// contiguous slices of the node-indexed state.
     fn process_slot(&mut self, trace: &ChurnTrace, slot: usize) {
         self.sync_ring_to(trace, slot);
         let threads = self.threads;
+        let shards = self.shards;
         let config = self.config;
         let seed = self.seed;
         // Ping phase — parallel, writing only the estimator arena.
@@ -304,7 +323,10 @@ impl AvmonService {
                 }
                 let target_ids = &*target_ids;
                 let target_offsets = &*target_offsets;
-                par_chunks_mut(&mut lanes, 1, threads, |offset, chunk| {
+                let part = ShardPartition::new(n, shards);
+                let mut tasks = shard_slices(part, 1, &mut lanes);
+                par_each_mut(&mut tasks, threads, |_, (offset, chunk)| {
+                    let offset = *offset;
                     for (j, lane) in chunk.iter_mut().enumerate() {
                         let m = offset + j;
                         if lane.is_empty() || !trace.is_online_in_slot(m, slot) {
@@ -335,13 +357,16 @@ impl AvmonService {
                 estimators,
                 ..
             } => {
-                // Parallel over arena slots (chunks row-aligned so a
-                // worker's offset arithmetic stays simple): each slot is
-                // one (monitor, target) edge with its own keyed loss
-                // stream, so outcomes are independent of chunking.
+                // Parallel over shard-owned arena slices (each shard owns
+                // its targets' `k`-wide rows): each slot is one
+                // (monitor, target) edge with its own keyed loss stream,
+                // so outcomes are independent of the partitioning.
                 let k = *k;
                 let monitors = &*monitors;
-                par_chunks_mut(estimators, k, threads, |offset, chunk| {
+                let part = ShardPartition::new(monitors.len() / k, shards);
+                let mut tasks = shard_slices(part, k, estimators);
+                par_each_mut(&mut tasks, threads, |_, (start, chunk)| {
+                    let offset = *start * k;
                     for (j, est) in chunk.iter_mut().enumerate() {
                         let idx = offset + j;
                         let m = monitors[idx];
@@ -365,13 +390,17 @@ impl AvmonService {
                 });
             }
         }
-        // Aggregation phase — parallel over targets: median of the
-        // online monitors' current estimates, with one reusable median
-        // scratch per worker. Values are sorted before taking the
-        // median, so collection order never shows in the result.
+        // Aggregation phase — parallel over shard-owned target slices:
+        // median of the online monitors' current estimates, with one
+        // reusable median scratch per worker. Values are sorted before
+        // taking the median, so collection order never shows in the
+        // result.
         {
             let index = &self.index;
-            par_chunks_mut(&mut self.aggregate, 1, threads, |offset, chunk| {
+            let part = ShardPartition::new(self.aggregate.len(), shards);
+            let mut tasks = shard_slices(part, 1, &mut self.aggregate);
+            par_each_mut(&mut tasks, threads, |_, (offset, chunk)| {
+                let offset = *offset;
                 let mut values: Vec<f64> = Vec::new();
                 for (j, slot_agg) in chunk.iter_mut().enumerate() {
                     let t = offset + j;
@@ -515,6 +544,26 @@ impl AvmonService {
             Some(total / count as f64)
         }
     }
+}
+
+/// Splits a node-indexed arena (`stride` slots per node) into one
+/// `(first_node, slice)` task per shard of `part` — the disjoint `&mut`
+/// sub-slices each shard owns during a slot phase.
+fn shard_slices<T>(
+    part: ShardPartition,
+    stride: usize,
+    items: &mut [T],
+) -> Vec<(usize, &mut [T])> {
+    debug_assert_eq!(items.len(), part.len() * stride);
+    let mut tasks = Vec::with_capacity(part.shards());
+    let mut rest = items;
+    for s in 0..part.shards() {
+        let range = part.range(s);
+        let (head, tail) = rest.split_at_mut(range.len() * stride);
+        tasks.push((range.start, head));
+        rest = tail;
+    }
+    tasks
 }
 
 /// Appends one monitor's current estimate (raw or aged per config) to

@@ -50,14 +50,14 @@ fn bench_converged_rebuild(c: &mut Criterion) {
 /// One simulated hour of event-driven maintenance (paper periods:
 /// 1-minute shuffle/discovery ticks, 20-minute refresh), sweeping the
 /// population toward the 10⁴-host target — serial reference engine vs
-/// the phase-parallel batch engine. All engines produce bit-identical
-/// state (pinned by `event_driven_equivalence`), so the comparison is
-/// pure wall-clock.
+/// the sharded engine. All engines produce bit-identical state (pinned
+/// by `event_driven_equivalence`), so the comparison is pure wall-clock.
 ///
-/// `parallel` is the default engine (machine-sized pool; on a 1-core
-/// host it degenerates to the serial path). `parallel_t2` pins two
-/// workers so the gather/plan/spawn machinery is exercised and its
-/// cost recorded even where only one core is available.
+/// `sharded` is the default engine (machine-sized pool, one shard per
+/// worker; on a 1-core host it degenerates to the straight-line path).
+/// `sharded_s2t2` pins two shards on two workers so the shard-exchange
+/// machinery is exercised and its cost recorded even where only one
+/// core is available.
 fn bench_event_driven(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_driven");
     let sizes: &[usize] = if quick() {
@@ -67,10 +67,19 @@ fn bench_event_driven(c: &mut Criterion) {
     };
     let engines = [
         ("serial", MaintenanceEngine::Serial),
-        ("parallel", MaintenanceEngine::Parallel { threads: None }),
         (
-            "parallel_t2",
-            MaintenanceEngine::Parallel { threads: Some(2) },
+            "sharded",
+            MaintenanceEngine::Sharded {
+                shards: None,
+                threads: None,
+            },
+        ),
+        (
+            "sharded_s2t2",
+            MaintenanceEngine::Sharded {
+                shards: Some(2),
+                threads: Some(2),
+            },
         ),
     ];
     for &hosts in sizes {

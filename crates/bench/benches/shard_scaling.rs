@@ -1,0 +1,61 @@
+//! Shard-scaling curves for the sharded maintenance engine: one
+//! simulated hour of event-driven maintenance (paper periods) at
+//! 10³–10⁴ hosts, sweeping the shard count with one worker thread per
+//! shard. Criterion records the end-to-end wall-clock; after each
+//! configuration the accumulated per-phase breakdown (oracle / propose /
+//! commit / finalize) is printed so the BENCH_*.json curves can carry
+//! phase-level numbers, not just totals.
+//!
+//! Set `AVMEM_BENCH_QUICK=1` (the CI bench-smoke setting) to shrink the
+//! sweep so every benchmark body still executes cheaply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use avmem::harness::{AvmemSim, MaintenanceEngine, MaintenanceMode, SimConfig};
+use avmem_sim::SimDuration;
+use avmem_trace::OvernetModel;
+
+fn quick() -> bool {
+    std::env::var_os("AVMEM_BENCH_QUICK").is_some()
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling");
+    let sizes: &[usize] = if quick() { &[300] } else { &[1000, 10_000] };
+    let shard_counts: &[usize] = if quick() { &[1, 2] } else { &[1, 2, 4, 8] };
+    for &hosts in sizes {
+        group.sample_size(if hosts <= 1000 { 3 } else { 1 });
+        let trace = OvernetModel::default().hosts(hosts).days(1).generate(1);
+        for &shards in shard_counts {
+            let id = BenchmarkId::new(format!("s{shards}"), hosts);
+            group.bench_with_input(id, &hosts, |b, _| {
+                let mut config = SimConfig::paper_default(1);
+                config.maintenance = MaintenanceMode::paper_event_driven();
+                config.engine = MaintenanceEngine::Sharded {
+                    shards: Some(shards),
+                    threads: Some(shards),
+                };
+                let mut sim = AvmemSim::new(trace.clone(), config);
+                b.iter(|| {
+                    sim.warm_up(SimDuration::from_hours(1));
+                    black_box(sim.now())
+                });
+                let t = sim.phase_timings();
+                eprintln!(
+                    "shard_scaling phases: hosts {hosts} shards {shards} cohorts {} \
+                     oracle {:.3} s propose {:.3} s commit {:.3} s finalize {:.3} s",
+                    t.cohorts,
+                    t.oracle.as_secs_f64(),
+                    t.propose.as_secs_f64(),
+                    t.commit.as_secs_f64(),
+                    t.finalize.as_secs_f64()
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

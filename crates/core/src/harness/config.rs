@@ -122,27 +122,35 @@ impl MaintenanceMode {
 /// How event-driven maintenance executes each timestamp cohort.
 ///
 /// The event engine pops *cohorts* — every event sharing the next
-/// timestamp, in deterministic seq order — and the harness runs each
-/// cohort in three phases: a per-node **propose** phase (shuffle
-/// initiation decisions, bootstrap seeding, all randomness counter-keyed
-/// by `(run_seed, node, timestamp)`), a serial **commit** phase applying
-/// the shuffle request/reply pairs in seq order, and a per-node
-/// **finalize** phase (discovery over the post-commit view, refresh).
-/// Both variants execute those exact semantics; they differ only in
-/// whether the per-node phases use worker threads.
+/// timestamp — and the harness runs each cohort in canonical phases: a
+/// per-node **propose** phase (shuffle initiation decisions, bootstrap
+/// seeding, all randomness counter-keyed by `(run_seed, node,
+/// timestamp)` — the shard id is deliberately *not* part of the key, so
+/// draws are independent of the shard count), a **commit** phase applying
+/// shuffle requests in ascending initiator id and then the replies and
+/// timeouts, and a per-node **finalize** phase (discovery over the
+/// post-commit view, then refresh). Both variants execute those exact
+/// semantics; they differ only in whether the population is partitioned
+/// into shard-owned slices driven by worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MaintenanceEngine {
     /// Straight-line reference implementation: every phase runs on the
-    /// calling thread in batch order. Kept as the equivalence oracle the
-    /// parallel engine is pinned against.
+    /// calling thread over the whole population. Kept as the equivalence
+    /// oracle the sharded engine is pinned against.
     Serial,
-    /// Phase-parallel execution: propose and finalize spread the cohort's
-    /// nodes across worker threads (`None` sizes the pool to the
-    /// machine); commit stays serial. State after every batch is
-    /// bit-identical to [`MaintenanceEngine::Serial`] for any thread
-    /// count.
-    Parallel {
-        /// Worker-thread cap; `None` uses all available cores.
+    /// Shard-owned execution: nodes are partitioned by id into `S`
+    /// contiguous shards, each owning its slice of the shuffle/membership
+    /// state and its own event queue. Propose and finalize run
+    /// shard-parallel on worker threads; commit exchanges cross-shard
+    /// request/reply batches at phase barriers and applies them in a
+    /// deterministic merge order. State after every cohort is
+    /// bit-identical to [`MaintenanceEngine::Serial`] for any shard and
+    /// thread count.
+    Sharded {
+        /// Shard count; `None` matches the resolved thread count.
+        shards: Option<usize>,
+        /// Worker-thread cap; `None` uses all available cores (respecting
+        /// any cgroup CPU quota).
         threads: Option<usize>,
     },
 }
@@ -152,8 +160,20 @@ impl MaintenanceEngine {
     pub fn threads(self) -> usize {
         match self {
             MaintenanceEngine::Serial => 1,
-            MaintenanceEngine::Parallel { threads } => {
+            MaintenanceEngine::Sharded { threads, .. } => {
                 threads.unwrap_or_else(avmem_util::parallel::default_threads)
+            }
+        }
+    }
+
+    /// The shard count this engine partitions the population into.
+    /// Defaults to the resolved thread count, so an unconfigured run gets
+    /// one shard per worker.
+    pub fn shards(self) -> usize {
+        match self {
+            MaintenanceEngine::Serial => 1,
+            MaintenanceEngine::Sharded { shards, .. } => {
+                shards.unwrap_or_else(|| self.threads()).max(1)
             }
         }
     }
@@ -196,7 +216,10 @@ impl SimConfig {
             predicate: PredicateChoice::paper_default(),
             oracle: OracleChoice::Exact,
             maintenance: MaintenanceMode::Converged,
-            engine: MaintenanceEngine::Parallel { threads: None },
+            engine: MaintenanceEngine::Sharded {
+                shards: None,
+                threads: None,
+            },
             latency: LatencyModel::PAPER,
             pdf_buckets: 10,
             hash_budget: crate::harness::hashes::DEFAULT_HASH_BUDGET,
@@ -236,15 +259,31 @@ mod tests {
     }
 
     #[test]
-    fn default_engine_is_parallel_with_machine_threads() {
+    fn default_engine_is_sharded_with_machine_threads() {
         let cfg = SimConfig::paper_default(1);
-        assert_eq!(cfg.engine, MaintenanceEngine::Parallel { threads: None });
-        assert!(cfg.engine.threads() >= 1);
-        assert_eq!(MaintenanceEngine::Serial.threads(), 1);
         assert_eq!(
-            MaintenanceEngine::Parallel { threads: Some(6) }.threads(),
-            6
+            cfg.engine,
+            MaintenanceEngine::Sharded {
+                shards: None,
+                threads: None,
+            }
         );
+        assert!(cfg.engine.threads() >= 1);
+        assert!(cfg.engine.shards() >= 1);
+        assert_eq!(MaintenanceEngine::Serial.threads(), 1);
+        assert_eq!(MaintenanceEngine::Serial.shards(), 1);
+        let pinned = MaintenanceEngine::Sharded {
+            shards: Some(4),
+            threads: Some(6),
+        };
+        assert_eq!(pinned.threads(), 6);
+        assert_eq!(pinned.shards(), 4);
+        // Shards default to the resolved thread count.
+        let auto = MaintenanceEngine::Sharded {
+            shards: None,
+            threads: Some(3),
+        };
+        assert_eq!(auto.shards(), 3);
     }
 
     #[test]

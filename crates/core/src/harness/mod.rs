@@ -47,13 +47,14 @@ pub use index::CandidateIndex;
 pub use oracle::SimOracle;
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use avmem_avmon::AvailabilityOracle;
-use avmem_shuffle::{ShuffleConfig, ShuffleNode, ShuffleProposal, View};
-use avmem_sim::{Engine, Network, SimDuration, SimTime};
+use avmem_shuffle::{ShuffleConfig, ShuffleMessage, ShuffleNode, ShuffleProposal, View};
+use avmem_sim::{EngineGroup, Network, SimDuration, SimTime};
 use avmem_trace::{AvailabilityPdf, ChurnTrace, OnlineIndex};
-use avmem_util::parallel::{default_threads, gather_mut, par_chunks_mut};
-use avmem_util::{Availability, NodeId, Rng, SplitMix64, Xoshiro256};
+use avmem_util::parallel::{default_threads, par_chunks_mut, par_each_mut};
+use avmem_util::{Availability, NodeId, Rng, ShardPartition, SplitMix64, Xoshiro256};
 use serde::{Deserialize, Serialize};
 
 use crate::graph::{NodeSnapshot, OverlaySnapshot};
@@ -246,134 +247,128 @@ const STAGGER_COHORTS: u64 = 16;
 /// Purpose tags separating the counter-keyed RNG streams of event-driven
 /// maintenance. Every stream is `SplitMix64::keyed(&[run_seed, TAG,
 /// node, epoch])`: determinism is a property of the key, never of which
-/// thread or in which order the stream is drawn.
+/// thread or in which order the stream is drawn. The owning shard is
+/// deliberately *not* part of the key — the node index already implies
+/// it under any fixed partition, and keying by shard would make every
+/// draw depend on the shard count, breaking the bit-equality of runs
+/// at different `S`.
 const STREAM_STAGGER_TICK: u64 = 1;
 const STREAM_STAGGER_REFRESH: u64 = 2;
 const STREAM_SHUFFLE: u64 = 3;
 const STREAM_BOOTSTRAP: u64 = 4;
 
 /// The discovery/refresh work one node performs in the finalize phase of
-/// a batch, in intra-batch seq order (a node has at most one tick and
-/// one refresh per timestamp).
+/// a cohort. Intra-node order is canonical — discovery (tick) before
+/// refresh — so finalize depends only on *which* events fired, never on
+/// their position in any queue.
 #[derive(Debug, Clone, Copy)]
 struct NodeOps {
     node: u32,
-    first: MaintKind,
-    second: Option<MaintKind>,
+    discover: bool,
+    refresh: bool,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MaintKind {
-    /// Discovery over the node's (post-commit) coarse view.
-    Discover,
-    /// Refresh of the node's membership lists.
-    Refresh,
+/// A shuffle request crossing from its initiator's shard to its
+/// responder's shard: the initiator id (the commit-order key), the
+/// responder, and the request message captured at propose time.
+#[derive(Debug)]
+struct RequestMsg {
+    initiator: u32,
+    responder: u32,
+    request: ShuffleMessage,
 }
 
-/// One timestamp cohort decomposed into per-phase work lists. The plan
-/// (one per maintenance run) is reused across batches, so these lists
-/// stop allocating once they reach cohort size; only the phase slot
-/// vectors — which hold per-batch `&mut` borrows — are rebuilt per
-/// cohort.
+/// A shuffle reply traveling back to the initiator's shard.
+#[derive(Debug)]
+struct ReplyMsg {
+    initiator: u32,
+    reply: ShuffleMessage,
+}
+
+/// Per-shard scratch state for one cohort: the shard's work lists, its
+/// outgoing message batches (indexed by destination shard), and reusable
+/// per-worker buffers. Persisted across cohorts so the hot loop stops
+/// allocating once the buffers reach cohort size.
 #[derive(Debug, Default)]
-struct BatchPlan {
-    /// Online ticking nodes in batch (seq) order — the commit order.
-    ticks: Vec<(u32, u32)>,
-    /// The same ticks sorted by node — the gather/proposal order.
-    ticks_sorted: Vec<(u32, u32)>,
-    /// `ticks_sorted`'s node indices, as [`gather_mut`] wants them.
-    tick_nodes: Vec<usize>,
-    /// Online refreshing nodes sorted by node (merge scratch).
-    refreshes_sorted: Vec<(u32, u32)>,
+struct ShardScratch {
+    /// Online ticking nodes of this shard's cohort slice, sorted.
+    ticks: Vec<u32>,
+    /// Online refreshing nodes, sorted.
+    refreshes: Vec<u32>,
     /// Per-node finalize ops, ascending by node.
-    finalize: Vec<NodeOps>,
-    /// `finalize`'s node indices, as [`gather_mut`] wants them.
-    finalize_nodes: Vec<usize>,
+    ops: Vec<NodeOps>,
+    /// Outgoing shuffle requests, batched by the responder's shard.
+    req_out: Vec<Vec<RequestMsg>>,
+    /// Outgoing replies, batched by the initiator's shard.
+    reply_out: Vec<Vec<ReplyMsg>>,
+    /// Timed-out proposals (offline target), applied by this shard.
+    timeouts: Vec<(u32, NodeId)>,
+    /// Bootstrap-sample scratch.
+    seeds: Vec<u32>,
+    /// Refresh-migration scratch.
+    migrants: Vec<(Neighbor, Sliver)>,
 }
 
-impl BatchPlan {
-    /// Decomposes `batch` (one engine cohort, seq order) given the
-    /// per-node online predicate. Offline nodes do no maintenance work
-    /// (they are still rescheduled by the driver).
-    fn build(&mut self, batch: &[MaintEvent], mut online: impl FnMut(usize) -> bool) {
+impl ShardScratch {
+    /// Resets the per-cohort lists and sizes the outgoing batch tables.
+    fn begin_cohort(&mut self, shards: usize) {
         self.ticks.clear();
-        self.ticks_sorted.clear();
-        self.tick_nodes.clear();
-        self.refreshes_sorted.clear();
-        self.finalize.clear();
-        self.finalize_nodes.clear();
-        for (pos, &event) in batch.iter().enumerate() {
-            match event {
-                MaintEvent::Tick(i) if online(i) => {
-                    self.ticks.push((i as u32, pos as u32));
-                }
-                MaintEvent::Refresh(i) if online(i) => {
-                    self.refreshes_sorted.push((i as u32, pos as u32));
-                }
-                _ => {}
-            }
+        self.refreshes.clear();
+        self.ops.clear();
+        if self.req_out.len() != shards {
+            self.req_out.resize_with(shards, Vec::new);
+            self.reply_out.resize_with(shards, Vec::new);
         }
-        self.ticks_sorted.extend_from_slice(&self.ticks);
-        // Nodes are unique within each list (one tick / one refresh
-        // outstanding per node), so sorting the tuples sorts by node.
-        self.ticks_sorted.sort_unstable();
-        self.refreshes_sorted.sort_unstable();
+    }
 
-        // Merge the two node-sorted lists into per-node finalize ops,
-        // ordering a node's own tick vs refresh by batch position.
+    /// Merges the sorted tick/refresh lists into per-node finalize ops
+    /// (canonical discover-then-refresh order inside each node).
+    fn build_ops(&mut self) {
+        self.ticks.sort_unstable();
+        self.refreshes.sort_unstable();
+        self.ops.clear();
         let (mut a, mut b) = (0, 0);
-        while a < self.ticks_sorted.len() || b < self.refreshes_sorted.len() {
-            let tick = self.ticks_sorted.get(a);
-            let refresh = self.refreshes_sorted.get(b);
-            let discover_only = |node| NodeOps {
-                node,
-                first: MaintKind::Discover,
-                second: None,
-            };
-            let refresh_only = |node| NodeOps {
-                node,
-                first: MaintKind::Refresh,
-                second: None,
-            };
+        while a < self.ticks.len() || b < self.refreshes.len() {
+            let tick = self.ticks.get(a).copied();
+            let refresh = self.refreshes.get(b).copied();
             let ops = match (tick, refresh) {
-                (Some(&(tn, tp)), Some(&(rn, rp))) => {
-                    if tn == rn {
-                        a += 1;
-                        b += 1;
-                        let (first, second) = if tp < rp {
-                            (MaintKind::Discover, MaintKind::Refresh)
-                        } else {
-                            (MaintKind::Refresh, MaintKind::Discover)
-                        };
-                        NodeOps {
-                            node: tn,
-                            first,
-                            second: Some(second),
-                        }
-                    } else if tn < rn {
-                        a += 1;
-                        discover_only(tn)
-                    } else {
-                        b += 1;
-                        refresh_only(rn)
+                (Some(tn), Some(rn)) if tn == rn => {
+                    a += 1;
+                    b += 1;
+                    NodeOps {
+                        node: tn,
+                        discover: true,
+                        refresh: true,
                     }
                 }
-                (Some(&(tn, _)), None) => {
+                (Some(tn), Some(rn)) if tn < rn => {
                     a += 1;
-                    discover_only(tn)
+                    NodeOps {
+                        node: tn,
+                        discover: true,
+                        refresh: false,
+                    }
                 }
-                (None, Some(&(rn, _))) => {
+                (Some(tn), None) => {
+                    a += 1;
+                    NodeOps {
+                        node: tn,
+                        discover: true,
+                        refresh: false,
+                    }
+                }
+                (_, Some(rn)) => {
                     b += 1;
-                    refresh_only(rn)
+                    NodeOps {
+                        node: rn,
+                        discover: false,
+                        refresh: true,
+                    }
                 }
                 (None, None) => unreachable!("loop condition"),
             };
-            self.finalize.push(ops);
+            self.ops.push(ops);
         }
-        self.tick_nodes
-            .extend(self.ticks_sorted.iter().map(|&(i, _)| i as usize));
-        self.finalize_nodes
-            .extend(self.finalize.iter().map(|o| o.node as usize));
     }
 }
 
@@ -411,14 +406,6 @@ fn propose_tick(
     let proposal = shuffle.propose(&mut rng)?;
     shuffle.apply(&proposal);
     Some(proposal)
-}
-
-/// One propose-phase work item: a ticking node, exclusive access to its
-/// shuffle state, and the slot its proposal lands in.
-struct ProposeSlot<'a> {
-    node: usize,
-    shuffle: &'a mut ShuffleNode,
-    proposal: Option<ShuffleProposal>,
 }
 
 /// Read-only simulation context for finalize-phase workers: enough state
@@ -496,40 +483,106 @@ impl MaintCtx<'_> {
         });
     }
 
-    /// Runs one node's finalize ops in intra-batch order.
+    /// Runs one node's finalize ops in canonical intra-node order:
+    /// discovery over the post-commit view first, then refresh.
     fn finalize_node(
         &self,
         ops: NodeOps,
         membership: &mut Membership,
         migrants: &mut Vec<(Neighbor, Sliver)>,
     ) {
-        for kind in [Some(ops.first), ops.second].into_iter().flatten() {
-            match kind {
-                MaintKind::Discover => self.discover_into(ops.node as usize, membership),
-                MaintKind::Refresh => {
-                    self.refresh_into(ops.node as usize, membership, migrants)
-                }
-            }
+        if ops.discover {
+            self.discover_into(ops.node as usize, membership);
+        }
+        if ops.refresh {
+            self.refresh_into(ops.node as usize, membership, migrants);
         }
     }
 }
 
-/// The persistent event-driven maintenance schedule.
+/// The persistent event-driven maintenance schedule, sharded.
 ///
 /// Built once, on the first event-driven advance, and kept across
-/// [`AvmemSim::warm_up`] / [`AvmemSim::advance_to`] calls: the engine
-/// carries every node's pending tick/refresh events forward, so resuming
-/// maintenance costs nothing instead of the `O(N)` schedule rebuild (and
-/// re-staggering) each call used to pay. A periodic protocol's phase is a
-/// property of the node, not of how the driver chops the timeline into
-/// advances — `warm_up(1h)` twice is now identical to `warm_up(2h)` once.
-#[derive(Debug, Default)]
+/// [`AvmemSim::warm_up`] / [`AvmemSim::advance_to`] calls: the per-shard
+/// engines carry every node's pending tick/refresh events forward, so
+/// resuming maintenance costs nothing instead of the `O(N)` schedule
+/// rebuild (and re-staggering) each call used to pay. A periodic
+/// protocol's phase is a property of the node, not of how the driver
+/// chops the timeline into advances — `warm_up(1h)` twice is identical
+/// to `warm_up(2h)` once.
+///
+/// Each shard owns its slice of the population: its own event queue (one
+/// engine of the [`EngineGroup`]), its cohort batch, and its scratch
+/// (work lists + outgoing message batches). The group's aligned cohort
+/// pop guarantees the union of per-shard batches is exactly the cohort a
+/// single global queue would pop.
+#[derive(Debug)]
 struct MaintSchedule {
-    engine: Engine<MaintEvent>,
-    /// Cohort scratch, reused across batches.
-    batch: Vec<MaintEvent>,
-    /// Phase-decomposition scratch, reused across batches.
-    plan: BatchPlan,
+    group: EngineGroup<MaintEvent>,
+    part: ShardPartition,
+    /// Per-shard cohort scratch, reused across batches.
+    batches: Vec<Vec<MaintEvent>>,
+    /// Per-shard phase scratch, reused across batches.
+    scratches: Vec<ShardScratch>,
+    /// Per-destination-shard inbound request batches (transpose buffer).
+    req_in: Vec<Vec<RequestMsg>>,
+    /// Per-destination-shard inbound reply batches (transpose buffer).
+    reply_in: Vec<Vec<ReplyMsg>>,
+}
+
+impl MaintSchedule {
+    /// Builds the initial schedule: every node's tick and refresh events
+    /// staggered on the period lattice, each landing in its owning
+    /// shard's queue.
+    fn build(
+        seed: u64,
+        n: usize,
+        shards: usize,
+        now: SimTime,
+        protocol_period: SimDuration,
+        refresh_period: SimDuration,
+    ) -> Self {
+        let part = ShardPartition::new(n, shards);
+        let shards = part.shards();
+        let mut group = EngineGroup::new(shards);
+        for i in 0..n {
+            let s = part.owner(i);
+            let tick = stagger_offset(seed, STREAM_STAGGER_TICK, i, now, protocol_period);
+            let refresh = stagger_offset(seed, STREAM_STAGGER_REFRESH, i, now, refresh_period);
+            group.schedule(s, now + tick, MaintEvent::Tick(i));
+            group.schedule(s, now + refresh, MaintEvent::Refresh(i));
+        }
+        MaintSchedule {
+            group,
+            part,
+            batches: (0..shards).map(|_| Vec::new()).collect(),
+            scratches: (0..shards).map(|_| ShardScratch::default()).collect(),
+            req_in: (0..shards).map(|_| Vec::new()).collect(),
+            reply_in: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// Cumulative wall-clock spent in each phase of maintenance, plus the
+/// number of timestamp cohorts processed. Exposed through
+/// [`AvmemSim::phase_timings`] so drivers (the scenario runner, the
+/// shard-scaling bench) can report where a run's time went — in
+/// particular what share the commit/merge barrier claims.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Oracle advancement + online-index refresh (per distinct cohort
+    /// timestamp; includes AVMON ping/aggregate processing).
+    pub oracle: Duration,
+    /// Propose phase: bootstrap + shuffle proposal, per ticking node.
+    pub propose: Duration,
+    /// Commit phase: message-batch transpose and request/reply/timeout
+    /// application.
+    pub commit: Duration,
+    /// Finalize phase: discovery + refresh over post-commit views. In
+    /// converged mode, the predicate rebuild is accounted here.
+    pub finalize: Duration,
+    /// Timestamp cohorts processed.
+    pub cohorts: u64,
 }
 
 /// Lightweight overlay-health numbers, computed by
@@ -567,6 +620,8 @@ pub struct AvmemSim {
     /// Persistent event-driven schedule (`None` until the first
     /// event-driven advance builds it).
     maint: Option<MaintSchedule>,
+    /// Cumulative per-phase maintenance wall-clock.
+    timings: PhaseTimings,
 }
 
 impl std::fmt::Debug for AvmemSim {
@@ -636,8 +691,10 @@ impl AvmemSim {
         let mut oracle = SimOracle::build(config.oracle, &trace, seeder.next_u64());
         // The AVMON service sweeps its ping/aggregate phases on the
         // worker pool; fan them out like the maintenance engine's
-        // per-cohort phases (bit-identical for every thread count).
+        // per-cohort phases, partitioned by the same shard ownership map
+        // (bit-identical for every shard and thread count).
         oracle.set_threads(config.engine.threads());
+        oracle.set_shards(config.engine.shards());
         let net = Network::new(config.latency, 0.0, seeder.next_u64());
         let rng = Xoshiro256::new(seeder.next_u64());
 
@@ -668,6 +725,7 @@ impl AvmemSim {
             n_star,
             member_order_seed: seeder.next_u64(),
             maint: None,
+            timings: PhaseTimings::default(),
         }
     }
 
@@ -731,10 +789,14 @@ impl AvmemSim {
         let target = self.now + duration;
         match self.config.maintenance {
             MaintenanceMode::Converged => {
+                let t0 = Instant::now();
                 self.oracle.advance(&self.trace, target);
                 self.now = target;
                 self.online.refresh(&self.trace, target);
+                self.timings.oracle += t0.elapsed();
+                let t1 = Instant::now();
                 self.rebuild_converged();
+                self.timings.finalize += t1.elapsed();
             }
             MaintenanceMode::EventDriven {
                 protocol_period,
@@ -765,9 +827,11 @@ impl AvmemSim {
         }
         match self.config.maintenance {
             MaintenanceMode::Converged => {
+                let t0 = Instant::now();
                 self.oracle.advance(&self.trace, target);
                 self.now = target;
                 self.online.refresh(&self.trace, target);
+                self.timings.oracle += t0.elapsed();
             }
             MaintenanceMode::EventDriven {
                 protocol_period,
@@ -781,7 +845,12 @@ impl AvmemSim {
     /// Timestamp of the next pending maintenance event, if any — `None`
     /// for converged maintenance or before the first event-driven advance.
     pub fn next_maintenance_at(&self) -> Option<SimTime> {
-        self.maint.as_ref().and_then(|m| m.engine.peek_time())
+        self.maint.as_ref().and_then(|m| m.group.peek_time())
+    }
+
+    /// Cumulative per-phase maintenance wall-clock since construction.
+    pub fn phase_timings(&self) -> PhaseTimings {
+        self.timings
     }
 
     /// Rebuilds every node's lists directly from the predicate — the
@@ -956,29 +1025,33 @@ impl AvmemSim {
         membership
     }
 
-    /// Runs the shuffle/discovery/refresh sub-protocols through the event
-    /// engine, one *timestamp cohort* at a time.
+    /// Runs the shuffle/discovery/refresh sub-protocols through the
+    /// sharded event queues, one *timestamp cohort* at a time.
     ///
     /// Node offsets are staggered on a coarse per-period lattice (see
     /// [`STAGGER_COHORTS`]) so cohorts are sizeable, and each cohort runs
-    /// in three phases:
+    /// in canonical phases:
     ///
     /// 1. **propose** — every online ticking node bootstraps (if its view
     ///    is empty) and computes+applies its shuffle proposal, touching
-    ///    only its own state, with counter-keyed randomness. Per-node
-    ///    independent ⇒ parallelizable.
-    /// 2. **commit** — the request/reply exchange of each proposal is
-    ///    applied in batch (seq) order; this is where initiators mutate
-    ///    responders, so conflicts (two initiators hitting one responder,
-    ///    a responder that itself initiated) resolve exactly as a serial
-    ///    drain of the cohort would. Always serial.
-    /// 3. **finalize** — discovery over the post-commit view and refresh,
-    ///    per node, in intra-batch order. Per-node independent ⇒
-    ///    parallelizable.
+    ///    only its own state, with counter-keyed randomness. The target's
+    ///    online status is resolved here too: an offline or out-of-range
+    ///    target becomes a timeout notice; an online one becomes a
+    ///    request message addressed to the responder's shard.
+    /// 2. **commit** — every responder applies its inbound requests in
+    ///    ascending initiator id (producing replies), then every
+    ///    initiator applies its reply or timeout. Request application
+    ///    touches only responder state and reply application only
+    ///    initiator state, so both sub-phases are per-node independent;
+    ///    the fixed ordering makes the outcome independent of how
+    ///    requests were batched.
+    /// 3. **finalize** — discovery over the post-commit view, then
+    ///    refresh, per node (canonical intra-node order). Per-node
+    ///    independent.
     ///
-    /// [`MaintenanceEngine::Serial`] and [`MaintenanceEngine::Parallel`]
+    /// [`MaintenanceEngine::Serial`] and [`MaintenanceEngine::Sharded`]
     /// execute these identical semantics; results are bit-equal across
-    /// engines and thread counts (pinned by the
+    /// engines, shard counts and thread counts (pinned by the
     /// `event_driven_equivalence` integration tests).
     fn run_event_driven(
         &mut self,
@@ -986,89 +1059,134 @@ impl AvmemSim {
         protocol_period: SimDuration,
         refresh_period: SimDuration,
     ) {
-        let seed = self.config.seed;
+        // Resolved once: `threads()` may probe the machine (a syscall),
+        // far too costly per batch. The shard count is fixed at first
+        // schedule build and reused for the life of the simulation.
+        let threads = self.config.engine.threads();
+        let shards = self.config.engine.shards();
         // The schedule is built once — on the first event-driven advance —
         // and then carried across calls with its pending events intact
         // (see [`MaintSchedule`]). Only that first call pays the `O(N)`
         // population scan and stagger draw.
         let mut maint = self.maint.take().unwrap_or_else(|| {
-            let mut schedule = MaintSchedule::default();
-            for i in 0..self.trace.num_nodes() {
-                let tick =
-                    stagger_offset(seed, STREAM_STAGGER_TICK, i, self.now, protocol_period);
-                let refresh =
-                    stagger_offset(seed, STREAM_STAGGER_REFRESH, i, self.now, refresh_period);
-                schedule.engine.schedule(self.now + tick, MaintEvent::Tick(i));
-                schedule
-                    .engine
-                    .schedule(self.now + refresh, MaintEvent::Refresh(i));
-            }
-            schedule
+            MaintSchedule::build(
+                self.config.seed,
+                self.trace.num_nodes(),
+                shards,
+                self.now,
+                protocol_period,
+                refresh_period,
+            )
         });
-        let MaintSchedule {
-            ref mut engine,
-            ref mut batch,
-            ref mut plan,
-        } = maint;
-        // Resolved once: `threads()` may probe the machine (a syscall),
-        // far too costly per batch.
-        let threads = self.config.engine.threads();
-        while let Some(t) = engine.pop_batch_until(target, batch) {
+        // One shard driven by one thread degenerates to the straight-line
+        // reference (they are bit-identical), skipping the message-batch
+        // bookkeeping single-core machines would pay for nothing.
+        let straight_line = maint.part.shards() <= 1 && threads <= 1;
+        while let Some(t) = maint.group.pop_batch_until(target, &mut maint.batches) {
             // Shared time-dependent state advances once per distinct
             // timestamp: the oracle (AVMON ping processing) and the
             // online index (slot-boundary crossings).
+            let t0 = Instant::now();
             self.oracle.advance(&self.trace, t);
             self.online.refresh(&self.trace, t);
             self.now = self.now.max(t);
-            // A parallel engine with one effective worker degenerates to
-            // the straight-line implementation (they are bit-identical),
-            // skipping the plan/gather bookkeeping single-core machines
-            // would pay for nothing.
-            if threads <= 1 {
-                self.run_batch_serial(t, batch);
+            self.timings.oracle += t0.elapsed();
+            self.timings.cohorts += 1;
+            if straight_line {
+                self.run_batch_serial(t, &maint.batches[0]);
             } else {
-                plan.build(batch, |i| self.trace.is_online(i, t));
-                self.run_batch_parallel(t, plan, threads);
+                let MaintSchedule {
+                    part,
+                    ref batches,
+                    ref mut scratches,
+                    ref mut req_in,
+                    ref mut reply_in,
+                    ..
+                } = maint;
+                self.run_batch_sharded(t, part, batches, scratches, req_in, reply_in, threads);
             }
-            for &event in batch.iter() {
-                match event {
-                    MaintEvent::Tick(_) => engine.schedule(t + protocol_period, event),
-                    MaintEvent::Refresh(_) => engine.schedule(t + refresh_period, event),
+            for (s, batch) in maint.batches.iter().enumerate() {
+                for &event in batch.iter() {
+                    match event {
+                        MaintEvent::Tick(_) => {
+                            maint.group.schedule(s, t + protocol_period, event)
+                        }
+                        MaintEvent::Refresh(_) => {
+                            maint.group.schedule(s, t + refresh_period, event)
+                        }
+                    }
                 }
             }
         }
         self.maint = Some(maint);
+        let t0 = Instant::now();
         self.oracle.advance(&self.trace, target);
         self.now = target;
         self.online.refresh(&self.trace, target);
+        self.timings.oracle += t0.elapsed();
     }
 
-    /// Reference implementation of one batch: the three phases as plain
-    /// sequential loops in batch order. This is the semantics
-    /// [`AvmemSim::run_batch_parallel`] is pinned against.
+    /// Reference implementation of one cohort: the canonical phases as
+    /// plain sequential loops over the whole batch. This is the semantics
+    /// [`AvmemSim::run_batch_sharded`] is pinned against.
     fn run_batch_serial(&mut self, t: SimTime, batch: &[MaintEvent]) {
         let seed = self.config.seed;
-        // Phase 1 — propose (per-node independent; batch order is as good
-        // as any).
-        let mut proposals: Vec<(usize, ShuffleProposal)> = Vec::new();
+        let n = self.trace.num_nodes();
+        // Phase 1 — propose, capturing each proposal's request (or its
+        // timeout, when the target is offline) for the commit phase.
+        let tp = Instant::now();
+        let mut requests: Vec<RequestMsg> = Vec::new();
+        let mut timeouts: Vec<(u32, NodeId)> = Vec::new();
         let mut seeds = Vec::new();
         for &event in batch {
             let MaintEvent::Tick(i) = event else { continue };
             if !self.trace.is_online(i, t) {
                 continue;
             }
-            if let Some(p) =
+            let Some(p) =
                 propose_tick(seed, &self.online, t, i, &mut self.shuffles[i], &mut seeds)
-            {
-                proposals.push((i, p));
+            else {
+                continue;
+            };
+            let target = p.target();
+            let tgt = target.raw() as usize;
+            if tgt < n && self.trace.is_online(tgt, t) {
+                let (_, request) = p.into_request();
+                requests.push(RequestMsg {
+                    initiator: i as u32,
+                    responder: tgt as u32,
+                    request,
+                });
+            } else {
+                timeouts.push((i as u32, target));
             }
         }
-        // Phase 2 — commit exchanges in batch (seq) order.
-        for (i, proposal) in proposals {
-            self.commit_exchange(t, i, proposal);
+        self.timings.propose += tp.elapsed();
+        // Phase 2 — commit: requests responder-major, each responder's
+        // inbound ordered by initiator; then replies and timeouts (at
+        // most one per initiator).
+        let tc = Instant::now();
+        requests.sort_unstable_by_key(|m| (m.responder, m.initiator));
+        let mut replies: Vec<ReplyMsg> = Vec::with_capacity(requests.len());
+        for msg in requests {
+            let reply = self.shuffles[msg.responder as usize].handle_request(msg.request);
+            replies.push(ReplyMsg {
+                initiator: msg.initiator,
+                reply,
+            });
         }
-        // Phase 3 — finalize: discovery over the post-commit views, and
-        // refresh, in batch order (per-node independent).
+        replies.sort_unstable_by_key(|m| m.initiator);
+        for msg in replies {
+            self.shuffles[msg.initiator as usize].handle_reply(msg.reply);
+        }
+        for (i, target) in timeouts {
+            self.shuffles[i as usize].handle_timeout(target);
+        }
+        self.timings.commit += tc.elapsed();
+        // Phase 3 — finalize: discovery over the post-commit views, then
+        // refresh (canonical intra-node order; cross-node order is
+        // irrelevant, each node touches only its own lists).
+        let tf = Instant::now();
         let ctx = MaintCtx {
             predicate: &self.predicate,
             oracle: &self.oracle,
@@ -1078,62 +1196,178 @@ impl AvmemSim {
         };
         let mut migrants = Vec::new();
         for &event in batch {
-            match event {
-                MaintEvent::Tick(i) if self.trace.is_online(i, t) => {
-                    ctx.discover_into(i, &mut self.memberships[i]);
-                }
-                MaintEvent::Refresh(i) if self.trace.is_online(i, t) => {
-                    ctx.refresh_into(i, &mut self.memberships[i], &mut migrants);
-                }
-                _ => {}
+            let MaintEvent::Tick(i) = event else { continue };
+            if self.trace.is_online(i, t) {
+                ctx.discover_into(i, &mut self.memberships[i]);
             }
         }
+        for &event in batch {
+            let MaintEvent::Refresh(i) = event else { continue };
+            if self.trace.is_online(i, t) {
+                ctx.refresh_into(i, &mut self.memberships[i], &mut migrants);
+            }
+        }
+        self.timings.finalize += tf.elapsed();
     }
 
-    /// Phase-parallel execution of one batch: propose and finalize spread
-    /// the cohort's nodes over scoped worker threads (each node's state
-    /// reached through [`gather_mut`] — exclusive, disjoint borrows),
-    /// commit stays serial in seq order. Bit-identical to
-    /// [`AvmemSim::run_batch_serial`] for every thread count, because
-    /// the parallel phases are per-node independent and their randomness
-    /// is keyed, not drawn from shared state.
-    fn run_batch_parallel(&mut self, t: SimTime, plan: &BatchPlan, threads: usize) {
+    /// Shard-owned execution of one cohort: each shard's slice of the
+    /// shuffle and membership state is split off as a disjoint `&mut`
+    /// sub-slice (see [`ShardPartition::split_mut`]) and driven by the
+    /// worker pool, one job per shard. Cross-shard traffic — shuffle
+    /// requests to responders in other shards, and their replies — moves
+    /// as per-(source → destination) message batches transposed on the
+    /// driving thread at the phase barriers. Bit-identical to
+    /// [`AvmemSim::run_batch_serial`] for every shard and thread count:
+    /// propose randomness is keyed per node, request application is
+    /// ordered per responder by initiator id, and finalize is canonical
+    /// per node.
+    #[allow(clippy::too_many_arguments)]
+    fn run_batch_sharded(
+        &mut self,
+        t: SimTime,
+        part: ShardPartition,
+        batches: &[Vec<MaintEvent>],
+        scratches: &mut [ShardScratch],
+        req_in: &mut [Vec<RequestMsg>],
+        reply_in: &mut [Vec<ReplyMsg>],
+        threads: usize,
+    ) {
         let seed = self.config.seed;
-        // Phase 1 — propose.
-        let mut proposals: Vec<Option<ShuffleProposal>> = {
-            let mut shuffles = std::mem::take(&mut self.shuffles);
-            let mut slots: Vec<ProposeSlot<'_>> = gather_mut(&mut shuffles, &plan.tick_nodes)
-                .into_iter()
-                .zip(&plan.tick_nodes)
-                .map(|(shuffle, &node)| ProposeSlot {
-                    node,
-                    shuffle,
-                    proposal: None,
-                })
-                .collect();
-            let online = &self.online;
-            par_chunks_mut(&mut slots, 1, threads, |_, chunk| {
-                let mut seeds = Vec::new();
-                for slot in chunk {
-                    slot.proposal =
-                        propose_tick(seed, online, t, slot.node, slot.shuffle, &mut seeds);
+        let shards = part.shards();
+        let n = part.len();
+        let trace = &self.trace;
+        let online = &self.online;
+        let mut shuffles = std::mem::take(&mut self.shuffles);
+        // Phase 1 — propose: per shard, collect the cohort's work lists,
+        // run every online tick against the shard-owned shuffle slice,
+        // and batch the resulting requests by the responder's shard.
+        let tp = Instant::now();
+        {
+            let slices = part.split_mut(&mut shuffles);
+            let mut tasks: Vec<(usize, &mut [ShuffleNode], &mut ShardScratch, &[MaintEvent])> =
+                slices
+                    .into_iter()
+                    .zip(scratches.iter_mut())
+                    .zip(batches.iter())
+                    .enumerate()
+                    .map(|(s, ((slice, scratch), batch))| {
+                        (part.range(s).start, slice, scratch, batch.as_slice())
+                    })
+                    .collect();
+            par_each_mut(&mut tasks, threads, |_, (start, slice, scratch, batch)| {
+                scratch.begin_cohort(shards);
+                for &event in batch.iter() {
+                    match event {
+                        MaintEvent::Tick(i) if trace.is_online(i, t) => {
+                            scratch.ticks.push(i as u32);
+                        }
+                        MaintEvent::Refresh(i) if trace.is_online(i, t) => {
+                            scratch.refreshes.push(i as u32);
+                        }
+                        _ => {}
+                    }
+                }
+                scratch.build_ops();
+                for k in 0..scratch.ticks.len() {
+                    let i = scratch.ticks[k] as usize;
+                    let Some(p) =
+                        propose_tick(seed, online, t, i, &mut slice[i - *start], &mut scratch.seeds)
+                    else {
+                        continue;
+                    };
+                    let target = p.target();
+                    let tgt = target.raw() as usize;
+                    if tgt < n && trace.is_online(tgt, t) {
+                        let (_, request) = p.into_request();
+                        scratch.req_out[part.owner(tgt)].push(RequestMsg {
+                            initiator: i as u32,
+                            responder: tgt as u32,
+                            request,
+                        });
+                    } else {
+                        scratch.timeouts.push((i as u32, target));
+                    }
                 }
             });
-            let proposals = slots.into_iter().map(|s| s.proposal).collect();
-            self.shuffles = shuffles;
-            proposals
-        };
-        // Phase 2 — commit exchanges in batch (seq) order.
-        for &(node, _) in &plan.ticks {
-            let slot = plan
-                .ticks_sorted
-                .binary_search_by_key(&node, |&(i, _)| i)
-                .expect("ticking node missing from sorted plan");
-            if let Some(proposal) = proposals[slot].take() {
-                self.commit_exchange(t, node as usize, proposal);
+        }
+        self.timings.propose += tp.elapsed();
+        let tc = Instant::now();
+        // Barrier — transpose the request batches: shard `s`'s outbox for
+        // destination `d` is appended to `d`'s inbox. Iteration order is
+        // immaterial: each responder sorts its inbox before applying.
+        for scratch in scratches.iter_mut() {
+            for (d, out) in scratch.req_out.iter_mut().enumerate() {
+                req_in[d].append(out);
             }
         }
-        // Phase 3 — finalize.
+        // Phase 2a — request application: each responder shard drains its
+        // inbox responder-major, ordered by initiator id (the canonical
+        // commit order), batching replies by the initiator's shard.
+        {
+            let slices = part.split_mut(&mut shuffles);
+            let mut tasks: Vec<(
+                usize,
+                &mut [ShuffleNode],
+                &mut ShardScratch,
+                &mut Vec<RequestMsg>,
+            )> = slices
+                .into_iter()
+                .zip(scratches.iter_mut())
+                .zip(req_in.iter_mut())
+                .enumerate()
+                .map(|(s, ((slice, scratch), inbox))| (part.range(s).start, slice, scratch, inbox))
+                .collect();
+            par_each_mut(&mut tasks, threads, |_, (start, slice, scratch, inbox)| {
+                inbox.sort_unstable_by_key(|m| (m.responder, m.initiator));
+                for msg in inbox.drain(..) {
+                    let reply = slice[msg.responder as usize - *start].handle_request(msg.request);
+                    scratch.reply_out[part.owner(msg.initiator as usize)].push(ReplyMsg {
+                        initiator: msg.initiator,
+                        reply,
+                    });
+                }
+            });
+        }
+        // Barrier — transpose the reply batches back to their initiators.
+        for scratch in scratches.iter_mut() {
+            for (d, out) in scratch.reply_out.iter_mut().enumerate() {
+                reply_in[d].append(out);
+            }
+        }
+        // Phase 2b — reply/timeout application: at most one per
+        // initiator, so order within the shard is immaterial (sorted
+        // anyway for a deterministic walk).
+        {
+            let slices = part.split_mut(&mut shuffles);
+            let mut tasks: Vec<(
+                usize,
+                &mut [ShuffleNode],
+                &mut ShardScratch,
+                &mut Vec<ReplyMsg>,
+            )> = slices
+                .into_iter()
+                .zip(scratches.iter_mut())
+                .zip(reply_in.iter_mut())
+                .enumerate()
+                .map(|(s, ((slice, scratch), inbox))| (part.range(s).start, slice, scratch, inbox))
+                .collect();
+            par_each_mut(&mut tasks, threads, |_, (start, slice, scratch, inbox)| {
+                inbox.sort_unstable_by_key(|m| m.initiator);
+                for msg in inbox.drain(..) {
+                    slice[msg.initiator as usize - *start].handle_reply(msg.reply);
+                }
+                for &(i, target) in scratch.timeouts.iter() {
+                    slice[i as usize - *start].handle_timeout(target);
+                }
+                scratch.timeouts.clear();
+            });
+        }
+        self.shuffles = shuffles;
+        self.timings.commit += tc.elapsed();
+        // Phase 3 — finalize: each shard walks its per-node ops against
+        // its membership slice, reading the (now frozen) post-commit
+        // shuffle views.
+        let tf = Instant::now();
         let mut memberships = std::mem::take(&mut self.memberships);
         {
             let ctx = MaintCtx {
@@ -1143,36 +1377,27 @@ impl AvmemSim {
                 shuffles: &self.shuffles,
                 now: t,
             };
-            let mut slots: Vec<(NodeOps, &mut Membership)> = plan
-                .finalize
-                .iter()
-                .copied()
-                .zip(gather_mut(&mut memberships, &plan.finalize_nodes))
+            let slices = part.split_mut(&mut memberships);
+            let mut tasks: Vec<(usize, &mut [Membership], &mut ShardScratch)> = slices
+                .into_iter()
+                .zip(scratches.iter_mut())
+                .enumerate()
+                .map(|(s, (slice, scratch))| (part.range(s).start, slice, scratch))
                 .collect();
-            par_chunks_mut(&mut slots, 1, threads, |_, chunk| {
-                let mut migrants = Vec::new();
-                for (ops, membership) in chunk {
-                    ctx.finalize_node(*ops, membership, &mut migrants);
+            let ctx = &ctx;
+            par_each_mut(&mut tasks, threads, |_, (start, slice, scratch)| {
+                for k in 0..scratch.ops.len() {
+                    let ops = scratch.ops[k];
+                    ctx.finalize_node(
+                        ops,
+                        &mut slice[ops.node as usize - *start],
+                        &mut scratch.migrants,
+                    );
                 }
             });
         }
         self.memberships = memberships;
-    }
-
-    /// Applies one proposed shuffle exchange: route the request to the
-    /// target if it is online (request/reply both land immediately — the
-    /// exchange is atomic at cohort granularity), or record a timeout.
-    fn commit_exchange(&mut self, now: SimTime, i: usize, proposal: ShuffleProposal) {
-        let target = proposal.target();
-        let tgt = target.raw() as usize;
-        if tgt < self.shuffles.len() && self.trace.is_online(tgt, now) {
-            let (_, request) = proposal.into_request();
-            let (initiator, responder) = two_mut(&mut self.shuffles, i, tgt);
-            let reply = responder.handle_request(request);
-            initiator.handle_reply(reply);
-        } else {
-            self.shuffles[i].handle_timeout(target);
-        }
+        self.timings.finalize += tf.elapsed();
     }
 
     /// Captures the current overlay state for analysis.
@@ -1390,22 +1615,6 @@ impl OverlayWorld for WorldView<'_> {
             .neighbors(scope)
             .copied()
             .collect()
-    }
-}
-
-/// Borrows two distinct elements of a slice mutably.
-///
-/// # Panics
-///
-/// Panics if `a == b` or either index is out of bounds.
-fn two_mut<T>(slice: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
-    assert_ne!(a, b, "two_mut needs distinct indices");
-    if a < b {
-        let (lo, hi) = slice.split_at_mut(b);
-        (&mut lo[a], &mut hi[0])
-    } else {
-        let (lo, hi) = slice.split_at_mut(a);
-        (&mut hi[0], &mut lo[b])
     }
 }
 
@@ -1688,18 +1897,44 @@ mod tests {
     }
 
     #[test]
-    fn two_mut_returns_distinct_elements() {
-        let mut v = vec![1, 2, 3, 4];
-        let (a, b) = two_mut(&mut v, 3, 1);
-        *a += 10;
-        *b += 20;
-        assert_eq!(v, vec![1, 22, 3, 14]);
+    fn phase_timings_accumulate_in_event_driven_mode() {
+        let trace = OvernetModel::default().hosts(60).days(1).generate(11);
+        let mut config = SimConfig::paper_default(5);
+        config.maintenance = MaintenanceMode::paper_event_driven();
+        let mut sim = AvmemSim::new(trace, config);
+        assert_eq!(sim.phase_timings(), PhaseTimings::default());
+        sim.warm_up(SimDuration::from_hours(2));
+        let timings = sim.phase_timings();
+        assert!(timings.cohorts > 0, "no cohorts processed");
+        assert!(
+            timings.propose + timings.commit + timings.finalize > Duration::ZERO,
+            "no maintenance time recorded"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "distinct")]
-    fn two_mut_same_index_panics() {
-        let mut v = vec![1, 2];
-        let _ = two_mut(&mut v, 1, 1);
+    fn sharded_engine_matches_serial_in_unit_scale() {
+        // The integration suite pins the full matrix; this is the fast
+        // in-crate smoke over one awkward shard count.
+        let trace = OvernetModel::default().hosts(75).days(1).generate(29);
+        let mut serial_cfg = SimConfig::paper_default(12);
+        serial_cfg.maintenance = MaintenanceMode::paper_event_driven();
+        serial_cfg.engine = MaintenanceEngine::Serial;
+        let mut serial = AvmemSim::new(trace.clone(), serial_cfg);
+        serial.warm_up(SimDuration::from_hours(2));
+
+        let mut sharded_cfg = serial_cfg;
+        sharded_cfg.engine = MaintenanceEngine::Sharded {
+            shards: Some(3),
+            threads: Some(2),
+        };
+        let mut sharded = AvmemSim::new(trace, sharded_cfg);
+        sharded.warm_up(SimDuration::from_hours(2));
+
+        assert_eq!(serial.snapshot(), sharded.snapshot());
+        for i in 0..serial.trace().num_nodes() {
+            let id = NodeId::new(i as u64);
+            assert_eq!(serial.shuffle_view(id), sharded.shuffle_view(id));
+        }
     }
 }

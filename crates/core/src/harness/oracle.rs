@@ -61,6 +61,17 @@ impl SimOracle {
         }
     }
 
+    /// Sets the shard partitioning of the AVMON service's node-indexed
+    /// phases (aggregation, ring-arena sweeps) so monitoring work is
+    /// carved along the same ownership map as the maintenance harness (a
+    /// no-op for the instant oracles). Purely a performance knob:
+    /// estimates are bit-identical for every shard count.
+    pub fn set_shards(&mut self, shards: usize) {
+        if let SimOracle::Avmon(service) = self {
+            service.set_shards(shards);
+        }
+    }
+
     /// Whether every querier sees the same estimate for a given target
     /// at a given time. True for ground truth, shared-noise aggregates,
     /// and AVMON's aggregated answers; false for the per-querier noise

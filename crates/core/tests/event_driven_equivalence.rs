@@ -1,12 +1,12 @@
-//! Pins the phase-parallel batched event-driven engine to the serial
-//! reference implementation.
+//! Pins the sharded event-driven engine to the serial reference
+//! implementation.
 //!
 //! The contract under test (see `AvmemSim::run_event_driven`): a
 //! maintenance run's final state — every node's membership lists, every
 //! node's shuffle view, and the overlay snapshot with its metrics — is a
 //! function of `(trace, config, duration)` only. Neither the engine
-//! variant nor the worker-thread count may perturb a single bit, for any
-//! maintenance period and any oracle fidelity.
+//! variant, nor the shard count, nor the worker-thread count may perturb
+//! a single bit, for any maintenance period and any oracle fidelity.
 
 use avmem::harness::{
     AvmemSim, InitiatorBand, MaintenanceEngine, MaintenanceMode, OracleChoice, SimConfig,
@@ -15,6 +15,14 @@ use avmem_sim::SimDuration;
 use avmem_trace::{ChurnTrace, OvernetModel};
 use avmem_util::NodeId;
 
+/// Shard counts every cell sweeps. 1 exercises the single-shard fast
+/// path, the rest exercise cross-shard batch exchange at increasing
+/// fan-out (8 shards over ~100 nodes forces small, uneven slices).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Thread counts for the full-matrix cell: single worker (sharded
+/// semantics, serial execution), fewer threads than shards, more
+/// threads than shards.
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
 fn trace(hosts: usize, seed: u64) -> ChurnTrace {
@@ -32,6 +40,13 @@ fn config(
     config.maintenance = maintenance;
     config.engine = engine;
     config
+}
+
+fn sharded(shards: usize, threads: usize) -> MaintenanceEngine {
+    MaintenanceEngine::Sharded {
+        shards: Some(shards),
+        threads: Some(threads),
+    }
 }
 
 /// Full-state equality: memberships, shuffle views, snapshot, metrics.
@@ -58,9 +73,12 @@ fn assert_state_equal(reference: &AvmemSim, candidate: &AvmemSim, label: &str) {
     );
 }
 
-/// Runs one (periods, oracle) cell: serial reference vs the parallel
-/// engine at each thread count, over `hours` of maintenance.
+/// Runs one (periods, oracle) cell: serial reference vs the sharded
+/// engine over `hours` of maintenance. `full_matrix` sweeps every
+/// (shard, thread) pair; the reduced sweep runs each shard count at one
+/// rotating thread count to keep the suite's runtime in check.
 /// `min_degree` guards against vacuous equality (empty == empty).
+#[allow(clippy::too_many_arguments)]
 fn check_cell(
     hosts: usize,
     seed: u64,
@@ -68,6 +86,7 @@ fn check_cell(
     maintenance: MaintenanceMode,
     hours: u64,
     min_degree: f64,
+    full_matrix: bool,
     label: &str,
 ) {
     let trace = trace(hosts, seed);
@@ -82,20 +101,26 @@ fn check_cell(
         "{label}: reference run built no overlay"
     );
 
-    for threads in THREAD_COUNTS {
-        let mut parallel = AvmemSim::new(
-            trace.clone(),
-            config(
-                seed,
-                oracle,
-                maintenance,
-                MaintenanceEngine::Parallel {
-                    threads: Some(threads),
-                },
-            ),
-        );
-        parallel.warm_up(SimDuration::from_hours(hours));
-        assert_state_equal(&reference, &parallel, &format!("{label}, {threads} threads"));
+    for (i, shards) in SHARD_COUNTS.into_iter().enumerate() {
+        let thread_counts: &[usize] = if full_matrix {
+            &THREAD_COUNTS
+        } else {
+            // Rotate through the thread counts so every count still
+            // appears in the cell without the full cross product.
+            std::slice::from_ref(&THREAD_COUNTS[i % THREAD_COUNTS.len()])
+        };
+        for &threads in thread_counts {
+            let mut candidate = AvmemSim::new(
+                trace.clone(),
+                config(seed, oracle, maintenance, sharded(shards, threads)),
+            );
+            candidate.warm_up(SimDuration::from_hours(hours));
+            assert_state_equal(
+                &reference,
+                &candidate,
+                &format!("{label}, {shards} shards x {threads} threads"),
+            );
+        }
     }
 }
 
@@ -107,7 +132,8 @@ fn fast_periods() -> MaintenanceMode {
 }
 
 #[test]
-fn parallel_matches_serial_paper_periods_exact_oracle() {
+fn sharded_matches_serial_paper_periods_exact_oracle() {
+    // The main cell runs the full shard x thread matrix.
     check_cell(
         150,
         7,
@@ -115,12 +141,13 @@ fn parallel_matches_serial_paper_periods_exact_oracle() {
         MaintenanceMode::paper_event_driven(),
         2,
         0.5,
+        true,
         "paper periods / exact oracle",
     );
 }
 
 #[test]
-fn parallel_matches_serial_paper_periods_noisy_oracle() {
+fn sharded_matches_serial_paper_periods_noisy_oracle() {
     // Per-querier noise: divergent caches are the worst case for any
     // ordering bug — every (querier, target, epoch) triple draws its own
     // perturbation, so a single out-of-order estimate shows up.
@@ -131,12 +158,13 @@ fn parallel_matches_serial_paper_periods_noisy_oracle() {
         MaintenanceMode::paper_event_driven(),
         2,
         0.5,
+        false,
         "paper periods / per-querier noisy oracle",
     );
 }
 
 #[test]
-fn parallel_matches_serial_fast_periods_exact_oracle() {
+fn sharded_matches_serial_fast_periods_exact_oracle() {
     check_cell(
         120,
         9,
@@ -144,12 +172,13 @@ fn parallel_matches_serial_fast_periods_exact_oracle() {
         fast_periods(),
         1,
         0.5,
+        false,
         "fast periods / exact oracle",
     );
 }
 
 #[test]
-fn parallel_matches_serial_fast_periods_shared_noise_oracle() {
+fn sharded_matches_serial_fast_periods_shared_noise_oracle() {
     check_cell(
         120,
         10,
@@ -160,14 +189,15 @@ fn parallel_matches_serial_fast_periods_shared_noise_oracle() {
         fast_periods(),
         1,
         0.5,
+        false,
         "fast periods / shared-noise oracle",
     );
 }
 
 #[test]
-fn parallel_matches_serial_with_full_avmon_service() {
+fn sharded_matches_serial_with_full_avmon_service() {
     // The paper's actual monitoring service: AVMON's ping-based
-    // estimates evolve as the oracle advances (once per batch, outside
+    // estimates evolve as the oracle advances (once per cohort, outside
     // the parallel phases) and are read concurrently by finalize
     // workers. Estimates take hours to appear, so this cell warms
     // longer and accepts a sparser overlay than the instant oracles.
@@ -180,6 +210,7 @@ fn parallel_matches_serial_with_full_avmon_service() {
         MaintenanceMode::paper_event_driven(),
         10,
         0.1,
+        false,
         "paper periods / full AVMON service",
     );
 }
@@ -195,20 +226,15 @@ fn equivalence_survives_incremental_warm_up() {
         trace.clone(),
         config(3, OracleChoice::Exact, maintenance, MaintenanceEngine::Serial),
     );
-    let mut parallel = AvmemSim::new(
+    let mut candidate = AvmemSim::new(
         trace,
-        config(
-            3,
-            OracleChoice::Exact,
-            maintenance,
-            MaintenanceEngine::Parallel { threads: Some(4) },
-        ),
+        config(3, OracleChoice::Exact, maintenance, sharded(4, 4)),
     );
     for _ in 0..3 {
         reference.warm_up(SimDuration::from_mins(40));
-        parallel.warm_up(SimDuration::from_mins(40));
+        candidate.warm_up(SimDuration::from_mins(40));
     }
-    assert_state_equal(&reference, &parallel, "incremental warm-up");
+    assert_state_equal(&reference, &candidate, "incremental warm-up");
 }
 
 #[test]
@@ -221,21 +247,16 @@ fn engines_agree_on_downstream_operations() {
         trace.clone(),
         config(5, OracleChoice::Exact, maintenance, MaintenanceEngine::Serial),
     );
-    let mut parallel = AvmemSim::new(
+    let mut candidate = AvmemSim::new(
         trace,
-        config(
-            5,
-            OracleChoice::Exact,
-            maintenance,
-            MaintenanceEngine::Parallel { threads: Some(8) },
-        ),
+        config(5, OracleChoice::Exact, maintenance, sharded(8, 8)),
     );
     reference.warm_up(SimDuration::from_hours(1));
-    parallel.warm_up(SimDuration::from_hours(1));
+    candidate.warm_up(SimDuration::from_hours(1));
     for band in [InitiatorBand::Low, InitiatorBand::Mid, InitiatorBand::High] {
         assert_eq!(
             reference.random_online_initiator(band),
-            parallel.random_online_initiator(band),
+            candidate.random_online_initiator(band),
             "initiator draw diverged for {band:?}"
         );
     }

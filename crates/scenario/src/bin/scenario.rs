@@ -10,9 +10,10 @@
 //!
 //! `run` and `check` resolve their argument as a built-in name first,
 //! then as a file path. Run overrides: `--seed N`,
-//! `--engine serial|parallel`, `--threads K` (0 = all cores),
-//! `--warmup-mins N` / `--duration-mins N` (truncated CI smokes of big
-//! scenarios), `--json` for machine-readable output.
+//! `--engine serial|sharded`, `--shards S` (0 = one per worker),
+//! `--threads K` (0 = all cores), `--warmup-mins N` / `--duration-mins N`
+//! (truncated CI smokes of big scenarios), `--json` for machine-readable
+//! output.
 
 use std::process::ExitCode;
 
@@ -29,8 +30,9 @@ fn usage() -> &'static str {
      \n\
      run options:\n\
      \x20 --seed <n>                  override the spec's seed\n\
-     \x20 --engine serial|parallel    override the maintenance engine\n\
-     \x20 --threads <k>               worker threads for --engine parallel (0 = all cores)\n\
+     \x20 --engine serial|sharded     override the maintenance engine\n\
+     \x20 --shards <s>                shard count for --engine sharded (0 = one per worker)\n\
+     \x20 --threads <k>               worker threads for --engine sharded (0 = all cores)\n\
      \x20 --warmup-mins <n>           override the spec's warmup length\n\
      \x20 --duration-mins <n>         override the spec's measured duration\n\
      \x20 --json                      print the report as JSON\n"
@@ -135,6 +137,7 @@ fn run(which: &str, options: &[String]) -> ExitCode {
     };
 
     let mut engine: Option<&str> = None;
+    let mut shards: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut json = false;
     let mut iter = options.iter();
@@ -144,9 +147,14 @@ fn run(which: &str, options: &[String]) -> ExitCode {
                 Some(seed) => spec.seed = seed,
                 None => return fail("--seed needs an integer"),
             },
+            // "parallel" is the pre-sharding spelling, kept as an alias.
             "--engine" => match iter.next().map(String::as_str) {
-                Some(name @ ("serial" | "parallel")) => engine = Some(name),
-                _ => return fail("--engine needs `serial` or `parallel`"),
+                Some(name @ ("serial" | "sharded" | "parallel")) => engine = Some(name),
+                _ => return fail("--engine needs `serial` or `sharded`"),
+            },
+            "--shards" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(s) => shards = Some(s),
+                None => return fail("--shards needs an integer"),
             },
             "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(k) => threads = Some(k),
@@ -166,14 +174,21 @@ fn run(which: &str, options: &[String]) -> ExitCode {
     }
     match engine {
         Some("serial") => spec.maintenance.engine = EngineSpec::Serial,
-        Some("parallel") => {
-            spec.maintenance.engine = EngineSpec::Parallel {
+        Some("sharded" | "parallel") => {
+            spec.maintenance.engine = EngineSpec::Sharded {
+                shards: shards.unwrap_or(0),
                 threads: threads.unwrap_or(0),
             }
         }
         _ => {
-            if let (Some(k), EngineSpec::Parallel { .. }) = (threads, &spec.maintenance.engine) {
-                spec.maintenance.engine = EngineSpec::Parallel { threads: k };
+            // Bare --shards/--threads refine an already-sharded spec.
+            if let EngineSpec::Sharded { shards: s, threads: t } = spec.maintenance.engine {
+                if shards.is_some() || threads.is_some() {
+                    spec.maintenance.engine = EngineSpec::Sharded {
+                        shards: shards.unwrap_or(s),
+                        threads: threads.unwrap_or(t),
+                    };
+                }
             }
         }
     }

@@ -34,7 +34,7 @@ days = 2
 mode = "event-driven"
 protocol_secs = 60
 refresh_mins = 20
-engine = "parallel"
+engine = "sharded"
 
 [workload]
 ops_per_hour = 60.0
@@ -83,7 +83,7 @@ days = 1
 mode = "event-driven"
 protocol_secs = 60
 refresh_mins = 10
-engine = "parallel"
+engine = "sharded"
 
 [workload]
 ops_per_hour = 90.0
@@ -131,7 +131,7 @@ switch_at = 0.25
 mode = "event-driven"
 protocol_secs = 60
 refresh_mins = 20
-engine = "parallel"
+engine = "sharded"
 
 [workload]
 ops_per_hour = 60.0
@@ -171,7 +171,7 @@ switch_at = 0.5
 mode = "event-driven"
 protocol_secs = 60
 refresh_mins = 10
-engine = "parallel"
+engine = "sharded"
 
 [workload]
 ops_per_hour = 60.0
@@ -212,7 +212,7 @@ staleness_mins = 20
 [maintenance]
 mode = "converged"
 rebuild_every_mins = 60
-engine = "parallel"
+engine = "sharded"
 
 [workload]
 ops_per_hour = 120.0
@@ -259,7 +259,7 @@ days = 1
 mode = "event-driven"
 protocol_secs = 60
 refresh_mins = 20
-engine = "parallel"
+engine = "sharded"
 
 [workload]
 ops_per_hour = 30.0
@@ -300,7 +300,7 @@ kind = "avmon"
 mode = "event-driven"
 protocol_secs = 60
 refresh_mins = 20
-engine = "parallel"
+engine = "sharded"
 
 [workload]
 ops_per_hour = 30.0
@@ -344,7 +344,7 @@ monitors = 8
 mode = "event-driven"
 protocol_secs = 60
 refresh_mins = 20
-engine = "parallel"
+engine = "sharded"
 
 [workload]
 ops_per_hour = 30.0
@@ -388,7 +388,7 @@ monitors = 8
 mode = "event-driven"
 protocol_secs = 60
 refresh_mins = 20
-engine = "parallel"
+engine = "sharded"
 
 [workload]
 ops_per_hour = 30.0
@@ -425,7 +425,7 @@ days = 1
 [maintenance]
 mode = "converged"
 rebuild_every_mins = 30
-engine = "parallel"
+engine = "sharded"
 
 [workload]
 ops_per_hour = 120.0

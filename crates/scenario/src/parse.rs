@@ -516,7 +516,7 @@ pub fn parse_spec(input: &str) -> Result<ScenarioSpec, ParseError> {
                 protocol_secs: 60,
                 refresh_mins: 20,
             },
-            engine: EngineSpec::Parallel { threads: 0 },
+            engine: EngineSpec::Sharded { shards: 0, threads: 0 },
         },
         Some(raw) => {
             let mut section = Section::new("maintenance", raw);
@@ -542,29 +542,35 @@ pub fn parse_spec(input: &str) -> Result<ScenarioSpec, ParseError> {
                 }
             };
             let engine = match section.raw_value("engine") {
-                None => EngineSpec::Parallel {
+                None => EngineSpec::Sharded {
+                    shards: section.u64_or("shards", 0)? as usize,
                     threads: section.u64_or("threads", 0)? as usize,
                 },
                 Some(value) => {
                     let engine_name = section.str_of(value, "engine")?;
                     match engine_name.as_str() {
                         "serial" => EngineSpec::Serial,
-                        "parallel" => EngineSpec::Parallel {
+                        // "parallel" is the pre-sharding name, kept as an
+                        // alias so existing spec files keep parsing.
+                        "sharded" | "parallel" => EngineSpec::Sharded {
+                            shards: section.u64_or("shards", 0)? as usize,
                             threads: section.u64_or("threads", 0)? as usize,
                         },
                         other => {
                             return Err(ParseError::new(
                                 value.line,
                                 format!(
-                                    "unknown engine {other:?} (accepted: serial, parallel)"
+                                    "unknown engine {other:?} (accepted: serial, sharded, \
+                                     parallel)"
                                 ),
                             ))
                         }
                     }
                 }
             };
-            // `threads` without `engine = "parallel"` would dangle.
+            // `shards`/`threads` without `engine = "sharded"` would dangle.
             if matches!(engine, EngineSpec::Serial) {
+                let _ = section.u64_or("shards", 0)?;
                 let _ = section.u64_or("threads", 0)?;
             }
             section.finish()?;
@@ -845,8 +851,9 @@ impl ScenarioSpec {
         }
         match self.maintenance.engine {
             EngineSpec::Serial => writeln!(w, "engine = \"serial\"").unwrap(),
-            EngineSpec::Parallel { threads } => {
-                writeln!(w, "engine = \"parallel\"\nthreads = {threads}").unwrap();
+            EngineSpec::Sharded { shards, threads } => {
+                writeln!(w, "engine = \"sharded\"\nshards = {shards}\nthreads = {threads}")
+                    .unwrap();
             }
         }
 
@@ -924,6 +931,37 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{name}: render did not parse: {e}\n{rendered}"));
             assert_eq!(spec, reparsed, "{name} did not round-trip");
         }
+    }
+
+    #[test]
+    fn parallel_engine_is_a_sharded_alias() {
+        // Spec files written before the sharded engine existed said
+        // `engine = "parallel"`; they keep working and now mean a
+        // thread-count-matched shard layout.
+        let spec = parse_spec(
+            "name = \"legacy\"\n[churn]\nmodel = \"overnet\"\nhosts = 10\ndays = 1\n\
+             [maintenance]\nmode = \"event-driven\"\nengine = \"parallel\"\nthreads = 4\n\
+             [workload]\nops_per_hour = 5.0\n",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.maintenance.engine,
+            EngineSpec::Sharded { shards: 0, threads: 4 }
+        );
+    }
+
+    #[test]
+    fn sharded_engine_parses_both_knobs() {
+        let spec = parse_spec(
+            "name = \"s\"\n[churn]\nmodel = \"overnet\"\nhosts = 10\ndays = 1\n\
+             [maintenance]\nmode = \"event-driven\"\nengine = \"sharded\"\nshards = 8\n\
+             threads = 2\n[workload]\nops_per_hour = 5.0\n",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.maintenance.engine,
+            EngineSpec::Sharded { shards: 8, threads: 2 }
+        );
     }
 
     #[test]

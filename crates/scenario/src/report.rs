@@ -163,7 +163,12 @@ pub struct HealthSample {
 }
 
 /// The complete result of one scenario run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality deliberately ignores [`ScenarioReport::timings`]: wall-clock
+/// phase timings vary run to run, while every other field is a
+/// deterministic function of `(spec, seed)` — the determinism suite
+/// compares whole reports with `==`.
+#[derive(Debug, Clone)]
 pub struct ScenarioReport {
     /// Scenario name (from the spec).
     pub scenario: String,
@@ -183,6 +188,24 @@ pub struct ScenarioReport {
     pub health: Vec<HealthSample>,
     /// Operations skipped because no eligible initiator was online.
     pub skipped_ops: u64,
+    /// Maintenance phase wall-clock totals (oracle / propose / commit /
+    /// finalize) accumulated over the whole run. Excluded from `==`.
+    pub timings: avmem::PhaseTimings,
+}
+
+impl PartialEq for ScenarioReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Every field except `timings`, which is wall-clock noise.
+        self.scenario == other.scenario
+            && self.seed == other.seed
+            && self.hosts == other.hosts
+            && self.duration_mins == other.duration_mins
+            && self.anycast == other.anycast
+            && self.multicast == other.multicast
+            && self.attack == other.attack
+            && self.health == other.health
+            && self.skipped_ops == other.skipped_ops
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -304,6 +327,20 @@ impl ScenarioReport {
             writeln!(w, "skipped operations (no eligible initiator): {}", self.skipped_ops)
                 .unwrap();
         }
+        let t = &self.timings;
+        if t.cohorts > 0 {
+            writeln!(
+                w,
+                "maintenance phase timings ({} cohorts): oracle {:.3} s  propose {:.3} s  \
+                 commit {:.3} s  finalize {:.3} s",
+                t.cohorts,
+                t.oracle.as_secs_f64(),
+                t.propose.as_secs_f64(),
+                t.commit.as_secs_f64(),
+                t.finalize.as_secs_f64()
+            )
+            .unwrap();
+        }
         out
     }
 
@@ -388,7 +425,19 @@ impl ScenarioReport {
             )
             .unwrap();
         }
-        write!(w, "],\"skipped_ops\":{}}}", self.skipped_ops).unwrap();
+        let t = &self.timings;
+        write!(
+            w,
+            "],\"skipped_ops\":{},\"timings\":{{\"cohorts\":{},\"oracle_secs\":{},\
+             \"propose_secs\":{},\"commit_secs\":{},\"finalize_secs\":{}}}}}",
+            self.skipped_ops,
+            t.cohorts,
+            json_f64(t.oracle.as_secs_f64()),
+            json_f64(t.propose.as_secs_f64()),
+            json_f64(t.commit.as_secs_f64()),
+            json_f64(t.finalize.as_secs_f64())
+        )
+        .unwrap();
         out
     }
 }
@@ -468,6 +517,13 @@ mod tests {
                 },
             ],
             skipped_ops: 1,
+            timings: avmem::PhaseTimings {
+                oracle: std::time::Duration::from_millis(120),
+                propose: std::time::Duration::from_millis(40),
+                commit: std::time::Duration::from_millis(35),
+                finalize: std::time::Duration::from_millis(80),
+                cohorts: 240,
+            },
         }
     }
 
@@ -511,5 +567,26 @@ mod tests {
         let mut report = sample_report();
         report.attack = None;
         assert!(report.render_json().contains("\"attack\":null"));
+    }
+
+    #[test]
+    fn renderings_carry_phase_timings() {
+        let report = sample_report();
+        let text = report.render_text();
+        assert!(text.contains("maintenance phase timings (240 cohorts)"), "{text}");
+        assert!(text.contains("propose 0.040 s"), "{text}");
+        let json = report.render_json();
+        assert!(json.contains("\"timings\":{\"cohorts\":240"), "{json}");
+        assert!(json.contains("\"propose_secs\":0.04"), "{json}");
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock_timings() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.timings = avmem::PhaseTimings::default();
+        assert_eq!(a, b, "timings must not affect report equality");
+        b.skipped_ops += 1;
+        assert_ne!(a, b, "real fields still compare");
     }
 }

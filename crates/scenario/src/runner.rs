@@ -139,6 +139,7 @@ impl ScenarioRunner {
             attack: spec.adversary.map(|_| AttackStats::new()),
             health: Vec::new(),
             skipped_ops: 0,
+            timings: avmem::PhaseTimings::default(),
         };
         // Interval accumulators for the health series.
         let mut ops_since_last = 0u64;
@@ -173,6 +174,7 @@ impl ScenarioRunner {
             ops_since_last,
             attack_since_last,
         ));
+        report.timings = sim.phase_timings();
         Ok(report)
     }
 
@@ -535,6 +537,10 @@ mod tests {
             report.health.last().unwrap().mean_degree > 0.5,
             "event-driven maintenance built no overlay"
         );
+        // And the run carries per-phase maintenance timings.
+        assert!(report.timings.cohorts > 0, "no cohorts timed");
+        let busy = report.timings.propose + report.timings.commit + report.timings.finalize;
+        assert!(busy > std::time::Duration::ZERO, "phase clocks never ticked");
     }
 
     #[test]

@@ -208,8 +208,12 @@ pub enum MaintenanceModeSpec {
 pub enum EngineSpec {
     /// Straight-line reference engine.
     Serial,
-    /// Phase-parallel engine; `threads == 0` sizes to the machine.
-    Parallel {
+    /// Sharded engine: shard-owned state driven by worker threads.
+    /// `shards == 0` matches the resolved thread count; `threads == 0`
+    /// sizes to the machine (respecting any cgroup CPU quota).
+    Sharded {
+        /// Shard count (0 = one per worker thread).
+        shards: usize,
         /// Worker-thread cap (0 = all cores).
         threads: usize,
     },
@@ -584,9 +588,9 @@ impl EngineSpec {
     pub fn to_engine(&self) -> MaintenanceEngine {
         match *self {
             EngineSpec::Serial => MaintenanceEngine::Serial,
-            EngineSpec::Parallel { threads: 0 } => MaintenanceEngine::Parallel { threads: None },
-            EngineSpec::Parallel { threads } => MaintenanceEngine::Parallel {
-                threads: Some(threads),
+            EngineSpec::Sharded { shards, threads } => MaintenanceEngine::Sharded {
+                shards: (shards > 0).then_some(shards),
+                threads: (threads > 0).then_some(threads),
             },
         }
     }
@@ -723,12 +727,20 @@ mod tests {
     #[test]
     fn sim_config_reflects_spec() {
         let mut spec = valid();
-        spec.maintenance.engine = EngineSpec::Parallel { threads: 3 };
+        spec.maintenance.engine = EngineSpec::Sharded { shards: 2, threads: 3 };
         spec.oracle = OracleSpec::Noisy { error: 0.05, staleness_mins: 20 };
         let config = spec.sim_config();
         assert_eq!(
             config.engine,
-            MaintenanceEngine::Parallel { threads: Some(3) }
+            MaintenanceEngine::Sharded {
+                shards: Some(2),
+                threads: Some(3),
+            }
+        );
+        // Zeroes mean "auto" and map to None at the harness boundary.
+        assert_eq!(
+            EngineSpec::Sharded { shards: 0, threads: 0 }.to_engine(),
+            MaintenanceEngine::Sharded { shards: None, threads: None }
         );
         assert!(matches!(config.oracle, OracleChoice::Noisy { .. }));
     }

@@ -1,11 +1,12 @@
 //! Pins scenario-report determinism: one spec + seed produces a
 //! bit-identical [`ScenarioReport`] regardless of maintenance engine
-//! (serial reference vs phase-parallel) and worker-thread count.
+//! (serial reference vs sharded), shard count, and worker-thread count.
 //!
 //! This is the scenario-level corollary of the `event_driven_equivalence`
 //! harness tests: maintenance state is engine-independent, and every
 //! operation draw comes from counter-keyed streams, so nothing in the
-//! report may move when only the execution strategy changes.
+//! report may move when only the execution strategy changes. (Report
+//! equality deliberately excludes the wall-clock phase timings.)
 
 use avmem::harness::MaintenanceEngine;
 use avmem_scenario::{
@@ -13,7 +14,9 @@ use avmem_scenario::{
     ScenarioSpec,
 };
 
-const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+/// (shards, threads) sweep: single-shard fast path, balanced, shard
+/// count above and below the thread count.
+const SHARD_SWEEP: [(usize, usize); 4] = [(1, 1), (2, 2), (4, 2), (8, 8)];
 
 /// A scenario small enough to sweep engines over, but exercising the full
 /// machinery: event-driven maintenance, mixed traffic, an adversary.
@@ -51,8 +54,15 @@ fn report_with(spec: &ScenarioSpec, engine: MaintenanceEngine) -> avmem_scenario
         .expect("scenario runs")
 }
 
+fn sharded(shards: usize, threads: usize) -> MaintenanceEngine {
+    MaintenanceEngine::Sharded {
+        shards: Some(shards),
+        threads: Some(threads),
+    }
+}
+
 #[test]
-fn reports_are_bit_identical_across_engines_and_thread_counts() {
+fn reports_are_bit_identical_across_engines_shards_and_threads() {
     let spec = event_driven_spec();
     let reference = report_with(&spec, MaintenanceEngine::Serial);
 
@@ -67,16 +77,11 @@ fn reports_are_bit_identical_across_engines_and_thread_counts() {
     assert!(attack.probes > 0, "no adversary probes");
     assert!(reference.health.len() >= 4, "health series too short");
 
-    for threads in THREAD_COUNTS {
-        let candidate = report_with(
-            &spec,
-            MaintenanceEngine::Parallel {
-                threads: Some(threads),
-            },
-        );
+    for (shards, threads) in SHARD_SWEEP {
+        let candidate = report_with(&spec, sharded(shards, threads));
         assert_eq!(
             reference, candidate,
-            "report diverged with the parallel engine at {threads} threads"
+            "report diverged with the sharded engine at {shards} shards x {threads} threads"
         );
     }
 }
@@ -89,16 +94,11 @@ fn reports_are_bit_identical_for_converged_maintenance_too() {
     };
     let reference = report_with(&spec, MaintenanceEngine::Serial);
     assert!(reference.anycast.sent > 10);
-    for threads in THREAD_COUNTS {
-        let candidate = report_with(
-            &spec,
-            MaintenanceEngine::Parallel {
-                threads: Some(threads),
-            },
-        );
+    for (shards, threads) in SHARD_SWEEP {
+        let candidate = report_with(&spec, sharded(shards, threads));
         assert_eq!(
             reference, candidate,
-            "converged report diverged at {threads} threads"
+            "converged report diverged at {shards} shards x {threads} threads"
         );
     }
 }

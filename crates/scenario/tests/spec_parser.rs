@@ -82,7 +82,8 @@ fn arb_maintenance() -> impl Strategy<Value = MaintenanceSpec> {
     ];
     let engine = prop_oneof![
         Just(EngineSpec::Serial),
-        (0usize..16).prop_map(|threads| EngineSpec::Parallel { threads }),
+        (0usize..16, 0usize..16)
+            .prop_map(|(shards, threads)| EngineSpec::Sharded { shards, threads }),
     ];
     (mode, engine).prop_map(|(mode, engine)| MaintenanceSpec { mode, engine })
 }

@@ -1,0 +1,219 @@
+//! Per-shard event queues with aligned cohort draining.
+//!
+//! [`EngineGroup`] holds one [`Engine`] per shard so each shard of a
+//! sharded driver owns its event queue outright — scheduling a follow-up
+//! event touches only the owning shard's heap, with no contention on a
+//! global queue. Draining stays globally deterministic because cohorts
+//! are *aligned*: [`EngineGroup::pop_batch_until`] finds the earliest
+//! pending timestamp across all shards and pops exactly that timestamp's
+//! cohort from every shard that has one, leaving the other shards' queues
+//! untouched. The union of the per-shard batches is exactly the cohort a
+//! single global [`Engine`] would have popped — partitioned by shard —
+//! so a sharded driver sees the same timeline as a serial one.
+
+use crate::engine::Engine;
+use crate::time::SimTime;
+
+/// A group of per-shard [`Engine`]s drained in aligned timestamp cohorts.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_sim::{EngineGroup, SimTime};
+///
+/// let mut group: EngineGroup<&'static str> = EngineGroup::new(2);
+/// group.schedule(0, SimTime::from_millis(5), "a");
+/// group.schedule(1, SimTime::from_millis(5), "b");
+/// group.schedule(1, SimTime::from_millis(9), "c");
+///
+/// let mut batches = vec![Vec::new(), Vec::new()];
+/// let t = group.pop_batch_until(SimTime::MAX, &mut batches).unwrap();
+/// assert_eq!(t, SimTime::from_millis(5));
+/// assert_eq!(batches, vec![vec!["a"], vec!["b"]]); // "c" stays queued
+/// ```
+#[derive(Debug)]
+pub struct EngineGroup<E> {
+    engines: Vec<Engine<E>>,
+}
+
+impl<E> EngineGroup<E> {
+    /// Creates a group of `shards` empty engines (zero is treated as one).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        EngineGroup {
+            engines: (0..shards).map(|_| Engine::new()).collect(),
+        }
+    }
+
+    /// Number of shards (engines) in the group.
+    pub fn shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Schedules `event` at absolute time `at` on shard `s`'s queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= shards()`.
+    pub fn schedule(&mut self, s: usize, at: SimTime, event: E) {
+        self.engines[s].schedule(at, event);
+    }
+
+    /// Timestamp of the earliest pending event across all shards.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.engines.iter().filter_map(Engine::peek_time).min()
+    }
+
+    /// Total number of events still pending across all shards.
+    pub fn pending(&self) -> usize {
+        self.engines.iter().map(Engine::pending).sum()
+    }
+
+    /// Total number of events dispatched so far across all shards.
+    pub fn dispatched(&self) -> u64 {
+        self.engines.iter().map(Engine::dispatched).sum()
+    }
+
+    /// Pops the globally earliest timestamp cohort into per-shard batches.
+    ///
+    /// Finds the minimum pending timestamp `t` over every shard; if
+    /// `t <= deadline`, each shard whose head is exactly `t` pops its
+    /// cohort (in its own seq order) into `batches[s]`, and every other
+    /// shard's batch is cleared. Returns `t`, or `None` (with all batches
+    /// cleared) when no shard has an event at or before `deadline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batches.len() != shards()`.
+    pub fn pop_batch_until(
+        &mut self,
+        deadline: SimTime,
+        batches: &mut [Vec<E>],
+    ) -> Option<SimTime> {
+        assert_eq!(
+            batches.len(),
+            self.engines.len(),
+            "one batch buffer per shard"
+        );
+        let head = self.peek_time().filter(|&t| t <= deadline);
+        let Some(t) = head else {
+            for batch in batches.iter_mut() {
+                batch.clear();
+            }
+            return None;
+        };
+        for (engine, batch) in self.engines.iter_mut().zip(batches.iter_mut()) {
+            if engine.peek_time() == Some(t) {
+                let popped = engine.pop_batch_until(t, batch);
+                debug_assert_eq!(popped, Some(t));
+            } else {
+                batch.clear();
+            }
+        }
+        Some(t)
+    }
+
+    /// Drops all pending events on every shard.
+    pub fn clear(&mut self) {
+        for engine in &mut self.engines {
+            engine.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shards_collapses_to_one() {
+        let group: EngineGroup<()> = EngineGroup::new(0);
+        assert_eq!(group.shards(), 1);
+    }
+
+    #[test]
+    fn peek_is_the_minimum_over_shards() {
+        let mut group = EngineGroup::new(3);
+        assert_eq!(group.peek_time(), None);
+        group.schedule(1, SimTime::from_millis(40), "late");
+        group.schedule(2, SimTime::from_millis(10), "early");
+        assert_eq!(group.peek_time(), Some(SimTime::from_millis(10)));
+    }
+
+    #[test]
+    fn aligned_pop_takes_only_the_earliest_cohort() {
+        let mut group = EngineGroup::new(3);
+        group.schedule(0, SimTime::from_millis(5), 'a');
+        group.schedule(0, SimTime::from_millis(5), 'b');
+        group.schedule(1, SimTime::from_millis(7), 'c');
+        group.schedule(2, SimTime::from_millis(5), 'd');
+
+        let mut batches = vec![Vec::new(); 3];
+        let t = group.pop_batch_until(SimTime::MAX, &mut batches).unwrap();
+        assert_eq!(t, SimTime::from_millis(5));
+        assert_eq!(batches, vec![vec!['a', 'b'], vec![], vec!['d']]);
+        assert_eq!(group.pending(), 1);
+
+        let t = group.pop_batch_until(SimTime::MAX, &mut batches).unwrap();
+        assert_eq!(t, SimTime::from_millis(7));
+        assert_eq!(batches, vec![vec![], vec!['c'], vec![]]);
+        assert!(group.pop_batch_until(SimTime::MAX, &mut batches).is_none());
+    }
+
+    #[test]
+    fn deadline_refusal_clears_all_batches() {
+        let mut group = EngineGroup::new(2);
+        group.schedule(0, SimTime::from_millis(100), ());
+        let mut batches = vec![vec![()], vec![(), ()]];
+        assert!(group
+            .pop_batch_until(SimTime::from_millis(99), &mut batches)
+            .is_none());
+        assert!(batches.iter().all(Vec::is_empty));
+        assert_eq!(group.pending(), 1);
+    }
+
+    #[test]
+    fn union_of_shard_batches_matches_a_global_engine() {
+        // Partition events over shards by `event % shards`; the union of
+        // aligned per-shard cohorts must replay the global cohort stream.
+        let shards = 4usize;
+        let mut global = Engine::new();
+        let mut group = EngineGroup::new(shards);
+        for i in 0..200u32 {
+            let t = SimTime::from_millis((i % 13) as u64);
+            global.schedule(t, i);
+            group.schedule(i as usize % shards, t, i);
+        }
+
+        let mut global_batch = Vec::new();
+        let mut batches = vec![Vec::new(); shards];
+        loop {
+            let gt = global.pop_batch_until(SimTime::MAX, &mut global_batch);
+            let st = group.pop_batch_until(SimTime::MAX, &mut batches);
+            assert_eq!(gt, st);
+            let Some(_) = gt else { break };
+            let mut merged: Vec<u32> = batches.iter().flatten().copied().collect();
+            merged.sort_unstable();
+            let mut expect = global_batch.clone();
+            expect.sort_unstable();
+            assert_eq!(merged, expect);
+            // Within a shard, seq order is preserved.
+            for (s, batch) in batches.iter().enumerate() {
+                assert!(batch.windows(2).all(|w| w[0] < w[1]), "shard {s} out of order");
+                assert!(batch.iter().all(|&e| e as usize % shards == s));
+            }
+        }
+        assert_eq!(group.dispatched(), 200);
+        assert_eq!(group.pending(), 0);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut group = EngineGroup::new(2);
+        group.schedule(0, SimTime::from_millis(1), ());
+        group.schedule(1, SimTime::from_millis(2), ());
+        group.clear();
+        assert_eq!(group.pending(), 0);
+        assert_eq!(group.peek_time(), None);
+    }
+}

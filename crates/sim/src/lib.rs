@@ -10,6 +10,8 @@
 //!   clock;
 //! * [`Engine`] — a binary-heap scheduler with a deterministic tie-break,
 //!   so that two runs with the same seed produce byte-identical histories;
+//! * [`EngineGroup`] — per-shard engines drained in aligned timestamp
+//!   cohorts, the queue layer of the sharded maintenance harness;
 //! * [`net`] — per-hop latency models (the paper draws hop latency
 //!   uniformly from `[20 ms, 80 ms]`) and message-loss injection;
 //! * [`metrics`] — counters shared by protocols and the experiment
@@ -36,11 +38,13 @@
 //! ```
 
 pub mod engine;
+pub mod group;
 pub mod metrics;
 pub mod net;
 pub mod time;
 
 pub use engine::Engine;
+pub use group::EngineGroup;
 pub use metrics::Counters;
 pub use net::{LatencyModel, Network};
 pub use time::{SimDuration, SimTime};

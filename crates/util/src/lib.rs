@@ -21,7 +21,9 @@
 //!   the experiment harness;
 //! * [`parallel`] — chunk-parallelism for the simulator's hot loops on a
 //!   persistent, lazily started worker pool (no external thread-pool
-//!   dependency; `AVMEM_THREADS` caps it).
+//!   dependency; `AVMEM_THREADS` caps it);
+//! * [`shard`] — contiguous shard partitioning of the node population,
+//!   the ownership map of the sharded maintenance harness.
 //!
 //! # Examples
 //!
@@ -45,6 +47,7 @@ pub mod id;
 pub mod parallel;
 pub mod ring;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 
 pub use availability::{Availability, AvailabilityError};
@@ -55,3 +58,4 @@ pub use hash::{
 pub use id::NodeId;
 pub use ring::HashRing;
 pub use rng::{Rng, SplitMix64, Xoshiro256};
+pub use shard::ShardPartition;

@@ -23,17 +23,65 @@ use std::thread::JoinHandle;
 
 /// Number of worker threads worth using on this machine: the
 /// `AVMEM_THREADS` environment variable when set to a positive integer,
-/// otherwise the available hardware parallelism.
+/// otherwise the available hardware parallelism capped by the cgroup CPU
+/// quota (if any).
+///
+/// Containerized runs routinely see every host core through
+/// `available_parallelism` while their cgroup caps them to a fraction of
+/// one — an oversubscribed pool then pays context-switch and throttling
+/// overhead for parallelism that does not exist. The quota (cgroup v2
+/// `cpu.max`, v1 `cpu.cfs_quota_us`/`cpu.cfs_period_us`) is the real
+/// ceiling, so it wins when it is lower.
 pub fn default_threads() -> usize {
     match std::env::var("AVMEM_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
     {
         Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        _ => {
+            let hardware = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            match cgroup_quota_threads() {
+                Some(quota) => hardware.min(quota),
+                None => hardware,
+            }
+        }
     }
+}
+
+/// The effective CPU count allowed by the process's cgroup quota, or
+/// `None` when unlimited/unreadable. Reads cgroup v2 first (`cpu.max`),
+/// then falls back to v1 (`cpu.cfs_quota_us` + `cpu.cfs_period_us`).
+fn cgroup_quota_threads() -> Option<usize> {
+    let read = |path: &str| std::fs::read_to_string(path).ok();
+    if let Some(text) = read("/sys/fs/cgroup/cpu.max") {
+        return parse_cpu_max(&text);
+    }
+    let quota = read("/sys/fs/cgroup/cpu/cpu.cfs_quota_us")?;
+    let period = read("/sys/fs/cgroup/cpu/cpu.cfs_period_us")?;
+    quota_to_threads(quota.trim().parse().ok()?, period.trim().parse().ok()?)
+}
+
+/// Parses cgroup v2 `cpu.max` ("`max 100000`" = unlimited, or
+/// "`<quota> <period>`" in microseconds) into an effective CPU count.
+fn parse_cpu_max(text: &str) -> Option<usize> {
+    let mut fields = text.split_whitespace();
+    let quota = fields.next()?;
+    if quota == "max" {
+        return None;
+    }
+    quota_to_threads(quota.parse().ok()?, fields.next()?.parse().ok()?)
+}
+
+/// `ceil(quota / period)` CPUs: a 150 ms-per-100 ms quota is "2 cores
+/// worth of headroom" for sizing purposes. Non-positive quotas mean
+/// unlimited (cgroup v1 uses `-1`).
+fn quota_to_threads(quota: i64, period: i64) -> Option<usize> {
+    if quota <= 0 || period <= 0 {
+        return None;
+    }
+    Some((quota as usize).div_ceil(period as usize).max(1))
 }
 
 /// A job as the pool stores it: lifetime-erased (see
@@ -350,6 +398,51 @@ where
     global_pool().run_boxed(jobs);
 }
 
+/// Runs `f(index, &mut items[index])` for every element of `items`, one
+/// pool job per element — the shard executor of the sharded maintenance
+/// harness, where each element is a whole shard's worth of state and
+/// per-element work is coarse enough to be its own job.
+///
+/// Contrast with [`par_chunks_mut`], which carves a long slice of small
+/// items into `threads` chunks: here every element *is* the unit of
+/// work, so the fan-out equals `items.len()` and `threads` only gates
+/// whether dispatch happens at all (`threads <= 1` runs inline, in
+/// index order). Work items must be independent — results never depend
+/// on `threads` or on which worker runs which element.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::parallel::par_each_mut;
+///
+/// let mut shards = vec![vec![0u32; 4], vec![0u32; 3]];
+/// par_each_mut(&mut shards, 4, |s, shard| {
+///     for slot in shard.iter_mut() {
+///         *slot = s as u32 + 1;
+///     }
+/// });
+/// assert_eq!(shards[1], vec![2, 2, 2]);
+/// ```
+pub fn par_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let f = &f;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = items
+        .iter_mut()
+        .enumerate()
+        .map(|(i, item)| Box::new(move || f(i, item)) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    global_pool().run_boxed(jobs);
+}
+
 /// Collects mutable references to the elements of `items` at
 /// `sorted_indices`, which must be strictly increasing and in bounds.
 ///
@@ -465,6 +558,46 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn cpu_max_parsing_handles_the_cgroup_formats() {
+        // v2 unlimited.
+        assert_eq!(parse_cpu_max("max 100000\n"), None);
+        // v2 limited: 150% of a core rounds up to 2 effective CPUs.
+        assert_eq!(parse_cpu_max("150000 100000\n"), Some(2));
+        assert_eq!(parse_cpu_max("100000 100000"), Some(1));
+        assert_eq!(parse_cpu_max("50000 100000"), Some(1));
+        assert_eq!(parse_cpu_max("800000 100000"), Some(8));
+        // Garbage must never produce a cap.
+        assert_eq!(parse_cpu_max(""), None);
+        assert_eq!(parse_cpu_max("banana"), None);
+        assert_eq!(parse_cpu_max("100000"), None);
+        // v1 semantics: -1 quota means unlimited.
+        assert_eq!(quota_to_threads(-1, 100_000), None);
+        assert_eq!(quota_to_threads(250_000, 100_000), Some(3));
+        assert_eq!(quota_to_threads(100_000, 0), None);
+    }
+
+    #[test]
+    fn par_each_mut_visits_every_element_once_for_any_fanout() {
+        for threads in [1usize, 2, 4, 16] {
+            let mut items: Vec<u64> = vec![0; 9];
+            par_each_mut(&mut items, threads, |i, item| {
+                *item += i as u64 * 10 + 1;
+            });
+            let expected: Vec<u64> = (0..9).map(|i| i * 10 + 1).collect();
+            assert_eq!(items, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_each_mut_handles_empty_and_single() {
+        let mut empty: Vec<u8> = Vec::new();
+        par_each_mut(&mut empty, 4, |_, _| panic!("must not run"));
+        let mut one = vec![5u8];
+        par_each_mut(&mut one, 4, |_, x| *x = 7);
+        assert_eq!(one, vec![7]);
     }
 
     #[test]

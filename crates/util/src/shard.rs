@@ -1,0 +1,209 @@
+//! Shard partitioning of a node population.
+//!
+//! [`ShardPartition`] carves `n` node indices into `S` contiguous,
+//! near-equal ranges — the ownership map of the sharded maintenance
+//! harness. Each shard *owns* the state of its nodes (shuffle views,
+//! membership lists, event queue); anything crossing a shard boundary
+//! travels as an explicit message batch exchanged between phases, never
+//! as a shared-memory reach into another shard's slice.
+//!
+//! Contiguity is the load-bearing property: a shard's slice of any
+//! node-indexed `Vec` is obtainable with [`ShardPartition::split_mut`]
+//! as plain disjoint sub-slices, so per-shard workers get `&mut` access
+//! with no locks, no `unsafe`, and no false sharing of interleaved
+//! elements.
+//!
+//! The first `n % S` shards hold one extra node, so shard sizes differ
+//! by at most one for every `(n, S)`.
+
+use std::ops::Range;
+
+/// A partition of node indices `0..n` into `S` contiguous shards.
+///
+/// # Examples
+///
+/// ```
+/// use avmem_util::shard::ShardPartition;
+///
+/// let part = ShardPartition::new(10, 4);
+/// // 10 nodes over 4 shards: sizes 3, 3, 2, 2.
+/// assert_eq!(part.range(0), 0..3);
+/// assert_eq!(part.range(3), 8..10);
+/// assert_eq!(part.owner(7), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPartition {
+    n: usize,
+    shards: usize,
+}
+
+impl ShardPartition {
+    /// Creates the partition of `0..n` into `shards` ranges. A shard
+    /// count of zero is treated as one; counts above `n` leave the
+    /// excess shards empty (every node still has exactly one owner).
+    pub fn new(n: usize, shards: usize) -> Self {
+        ShardPartition {
+            n,
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards in the partition.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of nodes partitioned.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the partition covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The shard owning node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn owner(&self, i: usize) -> usize {
+        assert!(i < self.n, "node {i} outside population {}", self.n);
+        let base = self.n / self.shards;
+        let rem = self.n % self.shards;
+        // The first `rem` shards are `base + 1` wide. (When `base == 0`
+        // every node lands in the first branch: `rem == n` there.)
+        let wide = rem * (base + 1);
+        if i < wide {
+            i / (base + 1)
+        } else {
+            rem + (i - wide) / base
+        }
+    }
+
+    /// The index range shard `s` owns (empty when `s` drew no nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= shards()`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        assert!(s < self.shards, "shard {s} outside partition {}", self.shards);
+        let base = self.n / self.shards;
+        let rem = self.n % self.shards;
+        let start = s * base + s.min(rem);
+        let len = base + usize::from(s < rem);
+        start..start + len
+    }
+
+    /// Splits a node-indexed slice into one sub-slice per shard, in
+    /// shard order. The sub-slices are disjoint and cover `items`
+    /// exactly, so they can be handed to per-shard workers as owned
+    /// `&mut` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != len()`.
+    pub fn split_mut<'a, T>(&self, items: &'a mut [T]) -> Vec<&'a mut [T]> {
+        assert_eq!(
+            items.len(),
+            self.n,
+            "slice length must match the partitioned population"
+        );
+        let mut slices = Vec::with_capacity(self.shards);
+        let mut rest = items;
+        for s in 0..self.shards {
+            let (head, tail) = rest.split_at_mut(self.range(s).len());
+            slices.push(head);
+            rest = tail;
+        }
+        slices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_the_population() {
+        for n in [0usize, 1, 2, 7, 16, 100, 101] {
+            for shards in [1usize, 2, 3, 4, 8, 13, 150] {
+                let part = ShardPartition::new(n, shards);
+                let mut next = 0usize;
+                for s in 0..part.shards() {
+                    let range = part.range(s);
+                    assert_eq!(range.start, next, "n={n} shards={shards} s={s}");
+                    next = range.end;
+                }
+                assert_eq!(next, n, "ranges must cover 0..{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn owner_matches_range() {
+        for n in [1usize, 5, 16, 97] {
+            for shards in [1usize, 2, 4, 8, 97, 200] {
+                let part = ShardPartition::new(n, shards);
+                for i in 0..n {
+                    let s = part.owner(i);
+                    assert!(
+                        part.range(s).contains(&i),
+                        "n={n} shards={shards}: node {i} not in its owner's range"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        let part = ShardPartition::new(103, 8);
+        let sizes: Vec<usize> = (0..8).map(|s| part.range(s).len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+    }
+
+    #[test]
+    fn zero_shards_collapses_to_one() {
+        let part = ShardPartition::new(9, 0);
+        assert_eq!(part.shards(), 1);
+        assert_eq!(part.range(0), 0..9);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_leaves_tails_empty() {
+        let part = ShardPartition::new(3, 8);
+        for i in 0..3 {
+            assert_eq!(part.owner(i), i);
+        }
+        for s in 3..8 {
+            assert!(part.range(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn split_mut_hands_out_disjoint_owned_slices() {
+        let part = ShardPartition::new(11, 4);
+        let mut items: Vec<u32> = vec![0; 11];
+        let slices = part.split_mut(&mut items);
+        assert_eq!(slices.len(), 4);
+        for (s, slice) in slices.into_iter().enumerate() {
+            assert_eq!(slice.len(), part.range(s).len());
+            for x in slice {
+                *x = s as u32 + 1;
+            }
+        }
+        for (i, &x) in items.iter().enumerate() {
+            assert_eq!(x as usize, part.owner(i) + 1, "node {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside population")]
+    fn owner_rejects_out_of_range() {
+        let _ = ShardPartition::new(4, 2).owner(4);
+    }
+}

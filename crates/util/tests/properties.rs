@@ -141,3 +141,51 @@ proptest! {
         prop_assert!(cdf.fraction_at_or_below(x) + 1e-12 >= q);
     }
 }
+
+mod shard_partition {
+    use super::*;
+    use avmem_util::ShardPartition;
+
+    proptest! {
+        #[test]
+        fn every_node_is_owned_exactly_once(n in 0usize..5000, shards in 0usize..64) {
+            let part = ShardPartition::new(n, shards);
+            // Every node has exactly one owner, and the owner's range
+            // contains it — i.e. the shard ranges tile 0..n.
+            let mut covered = 0usize;
+            for s in 0..part.shards() {
+                let range = part.range(s);
+                prop_assert_eq!(range.start, covered, "gap or overlap before shard {}", s);
+                for i in range.clone() {
+                    prop_assert_eq!(part.owner(i), s);
+                }
+                covered = range.end;
+            }
+            prop_assert_eq!(covered, n);
+        }
+
+        #[test]
+        fn shard_sizes_are_balanced(n in 1usize..5000, shards in 1usize..64) {
+            let part = ShardPartition::new(n, shards);
+            let sizes: Vec<usize> = (0..part.shards()).map(|s| part.range(s).len()).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            prop_assert!(max - min <= 1, "unbalanced: {:?}", sizes);
+            prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        }
+
+        #[test]
+        fn split_mut_covers_the_slice(n in 0usize..2000, shards in 1usize..32) {
+            let part = ShardPartition::new(n, shards);
+            let mut items: Vec<u32> = vec![0; n];
+            for (s, slice) in part.split_mut(&mut items).into_iter().enumerate() {
+                for x in slice.iter_mut() {
+                    *x += 1 + s as u32;
+                }
+            }
+            for (i, &x) in items.iter().enumerate() {
+                prop_assert_eq!(x as usize, 1 + part.owner(i));
+            }
+        }
+    }
+}
