@@ -32,11 +32,40 @@ pub trait AvailabilityOracle {
     /// (slightly) different answers; consistent implementations may ignore
     /// it.
     fn estimate(&self, querier: NodeId, target: NodeId, now: SimTime) -> Option<Availability>;
+
+    /// Resolves a whole candidate list in one call: `out` is cleared and
+    /// filled with `estimate(querier, targets[k], now)` for every `k`.
+    ///
+    /// The default is a per-target loop; backends with table/arena state
+    /// override it to hoist the dispatch and per-call setup out of the
+    /// loop. Results must be bit-identical to N single calls — batching
+    /// is purely a throughput knob for drivers that already hold the
+    /// candidate list (the maintenance finalize phase).
+    fn estimate_batch(
+        &self,
+        querier: NodeId,
+        targets: &[NodeId],
+        now: SimTime,
+        out: &mut Vec<Option<Availability>>,
+    ) {
+        out.clear();
+        out.extend(targets.iter().map(|&t| self.estimate(querier, t, now)));
+    }
 }
 
 impl<T: AvailabilityOracle + ?Sized> AvailabilityOracle for &T {
     fn estimate(&self, querier: NodeId, target: NodeId, now: SimTime) -> Option<Availability> {
         (**self).estimate(querier, target, now)
+    }
+
+    fn estimate_batch(
+        &self,
+        querier: NodeId,
+        targets: &[NodeId],
+        now: SimTime,
+        out: &mut Vec<Option<Availability>>,
+    ) {
+        (**self).estimate_batch(querier, targets, now, out)
     }
 }
 
@@ -87,6 +116,21 @@ impl TraceOracle {
 impl AvailabilityOracle for TraceOracle {
     fn estimate(&self, _querier: NodeId, target: NodeId, _now: SimTime) -> Option<Availability> {
         self.availabilities.get(target.raw() as usize).copied()
+    }
+
+    fn estimate_batch(
+        &self,
+        _querier: NodeId,
+        targets: &[NodeId],
+        _now: SimTime,
+        out: &mut Vec<Option<Availability>>,
+    ) {
+        out.clear();
+        out.extend(
+            targets
+                .iter()
+                .map(|t| self.availabilities.get(t.raw() as usize).copied()),
+        );
     }
 }
 
@@ -183,21 +227,19 @@ impl<O> NoisyOracle<O> {
     pub fn is_per_querier(&self) -> bool {
         self.per_querier
     }
-}
 
-impl<O: AvailabilityOracle> AvailabilityOracle for NoisyOracle<O> {
-    fn estimate(&self, querier: NodeId, target: NodeId, now: SimTime) -> Option<Availability> {
-        let true_value = self.inner.estimate(querier, target, now)?;
-        if self.error == 0.0 {
-            return Some(true_value);
-        }
-        let epoch = now.as_millis() / self.staleness.as_millis();
-        // Deterministic per (seed, [querier,] target, epoch) perturbation.
-        let querier_term = if self.per_querier {
-            querier.raw().rotate_left(17)
-        } else {
-            0
-        };
+    /// The staleness epoch containing `now`: the perturbation for a
+    /// `(querier, target)` pair is constant within one epoch and re-drawn
+    /// at each epoch boundary, so estimates can only change when this
+    /// number advances.
+    pub fn epoch_at(&self, now: SimTime) -> u64 {
+        now.as_millis() / self.staleness.as_millis()
+    }
+
+    /// Applies the deterministic per `(seed, [querier,] target, epoch)`
+    /// perturbation to a true value. Factored out so the batch path is
+    /// bit-identical to N single estimates by construction.
+    fn perturb(&self, querier_term: u64, target: NodeId, epoch: u64, true_value: Availability) -> Availability {
         let mut rng = SplitMix64::new(
             self.seed
                 ^ querier_term
@@ -207,7 +249,48 @@ impl<O: AvailabilityOracle> AvailabilityOracle for NoisyOracle<O> {
         // Burn a draw to decorrelate from the seed structure.
         let _ = rng.next_u64();
         let delta = rng.range_f64(-self.error, self.error);
-        Some(Availability::saturating(true_value.value() + delta))
+        Availability::saturating(true_value.value() + delta)
+    }
+
+    fn querier_term(&self, querier: NodeId) -> u64 {
+        if self.per_querier {
+            querier.raw().rotate_left(17)
+        } else {
+            0
+        }
+    }
+}
+
+impl<O: AvailabilityOracle> AvailabilityOracle for NoisyOracle<O> {
+    fn estimate(&self, querier: NodeId, target: NodeId, now: SimTime) -> Option<Availability> {
+        let true_value = self.inner.estimate(querier, target, now)?;
+        if self.error == 0.0 {
+            return Some(true_value);
+        }
+        let epoch = self.epoch_at(now);
+        Some(self.perturb(self.querier_term(querier), target, epoch, true_value))
+    }
+
+    fn estimate_batch(
+        &self,
+        querier: NodeId,
+        targets: &[NodeId],
+        now: SimTime,
+        out: &mut Vec<Option<Availability>>,
+    ) {
+        self.inner.estimate_batch(querier, targets, now, out);
+        if self.error == 0.0 {
+            return;
+        }
+        // Epoch and querier term are loop-invariant; only the per-target
+        // keyed draw remains inside.
+        let epoch = self.epoch_at(now);
+        let querier_term = self.querier_term(querier);
+        for (slot, &target) in out.iter_mut().zip(targets) {
+            if let Some(true_value) = *slot {
+                *slot = Some(self.perturb(querier_term, target, epoch, true_value));
+            }
+        }
     }
 }
 

@@ -669,6 +669,24 @@ impl AvailabilityOracle for AvmonService {
     fn estimate(&self, _querier: NodeId, target: NodeId, _now: SimTime) -> Option<Availability> {
         self.aggregate.get(target.raw() as usize).copied().flatten()
     }
+
+    fn estimate_batch(
+        &self,
+        _querier: NodeId,
+        targets: &[NodeId],
+        _now: SimTime,
+        out: &mut Vec<Option<Availability>>,
+    ) {
+        // One gather over the aggregate table instead of N dispatched
+        // calls; answers are querier-independent (the aggregated median
+        // every client receives).
+        out.clear();
+        out.extend(
+            targets
+                .iter()
+                .map(|t| self.aggregate.get(t.raw() as usize).copied().flatten()),
+        );
+    }
 }
 
 /// Staleness period helper: the paper refreshes AVMEM entries every 20

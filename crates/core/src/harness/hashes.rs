@@ -36,6 +36,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use avmem_util::hash::PairKeyHashBuilder;
 use avmem_util::parallel::{default_threads, par_chunks_mut};
 use avmem_util::{consistent_hash, NodeId};
 
@@ -376,6 +377,111 @@ impl PairHashes {
     }
 }
 
+/// Hit/miss counters of one [`ShardPairCache`], drained by the harness
+/// into its finalize statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairCacheStats {
+    /// Point reads answered from the shard-local map.
+    pub hits: u64,
+    /// Point reads that hashed the pair and cached it locally.
+    pub misses: u64,
+    /// Point reads delegated to the global dense cache (no lock, no
+    /// local copy needed).
+    pub delegated: u64,
+    /// Times the local map hit capacity and was cleared.
+    pub flushes: u64,
+}
+
+impl PairCacheStats {
+    /// Accumulates another shard's counters into this one.
+    pub fn merge(&mut self, other: PairCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.delegated += other.delegated;
+        self.flushes += other.flushes;
+    }
+}
+
+/// A shard-private point-read cache in front of [`PairHashes`], the
+/// lock-free read path of the finalize fast path.
+///
+/// The sharded finalize loop point-reads `H(x, ·)` for every candidate
+/// pair of its owned nodes. In the global cache's LRU mode every such
+/// read takes the global `Mutex` ([`PairHashes::get`]) — worker-serializing
+/// contention, and at over-capacity populations the admission bypass
+/// degrades each read to a fresh SHA-256. This cache gives each shard its
+/// own flat `HashMap<packed pair, f64>` owned by the shard scratch, so
+/// the per-pair loop touches no shared state at all:
+///
+/// * dense global store — delegate: the `OnceLock` row lookup is already
+///   lock-free and shares materialized rows across shards;
+/// * LRU or direct global store — hash the pair once, remember it
+///   locally, never touch the global mutex. The discovery/refresh read
+///   pattern revisits the same pairs every protocol/refresh period, so
+///   the map converges to the shard's working set; at capacity it is
+///   flushed wholesale (counted in [`PairCacheStats::flushes`]) — the
+///   stable working set makes flushes rare, and values are recomputed
+///   identically after one.
+///
+/// All answers are bit-identical to [`PairHashes::get`]: every mode
+/// agrees with [`avmem_util::consistent_hash`].
+#[derive(Debug)]
+pub struct ShardPairCache {
+    map: HashMap<u64, f64, PairKeyHashBuilder>,
+    capacity: usize,
+    stats: PairCacheStats,
+}
+
+impl ShardPairCache {
+    /// A cache holding at most `capacity` pair entries (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ShardPairCache {
+            map: HashMap::default(),
+            capacity: capacity.max(1),
+            stats: PairCacheStats::default(),
+        }
+    }
+
+    /// `H(id(x), id(y))`, bit-identical to [`PairHashes::get`] but
+    /// without ever taking the global lock.
+    pub fn get(&mut self, hashes: &PairHashes, x: usize, y: usize) -> f64 {
+        if hashes.is_cached() {
+            self.stats.delegated += 1;
+            return hashes.get(x, y);
+        }
+        debug_assert!(x < hashes.len() && y < hashes.len(), "pair index out of range");
+        debug_assert!(x < (1 << 32) && y < (1 << 32), "packed key needs 32-bit indexes");
+        let key = ((x as u64) << 32) | y as u64;
+        if let Some(&hash) = self.map.get(&key) {
+            self.stats.hits += 1;
+            return hash;
+        }
+        self.stats.misses += 1;
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+            self.stats.flushes += 1;
+        }
+        let hash = consistent_hash(NodeId::new(x as u64), NodeId::new(y as u64));
+        self.map.insert(key, hash);
+        hash
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Returns and resets the accumulated counters.
+    pub fn take_stats(&mut self) -> PairCacheStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
 fn hash_row(x: usize, n: usize) -> Box<[f64]> {
     let mut row = vec![0.0; n];
     fill_row(x, &mut row);
@@ -592,6 +698,66 @@ mod tests {
         for x in 0..n {
             assert_eq!(hashes.get(x, 9), expect.get(x, 9));
         }
+    }
+
+    #[test]
+    fn shard_cache_agrees_with_every_store_mode() {
+        let expect = PairHashes::compute(14);
+        for hashes in [
+            PairHashes::lazy(14),
+            PairHashes::lru(14, 2),
+            PairHashes::with_budget(14, 0),
+        ] {
+            let mut cache = ShardPairCache::with_capacity(8);
+            for pass in 0..2 {
+                for x in 0..14 {
+                    for y in 0..14 {
+                        assert_eq!(
+                            cache.get(&hashes, x, y),
+                            expect.get(x, y),
+                            "pass {pass} ({x},{y})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_cache_delegates_to_dense_and_caches_otherwise() {
+        let dense = PairHashes::lazy(10);
+        let mut cache = ShardPairCache::with_capacity(64);
+        let _ = cache.get(&dense, 1, 2);
+        let _ = cache.get(&dense, 1, 2);
+        let stats = cache.take_stats();
+        assert_eq!(stats.delegated, 2);
+        assert_eq!(stats.hits + stats.misses, 0);
+        assert!(cache.is_empty(), "dense reads must not populate the map");
+
+        let lru = PairHashes::lru(10, 2);
+        let _ = cache.get(&lru, 1, 2); // miss
+        let _ = cache.get(&lru, 1, 2); // hit
+        let _ = cache.get(&lru, 2, 1); // miss (directed pair)
+        let stats = cache.take_stats();
+        assert_eq!((stats.hits, stats.misses, stats.delegated), (1, 2, 0));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shard_cache_flushes_at_capacity_and_stays_exact() {
+        let direct = PairHashes::with_budget(12, 0);
+        let expect = PairHashes::compute(12);
+        let mut cache = ShardPairCache::with_capacity(5);
+        for _ in 0..3 {
+            for x in 0..12 {
+                for y in 0..12 {
+                    assert_eq!(cache.get(&direct, x, y), expect.get(x, y));
+                }
+            }
+        }
+        let stats = cache.take_stats();
+        assert!(stats.flushes > 0, "capacity 5 over 144 pairs must flush");
+        assert!(cache.len() <= 5);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use attack::AttackSeries;
 pub use config::{
     MaintenanceEngine, MaintenanceMode, OracleChoice, PredicateChoice, SimConfig,
 };
-pub use hashes::{PairHashes, DEFAULT_HASH_BUDGET};
+pub use hashes::{PairCacheStats, PairHashes, ShardPairCache, DEFAULT_HASH_BUDGET};
 pub use index::CandidateIndex;
 pub use oracle::SimOracle;
 
@@ -114,6 +114,33 @@ impl<'p> SimMemo<'p> {
     fn source(&self, x: Availability) -> SimSource<'_> {
         match self {
             SimMemo::Avmem(memo) => SimSource::Avmem(memo.source(x)),
+            SimMemo::Random { p, epsilon } => SimSource::Random {
+                p: *p,
+                epsilon: *epsilon,
+                x,
+            },
+        }
+    }
+
+    /// The in-band threshold for source availability `x` — the only
+    /// per-source integration left in [`SimMemo::source`], and therefore
+    /// the piece worth caching across cohorts under a stable oracle
+    /// epoch.
+    fn horizontal_of(&self, x: Availability) -> f64 {
+        match self {
+            SimMemo::Avmem(memo) => memo.horizontal(x),
+            SimMemo::Random { p, .. } => *p,
+        }
+    }
+
+    /// Like [`SimMemo::source`], but with the horizontal threshold
+    /// supplied by the caller (from [`SimMemo::horizontal_of`], possibly
+    /// epoch-cached) instead of recomputed.
+    fn source_with(&self, x: Availability, horizontal: f64) -> SimSource<'_> {
+        match self {
+            SimMemo::Avmem(memo) => {
+                SimSource::Avmem(memo.source_with_horizontal(x, horizontal))
+            }
             SimMemo::Random { p, epsilon } => SimSource::Random {
                 p: *p,
                 epsilon: *epsilon,
@@ -307,6 +334,59 @@ struct ShardScratch {
     seeds: Vec<u32>,
     /// Refresh-migration scratch.
     migrants: Vec<(Neighbor, Sliver)>,
+    /// Candidate ids collected for one batched oracle call.
+    cand_ids: Vec<NodeId>,
+    /// Batched estimates, aligned with `cand_ids`.
+    cand_avs: Vec<Option<Availability>>,
+    /// Shard-local pair-hash cache, built lazily on the first fast-path
+    /// finalize (sized from the configured hash budget). Workers read it
+    /// without ever touching the global store's LRU mutex.
+    pair_cache: Option<ShardPairCache>,
+    /// Next-period no-insert set under construction (one discovery op at
+    /// a time; reused allocation).
+    seen_scratch: Vec<u32>,
+    /// Epoch-stamped per-node memos for the finalize fast path.
+    fast: FinalizeShardState,
+    /// Fast-path effectiveness counters, drained after every cohort.
+    stats: FinalizeStats,
+}
+
+/// Per-node epoch-stamped memos owned by one shard, indexed by the
+/// node's offset inside the shard's slice. Stamps are `epoch + 1`
+/// (0 = never stamped), so freshly zeroed state is wholly invalid and
+/// no epoch value can collide with "unset".
+#[derive(Debug, Default)]
+struct FinalizeShardState {
+    /// Per node: (stamp, memoized horizontal threshold at that epoch).
+    horizontal: Vec<(u64, f64)>,
+    /// Per node: stamp under which the node's entire membership is known
+    /// fully classified — the refresh short-circuit license.
+    classified: Vec<u64>,
+    /// Per node: stamp under which `seen` below is valid.
+    seen_stamp: Vec<u64>,
+    /// Per node: sorted candidate ids whose discovery classification
+    /// produced no insert (no sliver, or the oracle had no estimate) at
+    /// the `seen_stamp` epoch, rebuilt every discovery from the current
+    /// view. Classification is a pure function of `(own_av, y_av, hash,
+    /// thresholds)` and estimates are pure within an epoch, so a
+    /// same-stamp repeat candidate is skipped before the estimate /
+    /// hash / classify pipeline even starts. The list is view-sized
+    /// (tens of entries, resident in L1), so the prune probe is a
+    /// binary search through hot memory — deliberately not a
+    /// shard-global pair map, whose DRAM-sized probe/insert traffic
+    /// costs more than the pipeline it skips.
+    seen: Vec<Vec<u32>>,
+}
+
+impl FinalizeShardState {
+    fn ensure_len(&mut self, len: usize) {
+        if self.horizontal.len() != len {
+            self.horizontal.resize(len, (0, 0.0));
+            self.classified.resize(len, 0);
+            self.seen_stamp.resize(len, 0);
+            self.seen.resize_with(len, Vec::new);
+        }
+    }
 }
 
 impl ShardScratch {
@@ -319,6 +399,16 @@ impl ShardScratch {
             self.req_out.resize_with(shards, Vec::new);
             self.reply_out.resize_with(shards, Vec::new);
         }
+    }
+
+    /// Drains the cohort's fast-path counters (folding in the pair
+    /// cache's own tallies) for accumulation on the simulation.
+    fn take_stats(&mut self) -> FinalizeStats {
+        let mut stats = std::mem::take(&mut self.stats);
+        if let Some(cache) = self.pair_cache.as_mut() {
+            stats.pair_hash.merge(cache.take_stats());
+        }
+        stats
     }
 
     /// Merges the sorted tick/refresh lists into per-node finalize ops
@@ -408,6 +498,26 @@ fn propose_tick(
     Some(proposal)
 }
 
+/// Entry capacity of one shard's local pair-hash cache: the configured
+/// hash budget split across shards at ~32 bytes per occupied table slot
+/// (packed key + value + hash-table control and load-factor overhead),
+/// floored so tiny budgets still cache a few nodes' working sets.
+fn pair_cache_capacity(hash_budget: usize, shards: usize) -> usize {
+    (hash_budget / shards.max(1) / 32).max(1024)
+}
+
+/// Shared per-cohort fast-path state: the predicate memo (threshold
+/// tables hoisted once per cohort) and the oracle's change epoch.
+#[derive(Clone, Copy)]
+struct FastCtx<'a> {
+    memo: &'a SimMemo<'a>,
+    /// Oracle epoch at the cohort timestamp. `None` for per-querier
+    /// noise: thresholds are still memoized within each finalize op, but
+    /// nothing may be cached across cohorts and no refresh may be
+    /// skipped (estimates can change without any epoch tick).
+    epoch: Option<u64>,
+}
+
 /// Read-only simulation context for finalize-phase workers: enough state
 /// to run discovery and refresh for any node against the post-commit
 /// shuffle views, without touching the membership being rewritten.
@@ -417,6 +527,11 @@ struct MaintCtx<'a> {
     hashes: &'a PairHashes,
     shuffles: &'a [ShuffleNode],
     now: SimTime,
+    /// Fast-path context, `None` when [`SimConfig::finalize_fast`] is
+    /// off — workers then run the reference pair-at-a-time evaluation.
+    fast: Option<FastCtx<'a>>,
+    /// Entry capacity for each shard's local pair-hash cache.
+    pair_capacity: usize,
 }
 
 impl MaintCtx<'_> {
@@ -428,13 +543,10 @@ impl MaintCtx<'_> {
         )
     }
 
-    /// Discovery pass over node `i`'s coarse view, straight off the view
-    /// iterator — no intermediate candidate collection.
-    fn discover_into(&self, i: usize, membership: &mut Membership) {
-        let Some(own_av) = self.estimate(i, i) else {
-            return;
-        };
-        let own = NodeInfo::new(NodeId::new(i as u64), own_av);
+    /// Reference discovery pass over node `i`'s coarse view, straight off
+    /// the view iterator — one oracle estimate and one full predicate
+    /// evaluation per candidate.
+    fn discover_into(&self, i: usize, own: NodeInfo, membership: &mut Membership) {
         for candidate in self.shuffles[i].view().ids() {
             let y = candidate.raw() as usize;
             if y == i || membership.contains(candidate) {
@@ -461,18 +573,16 @@ impl MaintCtx<'_> {
         }
     }
 
-    /// Refresh pass over node `i`'s lists, reclassifying in place (see
-    /// [`Membership::refresh_with`]); `migrants` is reusable scratch.
+    /// Reference refresh pass over node `i`'s lists, reclassifying in
+    /// place (see [`Membership::refresh_with`]); `migrants` is reusable
+    /// scratch.
     fn refresh_into(
         &self,
         i: usize,
+        own: NodeInfo,
         membership: &mut Membership,
         migrants: &mut Vec<(Neighbor, Sliver)>,
     ) {
-        let Some(own_av) = self.estimate(i, i) else {
-            return;
-        };
-        let own = NodeInfo::new(NodeId::new(i as u64), own_av);
         membership.refresh_with(self.now, migrants, |id| {
             let y = id.raw() as usize;
             let y_av = self.estimate(i, y)?; // oracle lost track: evict
@@ -484,18 +594,216 @@ impl MaintCtx<'_> {
     }
 
     /// Runs one node's finalize ops in canonical intra-node order:
-    /// discovery over the post-commit view first, then refresh.
+    /// discovery over the post-commit view first, then refresh. The
+    /// node's own estimate is resolved once up front — both sub-ops used
+    /// to query it independently — and a node its oracle cannot see
+    /// skips maintenance entirely, exactly as before.
     fn finalize_node(
         &self,
         ops: NodeOps,
         membership: &mut Membership,
-        migrants: &mut Vec<(Neighbor, Sliver)>,
+        scratch: &mut ShardScratch,
+        shard_start: usize,
+        shard_len: usize,
     ) {
+        let i = ops.node as usize;
+        let Some(own_av) = self.estimate(i, i) else {
+            return;
+        };
+        match self.fast {
+            Some(fast) => self.finalize_node_fast(
+                fast, ops, own_av, membership, scratch, shard_start, shard_len,
+            ),
+            None => {
+                let own = NodeInfo::new(NodeId::new(i as u64), own_av);
+                if ops.discover {
+                    self.discover_into(i, own, membership);
+                }
+                if ops.refresh {
+                    self.refresh_into(i, own, membership, &mut scratch.migrants);
+                }
+            }
+        }
+    }
+
+    /// Fast-path finalize for one node: memoized thresholds (epoch-cached
+    /// when the oracle exposes an epoch), one batched oracle call per
+    /// sub-op, shard-local pair hashes, and the refresh short-circuit.
+    ///
+    /// Bit-identical to the reference path (pinned by the fast-vs-slow
+    /// legs of the `event_driven_equivalence` suite): within one epoch
+    /// estimates are pure in `(querier, target)`, the memoized source
+    /// thresholds match `classify_hashed` decision for decision (pinned
+    /// by the predicate memo tests), and a skipped refresh is one whose
+    /// full pass would provably evict nothing, migrate nothing, and
+    /// rewrite every cached availability unchanged — only `refreshed_at`
+    /// advances, which [`Membership::touch_refreshed`] replays.
+    #[allow(clippy::too_many_arguments)]
+    fn finalize_node_fast(
+        &self,
+        fast: FastCtx<'_>,
+        ops: NodeOps,
+        own_av: Availability,
+        membership: &mut Membership,
+        scratch: &mut ShardScratch,
+        shard_start: usize,
+        shard_len: usize,
+    ) {
+        let i = ops.node as usize;
+        let ShardScratch {
+            cand_ids,
+            cand_avs,
+            pair_cache,
+            seen_scratch,
+            fast: state,
+            stats,
+            migrants,
+            ..
+        } = scratch;
+        let cache = pair_cache
+            .get_or_insert_with(|| ShardPairCache::with_capacity(self.pair_capacity));
+        // Stamps are `epoch + 1`, so zeroed state never matches.
+        let stamp = fast.epoch.map(|e| e.wrapping_add(1));
+        let local = i - shard_start;
+        let horizontal = match stamp {
+            Some(stamp) => {
+                state.ensure_len(shard_len);
+                let slot = &mut state.horizontal[local];
+                if slot.0 == stamp {
+                    stats.memo_hits += 1;
+                    slot.1
+                } else {
+                    let h = fast.memo.horizontal_of(own_av);
+                    *slot = (stamp, h);
+                    stats.memo_misses += 1;
+                    h
+                }
+            }
+            None => {
+                stats.memo_bypassed += 1;
+                fast.memo.horizontal_of(own_av)
+            }
+        };
+        let source = fast.memo.source_with(own_av, horizontal);
+        let querier = NodeId::new(i as u64);
         if ops.discover {
-            self.discover_into(ops.node as usize, membership);
+            // Candidates first — estimates are pure within the cohort, so
+            // collecting before classifying changes nothing — then one
+            // batched oracle call for the lot. A repeat candidate whose
+            // pair already classified to no insert at this epoch is
+            // pruned before the pipeline starts: every classification
+            // input (own and candidate availability, pair hash,
+            // thresholds) is fixed within the epoch, so the outcome
+            // cannot change. The next no-insert set is rebuilt as we go:
+            // pruned repeats carry over, novel no-inserts join after
+            // classification.
+            cand_ids.clear();
+            seen_scratch.clear();
+            let prev_valid = match stamp {
+                Some(stamp) => {
+                    state.ensure_len(shard_len);
+                    state.seen_stamp[local] == stamp
+                }
+                None => false,
+            };
+            for candidate in self.shuffles[i].view().ids() {
+                let y = candidate.raw() as usize;
+                if y == i {
+                    continue;
+                }
+                if prev_valid && state.seen[local].binary_search(&(y as u32)).is_ok() {
+                    stats.discover_pruned += 1;
+                    seen_scratch.push(y as u32);
+                    continue;
+                }
+                if membership.contains(candidate) {
+                    continue;
+                }
+                cand_ids.push(candidate);
+            }
+            let was_empty = membership.is_empty();
+            let mut inserted = false;
+            if !cand_ids.is_empty() {
+                self.oracle
+                    .estimate_batch(querier, cand_ids, self.now, cand_avs);
+                stats.batched_estimates += cand_ids.len() as u64;
+                for (candidate, y_av) in cand_ids.iter().zip(cand_avs.iter()) {
+                    let y = candidate.raw() as usize;
+                    let mut kept = false;
+                    if let Some(y_av) = *y_av {
+                        let hash = cache.get(self.hashes, i, y);
+                        if let Some(sliver) = source.classify_hashed(y_av, hash) {
+                            kept = true;
+                            inserted |= membership.insert(
+                                Neighbor {
+                                    id: *candidate,
+                                    cached_availability: y_av,
+                                    added_at: self.now,
+                                    refreshed_at: self.now,
+                                },
+                                sliver,
+                            );
+                        }
+                    }
+                    if !kept && stamp.is_some() {
+                        seen_scratch.push(y as u32);
+                    }
+                }
+            }
+            if let Some(stamp) = stamp {
+                // Entries that left the view drop out here; if one comes
+                // back later it re-runs the pipeline (identically).
+                seen_scratch.sort_unstable();
+                seen_scratch.dedup();
+                std::mem::swap(&mut state.seen[local], seen_scratch);
+                state.seen_stamp[local] = stamp;
+            }
+            if inserted {
+                if let Some(stamp) = stamp {
+                    // Inserts are classified at the current epoch: the
+                    // list stays uniformly stamped only if it was empty
+                    // or already at this epoch; otherwise it is mixed
+                    // and must be fully refreshed before any skip.
+                    let slot = &mut state.classified[local];
+                    *slot = if was_empty || *slot == stamp { stamp } else { 0 };
+                }
+            }
         }
         if ops.refresh {
-            self.refresh_into(ops.node as usize, membership, migrants);
+            let skip = match stamp {
+                Some(stamp) => state.classified[local] == stamp,
+                None => false,
+            };
+            if skip {
+                stats.refresh_skipped += 1;
+                membership.touch_refreshed(self.now);
+            } else {
+                stats.refresh_evaluated += 1;
+                // Collection order (HS then VS) matches the order
+                // `refresh_with` evaluates entries in, so the batched
+                // estimates are consumed by a plain cursor.
+                cand_ids.clear();
+                cand_ids.extend(membership.neighbors(SliverScope::Both).map(|nb| nb.id));
+                if !cand_ids.is_empty() {
+                    self.oracle
+                        .estimate_batch(querier, cand_ids, self.now, cand_avs);
+                    stats.batched_estimates += cand_ids.len() as u64;
+                }
+                let mut k = 0;
+                membership.refresh_with(self.now, migrants, |id| {
+                    debug_assert_eq!(cand_ids[k], id, "refresh order != collection order");
+                    let y_av = cand_avs[k];
+                    k += 1;
+                    let y_av = y_av?; // oracle lost track: evict
+                    let hash = cache.get(self.hashes, i, id.raw() as usize);
+                    let sliver = source.classify_hashed(y_av, hash)?;
+                    Some((y_av, sliver))
+                });
+                if let Some(stamp) = stamp {
+                    state.ensure_len(shard_len);
+                    state.classified[local] = stamp;
+                }
+            }
         }
     }
 }
@@ -585,6 +893,50 @@ pub struct PhaseTimings {
     pub cohorts: u64,
 }
 
+/// Cumulative effectiveness counters of the finalize-phase fast path
+/// (see [`SimConfig::finalize_fast`]), exposed through
+/// [`AvmemSim::finalize_stats`]. Purely observational: runs at different
+/// shard or thread counts may split the cache work differently, so the
+/// counters sit outside every equivalence contract — membership state
+/// stays bit-identical whatever they read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FinalizeStats {
+    /// Finalize ops whose horizontal threshold came from the per-node
+    /// epoch memo.
+    pub memo_hits: u64,
+    /// Finalize ops that recomputed (and re-stamped) the threshold.
+    pub memo_misses: u64,
+    /// Finalize ops evaluated without epoch memoization (per-querier
+    /// noise exposes no epoch; thresholds are still hoisted per op).
+    pub memo_bypassed: u64,
+    /// Refresh ops short-circuited to a timestamp touch: the membership
+    /// is unchanged since its last same-epoch classification.
+    pub refresh_skipped: u64,
+    /// Refresh ops that ran the full reclassification pass.
+    pub refresh_evaluated: u64,
+    /// Discovery candidates skipped because the pair already classified
+    /// to no insert at the current epoch.
+    pub discover_pruned: u64,
+    /// Availability estimates served through batched oracle calls.
+    pub batched_estimates: u64,
+    /// Shard-local pair-hash cache counters.
+    pub pair_hash: PairCacheStats,
+}
+
+impl FinalizeStats {
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: FinalizeStats) {
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.memo_bypassed += other.memo_bypassed;
+        self.refresh_skipped += other.refresh_skipped;
+        self.refresh_evaluated += other.refresh_evaluated;
+        self.discover_pruned += other.discover_pruned;
+        self.batched_estimates += other.batched_estimates;
+        self.pair_hash.merge(other.pair_hash);
+    }
+}
+
 /// Lightweight overlay-health numbers, computed by
 /// [`AvmemSim::health_stats`] without building an [`OverlaySnapshot`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -622,6 +974,8 @@ pub struct AvmemSim {
     maint: Option<MaintSchedule>,
     /// Cumulative per-phase maintenance wall-clock.
     timings: PhaseTimings,
+    /// Cumulative finalize fast-path counters.
+    fin_stats: FinalizeStats,
 }
 
 impl std::fmt::Debug for AvmemSim {
@@ -726,6 +1080,7 @@ impl AvmemSim {
             member_order_seed: seeder.next_u64(),
             maint: None,
             timings: PhaseTimings::default(),
+            fin_stats: FinalizeStats::default(),
         }
     }
 
@@ -851,6 +1206,14 @@ impl AvmemSim {
     /// Cumulative per-phase maintenance wall-clock since construction.
     pub fn phase_timings(&self) -> PhaseTimings {
         self.timings
+    }
+
+    /// Cumulative finalize fast-path counters since construction. All
+    /// zero when [`SimConfig::finalize_fast`] is off or no event-driven
+    /// maintenance has run (the converged rebuild has its own fast path
+    /// and is not counted here).
+    pub fn finalize_stats(&self) -> FinalizeStats {
+        self.fin_stats
     }
 
     /// Rebuilds every node's lists directly from the predicate — the
@@ -1093,7 +1456,12 @@ impl AvmemSim {
             self.timings.oracle += t0.elapsed();
             self.timings.cohorts += 1;
             if straight_line {
-                self.run_batch_serial(t, &maint.batches[0]);
+                let MaintSchedule {
+                    ref batches,
+                    ref mut scratches,
+                    ..
+                } = maint;
+                self.run_batch_serial(t, &batches[0], &mut scratches[0]);
             } else {
                 let MaintSchedule {
                     part,
@@ -1128,8 +1496,11 @@ impl AvmemSim {
 
     /// Reference implementation of one cohort: the canonical phases as
     /// plain sequential loops over the whole batch. This is the semantics
-    /// [`AvmemSim::run_batch_sharded`] is pinned against.
-    fn run_batch_serial(&mut self, t: SimTime, batch: &[MaintEvent]) {
+    /// [`AvmemSim::run_batch_sharded`] is pinned against. Its finalize
+    /// phase runs off the same per-node ops list — and the same fast
+    /// path — as the sharded engine, with the whole population as one
+    /// shard, so single-core runs get the full finalize speedup.
+    fn run_batch_serial(&mut self, t: SimTime, batch: &[MaintEvent], scratch: &mut ShardScratch) {
         let seed = self.config.seed;
         let n = self.trace.num_nodes();
         // Phase 1 — propose, capturing each proposal's request (or its
@@ -1187,27 +1558,44 @@ impl AvmemSim {
         // refresh (canonical intra-node order; cross-node order is
         // irrelevant, each node touches only its own lists).
         let tf = Instant::now();
+        scratch.begin_cohort(1);
+        for &event in batch {
+            match event {
+                MaintEvent::Tick(i) if self.trace.is_online(i, t) => {
+                    scratch.ticks.push(i as u32);
+                }
+                MaintEvent::Refresh(i) if self.trace.is_online(i, t) => {
+                    scratch.refreshes.push(i as u32);
+                }
+                _ => {}
+            }
+        }
+        scratch.build_ops();
+        let memo;
+        let fast = if self.config.finalize_fast {
+            memo = SimMemo::build(&self.predicate);
+            Some(FastCtx {
+                memo: &memo,
+                epoch: self.oracle.epoch(t),
+            })
+        } else {
+            None
+        };
         let ctx = MaintCtx {
             predicate: &self.predicate,
             oracle: &self.oracle,
             hashes: &self.hashes,
             shuffles: &self.shuffles,
             now: t,
+            fast,
+            pair_capacity: pair_cache_capacity(self.config.hash_budget, 1),
         };
-        let mut migrants = Vec::new();
-        for &event in batch {
-            let MaintEvent::Tick(i) = event else { continue };
-            if self.trace.is_online(i, t) {
-                ctx.discover_into(i, &mut self.memberships[i]);
-            }
-        }
-        for &event in batch {
-            let MaintEvent::Refresh(i) = event else { continue };
-            if self.trace.is_online(i, t) {
-                ctx.refresh_into(i, &mut self.memberships[i], &mut migrants);
-            }
+        for k in 0..scratch.ops.len() {
+            let ops = scratch.ops[k];
+            ctx.finalize_node(ops, &mut self.memberships[ops.node as usize], scratch, 0, n);
         }
         self.timings.finalize += tf.elapsed();
+        self.fin_stats.merge(scratch.take_stats());
     }
 
     /// Shard-owned execution of one cohort: each shard's slice of the
@@ -1370,33 +1758,53 @@ impl AvmemSim {
         let tf = Instant::now();
         let mut memberships = std::mem::take(&mut self.memberships);
         {
+            let memo;
+            let fast = if self.config.finalize_fast {
+                memo = SimMemo::build(&self.predicate);
+                Some(FastCtx {
+                    memo: &memo,
+                    epoch: self.oracle.epoch(t),
+                })
+            } else {
+                None
+            };
             let ctx = MaintCtx {
                 predicate: &self.predicate,
                 oracle: &self.oracle,
                 hashes: &self.hashes,
                 shuffles: &self.shuffles,
                 now: t,
+                fast,
+                pair_capacity: pair_cache_capacity(self.config.hash_budget, shards),
             };
             let slices = part.split_mut(&mut memberships);
-            let mut tasks: Vec<(usize, &mut [Membership], &mut ShardScratch)> = slices
+            let mut tasks: Vec<(usize, usize, &mut [Membership], &mut ShardScratch)> = slices
                 .into_iter()
                 .zip(scratches.iter_mut())
                 .enumerate()
-                .map(|(s, (slice, scratch))| (part.range(s).start, slice, scratch))
+                .map(|(s, (slice, scratch))| {
+                    let range = part.range(s);
+                    (range.start, range.len(), slice, scratch)
+                })
                 .collect();
             let ctx = &ctx;
-            par_each_mut(&mut tasks, threads, |_, (start, slice, scratch)| {
+            par_each_mut(&mut tasks, threads, |_, (start, len, slice, scratch)| {
                 for k in 0..scratch.ops.len() {
                     let ops = scratch.ops[k];
                     ctx.finalize_node(
                         ops,
                         &mut slice[ops.node as usize - *start],
-                        &mut scratch.migrants,
+                        scratch,
+                        *start,
+                        *len,
                     );
                 }
             });
         }
         self.memberships = memberships;
+        for scratch in scratches.iter_mut() {
+            self.fin_stats.merge(scratch.take_stats());
+        }
         self.timings.finalize += tf.elapsed();
     }
 
@@ -1910,6 +2318,40 @@ mod tests {
             timings.propose + timings.commit + timings.finalize > Duration::ZERO,
             "no maintenance time recorded"
         );
+    }
+
+    #[test]
+    fn finalize_fast_path_matches_reference_and_counts() {
+        // The integration suite pins the full fast-vs-slow matrix; this
+        // in-crate smoke checks full membership state (timestamps and
+        // cached availabilities included, which snapshots don't carry)
+        // and that the counters actually move.
+        let trace = OvernetModel::default().hosts(80).days(1).generate(31);
+        let mut fast_cfg = SimConfig::paper_default(14);
+        fast_cfg.maintenance = MaintenanceMode::paper_event_driven();
+        fast_cfg.engine = MaintenanceEngine::Serial;
+        let mut slow_cfg = fast_cfg;
+        slow_cfg.finalize_fast = false;
+        let mut fast = AvmemSim::new(trace.clone(), fast_cfg);
+        let mut slow = AvmemSim::new(trace, slow_cfg);
+        fast.warm_up(SimDuration::from_hours(3));
+        slow.warm_up(SimDuration::from_hours(3));
+        for i in 0..fast.trace().num_nodes() {
+            let id = NodeId::new(i as u64);
+            assert_eq!(fast.membership(id), slow.membership(id), "node {id}");
+        }
+        let stats = fast.finalize_stats();
+        assert!(stats.memo_hits + stats.memo_misses > 0, "fast path never ran");
+        assert!(
+            stats.refresh_skipped > 0,
+            "constant-epoch oracle must skip repeat refreshes"
+        );
+        assert!(
+            stats.discover_pruned > 0,
+            "constant-epoch oracle must prune repeat discovery candidates"
+        );
+        assert!(stats.batched_estimates > 0, "no batched estimates");
+        assert_eq!(slow.finalize_stats(), FinalizeStats::default());
     }
 
     #[test]

@@ -84,6 +84,24 @@ impl SimOracle {
             SimOracle::Noisy(o) => !o.is_per_querier(),
         }
     }
+
+    /// A generation counter that advances whenever estimates *may*
+    /// change, or `None` when no such counter exists (per-querier noise:
+    /// answers additionally depend on who asks, so a shared epoch would
+    /// under-approximate change).
+    ///
+    /// Within one epoch, `estimate(q, y, now)` is a pure function of
+    /// `(q, y)` — the contract the finalize fast path relies on to memoize
+    /// thresholds and skip re-classification. Ground truth never changes
+    /// (epoch 0 forever); shared noise re-draws once per staleness period;
+    /// AVMON aggregates mutate only when a trace slot is processed.
+    pub fn epoch(&self, now: SimTime) -> Option<u64> {
+        match self {
+            SimOracle::Exact(_) => Some(0),
+            SimOracle::Noisy(o) => (!o.is_per_querier()).then(|| o.epoch_at(now)),
+            SimOracle::Avmon(o) => Some(o.slots_processed() as u64),
+        }
+    }
 }
 
 impl AvailabilityOracle for SimOracle {
@@ -92,6 +110,21 @@ impl AvailabilityOracle for SimOracle {
             SimOracle::Exact(o) => o.estimate(querier, target, now),
             SimOracle::Noisy(o) => o.estimate(querier, target, now),
             SimOracle::Avmon(o) => o.estimate(querier, target, now),
+        }
+    }
+
+    fn estimate_batch(
+        &self,
+        querier: NodeId,
+        targets: &[NodeId],
+        now: SimTime,
+        out: &mut Vec<Option<Availability>>,
+    ) {
+        // One enum dispatch per candidate list instead of one per pair.
+        match self {
+            SimOracle::Exact(o) => o.estimate_batch(querier, targets, now, out),
+            SimOracle::Noisy(o) => o.estimate_batch(querier, targets, now, out),
+            SimOracle::Avmon(o) => o.estimate_batch(querier, targets, now, out),
         }
     }
 }

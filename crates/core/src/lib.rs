@@ -70,7 +70,7 @@ pub mod predicate;
 pub mod verify;
 
 pub use graph::{NodeSnapshot, OverlaySnapshot};
-pub use harness::{AvmemSim, HealthStats, InitiatorBand, PhaseTimings, SimConfig};
+pub use harness::{AvmemSim, FinalizeStats, HealthStats, InitiatorBand, PhaseTimings, SimConfig};
 pub use membership::{Membership, Neighbor, SliverScope};
 pub use ops::{
     AnycastConfig, AnycastOutcome, AvailabilityTarget, ForwardPolicy, MulticastConfig,

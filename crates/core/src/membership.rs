@@ -319,6 +319,24 @@ impl Membership {
         }
         outcome
     }
+
+    /// Marks every neighbor re-validated at `now` without re-evaluating
+    /// anything: sets `refreshed_at = now` on all entries, leaving cached
+    /// availabilities and list order untouched. Returns the number of
+    /// entries touched.
+    ///
+    /// This is the refresh fast path for drivers that can prove a full
+    /// [`Membership::refresh_with`] pass would change nothing but the
+    /// timestamps: when the oracle has not advanced since every entry was
+    /// last classified, each `eval` returns the same availability and
+    /// sliver it did then — no evictions, no migrations, identical cached
+    /// values — so skipping the per-neighbor work is bit-identical.
+    pub fn touch_refreshed(&mut self, now: SimTime) -> usize {
+        for neighbor in self.hs.iter_mut().chain(self.vs.iter_mut()) {
+            neighbor.refreshed_at = now;
+        }
+        self.hs.len() + self.vs.len()
+    }
 }
 
 #[cfg(test)]

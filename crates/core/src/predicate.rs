@@ -466,10 +466,27 @@ impl ThresholdMemo<'_> {
     /// Fixes the source node, computing its horizontal threshold (the
     /// expensive band integrals) exactly once.
     pub fn source(&self, x: Availability) -> SourceThresholds<'_> {
+        self.source_with_horizontal(x, self.horizontal(x))
+    }
+
+    /// Just the horizontal threshold of a source at `x` — the expensive
+    /// band integrals — for callers that cache it per node across many
+    /// [`ThresholdMemo::source_with_horizontal`] calls (the event-driven
+    /// finalize fast path keeps one per shard-owned node, invalidated on
+    /// oracle-epoch advance).
+    pub fn horizontal(&self, x: Availability) -> f64 {
+        self.pred.horizontal_threshold(x)
+    }
+
+    /// Like [`ThresholdMemo::source`] with the horizontal threshold
+    /// supplied by the caller; bit-identical to `source(x)` whenever
+    /// `horizontal` came from [`ThresholdMemo::horizontal`] at the same
+    /// `x` (the value is deterministic, so caching it is free).
+    pub fn source_with_horizontal(&self, x: Availability, horizontal: f64) -> SourceThresholds<'_> {
         SourceThresholds {
             epsilon: self.pred.epsilon,
             x,
-            horizontal: self.pred.horizontal_threshold(x),
+            horizontal,
             vertical: &self.vertical,
             buckets: self.pred.pdf.buckets(),
         }

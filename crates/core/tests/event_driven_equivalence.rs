@@ -216,6 +216,105 @@ fn sharded_matches_serial_with_full_avmon_service() {
 }
 
 #[test]
+fn hash_store_modes_agree_across_engines() {
+    // The pair-hash budget selects the store mode — dense rows, LRU of
+    // hot rows, or hash-on-the-fly — and the finalize fast path layers
+    // its shard-local caches on top of each. None of it may perturb a
+    // bit: every (budget, engine) combination must land on the dense
+    // serial reference state. 120 hosts: the default budget is dense
+    // (8·N² ≈ 113 KiB); 8 KiB holds a handful of LRU rows; 64 bytes
+    // holds none (direct mode with thrash bypass).
+    let trace = trace(120, 17);
+    let maintenance = fast_periods();
+    let budgets: &[(&str, usize)] = &[
+        ("dense", avmem::harness::DEFAULT_HASH_BUDGET),
+        ("lru", 8 << 10),
+        ("direct", 64),
+    ];
+    let mut reference = AvmemSim::new(
+        trace.clone(),
+        config(17, OracleChoice::Exact, maintenance, MaintenanceEngine::Serial),
+    );
+    reference.warm_up(SimDuration::from_hours(1));
+    assert!(
+        reference.snapshot().mean_degree() > 0.5,
+        "hash-store sweep: reference run built no overlay"
+    );
+    for &(mode, budget) in budgets {
+        for engine in [MaintenanceEngine::Serial, sharded(4, 2), sharded(8, 8)] {
+            let mut cfg = config(17, OracleChoice::Exact, maintenance, engine);
+            cfg.hash_budget = budget;
+            let mut candidate = AvmemSim::new(trace.clone(), cfg);
+            candidate.warm_up(SimDuration::from_hours(1));
+            assert_state_equal(
+                &reference,
+                &candidate,
+                &format!("hash store {mode} ({budget} B), {engine:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_finalize_matches_reference_path_across_oracles() {
+    // `finalize_fast = false` recovers the pair-at-a-time reference
+    // evaluation; the fast path (epoch-memoized thresholds, shard-local
+    // pair caches, batched estimates, refresh short-circuiting) must be
+    // bit-identical to it under every oracle fidelity — including
+    // per-querier noise, where the missing epoch disables every cache
+    // but thresholds are still hoisted per finalize op.
+    let cells: &[(&str, OracleChoice, MaintenanceMode, u64)] = &[
+        (
+            "exact",
+            OracleChoice::Exact,
+            MaintenanceMode::paper_event_driven(),
+            2,
+        ),
+        (
+            "shared noise",
+            OracleChoice::NoisyShared {
+                error: 0.05,
+                staleness: SimDuration::from_mins(20),
+            },
+            fast_periods(),
+            1,
+        ),
+        (
+            "per-querier noise",
+            OracleChoice::paper_noise(),
+            MaintenanceMode::paper_event_driven(),
+            2,
+        ),
+        (
+            "avmon",
+            OracleChoice::Avmon {
+                config: avmem_avmon::AvmonConfig::default(),
+            },
+            MaintenanceMode::paper_event_driven(),
+            6,
+        ),
+    ];
+    for &(label, oracle, maintenance, hours) in cells {
+        let trace = trace(110, 19);
+        let mut slow_cfg = config(19, oracle, maintenance, MaintenanceEngine::Serial);
+        slow_cfg.finalize_fast = false;
+        let mut reference = AvmemSim::new(trace.clone(), slow_cfg);
+        reference.warm_up(SimDuration::from_hours(hours));
+        for engine in [MaintenanceEngine::Serial, sharded(4, 2)] {
+            let fast_cfg = config(19, oracle, maintenance, engine);
+            assert!(fast_cfg.finalize_fast, "fast path must be the default");
+            let mut candidate = AvmemSim::new(trace.clone(), fast_cfg);
+            candidate.warm_up(SimDuration::from_hours(hours));
+            assert_state_equal(
+                &reference,
+                &candidate,
+                &format!("fast vs slow finalize, {label}, {engine:?}"),
+            );
+        }
+    }
+}
+
+#[test]
 fn equivalence_survives_incremental_warm_up() {
     // The schedule persists across warm_up boundaries (chopped advances
     // equal one big advance); the engines must stay in lockstep across

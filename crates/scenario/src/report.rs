@@ -191,11 +191,18 @@ pub struct ScenarioReport {
     /// Maintenance phase wall-clock totals (oracle / propose / commit /
     /// finalize) accumulated over the whole run. Excluded from `==`.
     pub timings: avmem::PhaseTimings,
+    /// Finalize fast-path counters (threshold memo, pair-hash cache,
+    /// refresh short-circuit, batched estimates) accumulated over the
+    /// whole run. Excluded from `==`: runs at different shard or thread
+    /// counts split the cache work differently while producing the same
+    /// overlay state.
+    pub finalize: avmem::FinalizeStats,
 }
 
 impl PartialEq for ScenarioReport {
     fn eq(&self, other: &Self) -> bool {
-        // Every field except `timings`, which is wall-clock noise.
+        // Every field except `timings` (wall-clock noise) and `finalize`
+        // (engine-shape-dependent counters).
         self.scenario == other.scenario
             && self.seed == other.seed
             && self.hosts == other.hosts
@@ -341,6 +348,30 @@ impl ScenarioReport {
             )
             .unwrap();
         }
+        let f = &self.finalize;
+        if f != &avmem::FinalizeStats::default() {
+            writeln!(
+                w,
+                "finalize fast path: memo hits {}  misses {}  bypassed {}  \
+                 refresh skipped {}  evaluated {}  discover pruned {}  \
+                 batched estimates {}",
+                f.memo_hits,
+                f.memo_misses,
+                f.memo_bypassed,
+                f.refresh_skipped,
+                f.refresh_evaluated,
+                f.discover_pruned,
+                f.batched_estimates
+            )
+            .unwrap();
+            let h = &f.pair_hash;
+            writeln!(
+                w,
+                "  pair-hash cache: hits {}  misses {}  delegated {}  flushes {}",
+                h.hits, h.misses, h.delegated, h.flushes
+            )
+            .unwrap();
+        }
         out
     }
 
@@ -429,13 +460,33 @@ impl ScenarioReport {
         write!(
             w,
             "],\"skipped_ops\":{},\"timings\":{{\"cohorts\":{},\"oracle_secs\":{},\
-             \"propose_secs\":{},\"commit_secs\":{},\"finalize_secs\":{}}}}}",
+             \"propose_secs\":{},\"commit_secs\":{},\"finalize_secs\":{}}}",
             self.skipped_ops,
             t.cohorts,
             json_f64(t.oracle.as_secs_f64()),
             json_f64(t.propose.as_secs_f64()),
             json_f64(t.commit.as_secs_f64()),
             json_f64(t.finalize.as_secs_f64())
+        )
+        .unwrap();
+        let f = &self.finalize;
+        write!(
+            w,
+            ",\"finalize\":{{\"memo_hits\":{},\"memo_misses\":{},\"memo_bypassed\":{},\
+             \"refresh_skipped\":{},\"refresh_evaluated\":{},\"discover_pruned\":{},\
+             \"batched_estimates\":{},\
+             \"pair_hash\":{{\"hits\":{},\"misses\":{},\"delegated\":{},\"flushes\":{}}}}}}}",
+            f.memo_hits,
+            f.memo_misses,
+            f.memo_bypassed,
+            f.refresh_skipped,
+            f.refresh_evaluated,
+            f.discover_pruned,
+            f.batched_estimates,
+            f.pair_hash.hits,
+            f.pair_hash.misses,
+            f.pair_hash.delegated,
+            f.pair_hash.flushes
         )
         .unwrap();
         out
@@ -524,6 +575,20 @@ mod tests {
                 finalize: std::time::Duration::from_millis(80),
                 cohorts: 240,
             },
+            finalize: avmem::FinalizeStats {
+                memo_hits: 900,
+                memo_misses: 100,
+                refresh_skipped: 50,
+                refresh_evaluated: 25,
+                discover_pruned: 700,
+                batched_estimates: 4000,
+                pair_hash: avmem::harness::PairCacheStats {
+                    hits: 3000,
+                    misses: 1000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
         }
     }
 
@@ -588,5 +653,32 @@ mod tests {
         assert_eq!(a, b, "timings must not affect report equality");
         b.skipped_ops += 1;
         assert_ne!(a, b, "real fields still compare");
+    }
+
+    #[test]
+    fn renderings_carry_finalize_fast_path_counters() {
+        let report = sample_report();
+        let text = report.render_text();
+        assert!(text.contains("finalize fast path: memo hits 900"), "{text}");
+        assert!(text.contains("discover pruned 700"), "{text}");
+        assert!(text.contains("pair-hash cache: hits 3000"), "{text}");
+        let json = report.render_json();
+        assert!(json.contains("\"finalize\":{\"memo_hits\":900"), "{json}");
+        assert!(json.contains("\"discover_pruned\":700"), "{json}");
+        assert!(json.contains("\"pair_hash\":{\"hits\":3000"), "{json}");
+        // All-zero counters (fast path off) drop the text block but keep
+        // the JSON object for a stable schema.
+        let mut quiet = sample_report();
+        quiet.finalize = avmem::FinalizeStats::default();
+        assert!(!quiet.render_text().contains("finalize fast path"));
+        assert!(quiet.render_json().contains("\"finalize\":{\"memo_hits\":0"));
+    }
+
+    #[test]
+    fn equality_ignores_finalize_counters() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.finalize = avmem::FinalizeStats::default();
+        assert_eq!(a, b, "finalize counters must not affect report equality");
     }
 }

@@ -140,6 +140,7 @@ impl ScenarioRunner {
             health: Vec::new(),
             skipped_ops: 0,
             timings: avmem::PhaseTimings::default(),
+            finalize: avmem::FinalizeStats::default(),
         };
         // Interval accumulators for the health series.
         let mut ops_since_last = 0u64;
@@ -175,6 +176,7 @@ impl ScenarioRunner {
             attack_since_last,
         ));
         report.timings = sim.phase_timings();
+        report.finalize = sim.finalize_stats();
         Ok(report)
     }
 
