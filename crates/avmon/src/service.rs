@@ -192,6 +192,15 @@ pub struct AvmonService {
     /// value when no monitor is online (staleness).
     aggregate: Vec<Option<Availability>>,
     next_slot: usize,
+    /// Slot-advance cost instruments, present once
+    /// [`AvmonService::set_metrics`] attaches a registry.
+    metrics: Option<SlotInstruments>,
+}
+
+#[derive(Debug, Clone)]
+struct SlotInstruments {
+    slots: avmem_metrics::Counter,
+    slot_us: avmem_metrics::Histogram,
 }
 
 impl AvmonService {
@@ -224,7 +233,33 @@ impl AvmonService {
             index,
             aggregate: vec![None; n],
             next_slot: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry: every processed slot counts into
+    /// `avmem_avmon_slots_total` and records its wall cost into the
+    /// `avmem_avmon_slot_us` histogram. Observation only — estimates
+    /// are bit-identical with or without a registry.
+    pub fn set_metrics(&mut self, registry: &avmem_metrics::Registry) {
+        self.metrics = Some(SlotInstruments {
+            slots: registry.counter(
+                "avmem_avmon_slots_total",
+                "Trace slots processed by the AVMON service.",
+                &[],
+            ),
+            slot_us: registry.histogram(
+                "avmem_avmon_slot_us",
+                "Wall cost per processed AVMON slot (µs).",
+                &[],
+            ),
+        });
+    }
+
+    /// Whether the service runs the ring assignment strategy (vs the
+    /// paper's all-pairs relation).
+    pub fn is_ring_assignment(&self) -> bool {
+        matches!(self.config.assignment, AssignmentChoice::Ring { .. })
     }
 
     /// The monitor-assignment strategy in force.
@@ -285,7 +320,12 @@ impl AvmonService {
         let slot_ms = trace.slot_duration().as_millis();
         let last_slot = ((now.as_millis() / slot_ms) as usize).min(trace.num_slots() - 1);
         while self.next_slot <= last_slot {
+            let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
             self.process_slot(trace, self.next_slot);
+            if let (Some(m), Some(t0)) = (self.metrics.as_ref(), t0) {
+                m.slots.inc();
+                m.slot_us.record(t0.elapsed().as_micros() as u64);
+            }
             self.next_slot += 1;
         }
     }

@@ -1,0 +1,88 @@
+//! Benchmarks of the service mode: the same event loop as `scenario run`
+//! driven step-by-step through [`RunSession`], with and without a live
+//! metrics registry attached. The with/without pair is the observability
+//! overhead gate — the instrumented loop must stay within a few percent
+//! of the bare one — and the `serve` entries measure the full
+//! `ScenarioRunner::serve` path (session + registry + sealing).
+//!
+//! Set `AVMEM_BENCH_QUICK=1` (the CI bench-smoke setting) to run only the
+//! smallest scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use avmem_metrics::Registry;
+use avmem_scenario::{
+    builtin, ChurnSpec, MaintenanceModeSpec, ScenarioRunner, ScenarioSpec, ServeOptions,
+};
+
+/// Whether the quick (CI smoke) profile is requested.
+fn quick() -> bool {
+    std::env::var_os("AVMEM_BENCH_QUICK").is_some()
+}
+
+/// An event-driven scenario at the given scale with enough traffic for
+/// the per-op instrumentation to matter.
+fn serve_spec(hosts: usize) -> ScenarioSpec {
+    let mut spec = builtin::builtin("smoke").expect("smoke builtin");
+    spec.churn = ChurnSpec::Overnet { hosts, days: 1 };
+    spec.maintenance.mode = MaintenanceModeSpec::EventDriven {
+        protocol_secs: 60,
+        refresh_mins: 20,
+    };
+    spec.warmup_mins = 60;
+    spec.duration_mins = 60;
+    spec.workload.ops_per_hour = 600.0;
+    spec
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(3);
+    let sizes: &[usize] = if quick() { &[120] } else { &[120, 500, 1442] };
+    for &hosts in sizes {
+        // Bare stepped session: the serve loop without any registry.
+        group.bench_with_input(
+            BenchmarkId::new("session_bare", hosts),
+            &hosts,
+            |b, &hosts| {
+                let runner = ScenarioRunner::new(serve_spec(hosts)).expect("spec validates");
+                b.iter(|| {
+                    let mut session = runner.session().expect("session builds");
+                    while session.step().is_some() {}
+                    black_box(session.finish().anycast.sent)
+                })
+            },
+        );
+        // Same loop with every instrument live — the overhead gate.
+        group.bench_with_input(
+            BenchmarkId::new("session_metrics", hosts),
+            &hosts,
+            |b, &hosts| {
+                let runner = ScenarioRunner::new(serve_spec(hosts)).expect("spec validates");
+                b.iter(|| {
+                    let registry = Arc::new(Registry::new());
+                    let mut session = runner.session().expect("session builds");
+                    session.set_metrics(&registry);
+                    while session.step().is_some() {}
+                    black_box(session.finish().anycast.sent)
+                })
+            },
+        );
+        // The full serve entry point (registry + sealing + throughput
+        // accounting), unpaced so wall time is pure compute.
+        group.bench_with_input(BenchmarkId::new("serve", hosts), &hosts, |b, &hosts| {
+            let runner = ScenarioRunner::new(serve_spec(hosts)).expect("spec validates");
+            let opts = ServeOptions::default();
+            b.iter(|| {
+                let outcome = runner.serve(&opts).expect("serve runs");
+                black_box(outcome.ops_handled)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

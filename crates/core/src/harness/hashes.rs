@@ -34,6 +34,7 @@
 //! All modes agree bit-for-bit with [`avmem_util::consistent_hash`].
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use avmem_util::hash::PairKeyHashBuilder;
@@ -67,6 +68,45 @@ pub const DEFAULT_HASH_BUDGET: usize = 512 << 20;
 pub struct PairHashes {
     n: usize,
     store: Store,
+    counters: StoreCounters,
+}
+
+/// Cumulative counters of the shared row store, all modes (relaxed
+/// atomics off the hash path's dominant costs — a mutex acquisition in
+/// LRU mode, SHA-256 everywhere). Read through
+/// [`PairHashes::store_stats`] by the observability surface.
+#[derive(Debug, Default)]
+struct StoreCounters {
+    /// Full rows hashed (`n` SHA-256 evaluations each): cached-mode
+    /// materializations, LRU misses, and direct-mode bulk fills.
+    rows_built: AtomicU64,
+    /// LRU reads (point or bulk) served from the hot set.
+    lru_hits: AtomicU64,
+    /// LRU reads that had to hash (a row build, or a single pair when
+    /// admission is bypassed).
+    lru_misses: AtomicU64,
+    /// Single-pair on-the-fly hashes (direct mode, or LRU bypass).
+    direct_hashes: AtomicU64,
+}
+
+/// A point-in-time view of the row store's cumulative counters; see
+/// [`PairHashes::store_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairStoreStats {
+    /// Full rows hashed (`n` SHA-256 evaluations each).
+    pub rows_built: u64,
+    /// LRU reads served from the hot set.
+    pub lru_hits: u64,
+    /// LRU reads that had to hash.
+    pub lru_misses: u64,
+    /// Rows evicted from the LRU hot set.
+    pub lru_evictions: u64,
+    /// Single-pair on-the-fly hashes (direct mode, or LRU bypass).
+    pub direct_hashes: u64,
+    /// Whether the thrash detector has suspended LRU admission.
+    pub bypassed: bool,
+    /// Rows resident right now.
+    pub cached_rows: usize,
 }
 
 #[derive(Debug)]
@@ -115,6 +155,8 @@ struct LruRows {
     /// increments), so this is a total recency order.
     by_stamp: BTreeMap<u64, usize>,
     clock: u64,
+    /// Total evictions since construction (observability).
+    evictions: u64,
     /// Consecutive evictions whose victim had not repaid its build cost.
     wasted_evictions: u32,
     /// Admission suspended: the working set was observed not to fit.
@@ -154,6 +196,7 @@ impl LruRows {
         if !self.rows.contains_key(&x) && self.rows.len() >= capacity {
             if let Some((_, coldest)) = self.by_stamp.pop_first() {
                 let victim = self.rows.remove(&coldest).expect("index and map agree");
+                self.evictions += 1;
                 // The build cost `N` hashes; `hits` counts the hashes
                 // the entry saved. Victims short of that never
                 // amortized — sustained, that means the cache is a net
@@ -193,9 +236,13 @@ impl PairHashes {
         // Materialize every row up front; rows are independent, so the
         // chunk split cannot change any value.
         let mut row_ids: Vec<usize> = (0..n).collect();
+        let counters = &hashes.counters;
         par_chunks_mut(&mut row_ids, 1, default_threads(), |_, chunk| {
             for &x in chunk.iter() {
-                rows[x].get_or_init(|| hash_row(x, n));
+                rows[x].get_or_init(|| {
+                    counters.rows_built.fetch_add(1, Ordering::Relaxed);
+                    hash_row(x, n)
+                });
             }
         });
         hashes
@@ -213,6 +260,7 @@ impl PairHashes {
             store: Store::Cached {
                 rows: (0..n).map(|_| OnceLock::new()).collect(),
             },
+            counters: StoreCounters::default(),
         }
     }
 
@@ -231,6 +279,7 @@ impl PairHashes {
                 state: Mutex::new(LruRows::default()),
                 capacity,
             },
+            counters: StoreCounters::default(),
         }
     }
 
@@ -253,6 +302,7 @@ impl PairHashes {
                 0 => PairHashes {
                     n,
                     store: Store::Direct,
+                    counters: StoreCounters::default(),
                 },
                 capacity => PairHashes::lru(n, capacity),
             }
@@ -302,25 +352,34 @@ impl PairHashes {
     pub fn get(&self, x: usize, y: usize) -> f64 {
         assert!(x < self.n && y < self.n, "pair index out of range");
         match &self.store {
-            Store::Cached { rows } => rows[x].get_or_init(|| hash_row(x, self.n))[y],
+            Store::Cached { rows } => {
+                rows[x].get_or_init(|| {
+                    self.counters.rows_built.fetch_add(1, Ordering::Relaxed);
+                    hash_row(x, self.n)
+                })[y]
+            }
             Store::Lru { state, capacity } => {
                 {
                     let mut lru = state.lock().expect("lru poisoned");
                     if let Some(row) = lru.touch(x, 1) {
+                        self.counters.lru_hits.fetch_add(1, Ordering::Relaxed);
                         return row[y];
                     }
+                    self.counters.lru_misses.fetch_add(1, Ordering::Relaxed);
                     if lru.bypass {
                         // The working set does not fit this cache (see
                         // [`LruRows`]): admitting more rows would burn
                         // `O(N)` hashes per miss for nothing, so misses
                         // hash the single pair like direct mode.
                         drop(lru);
+                        self.counters.direct_hashes.fetch_add(1, Ordering::Relaxed);
                         return consistent_hash(NodeId::new(x as u64), NodeId::new(y as u64));
                     }
                 }
                 // Hash outside the lock: SHA-256 over a whole row is the
                 // expensive part, and serializing it across workers would
                 // undo the parallel maintenance phases.
+                self.counters.rows_built.fetch_add(1, Ordering::Relaxed);
                 let row: Arc<[f64]> = hash_row(x, self.n).into();
                 let value = row[y];
                 state
@@ -329,7 +388,10 @@ impl PairHashes {
                     .insert(x, row, *capacity);
                 value
             }
-            Store::Direct => consistent_hash(NodeId::new(x as u64), NodeId::new(y as u64)),
+            Store::Direct => {
+                self.counters.direct_hashes.fetch_add(1, Ordering::Relaxed);
+                consistent_hash(NodeId::new(x as u64), NodeId::new(y as u64))
+            }
         }
     }
 
@@ -348,7 +410,10 @@ impl PairHashes {
     pub fn row<'a>(&'a self, x: usize, scratch: &'a mut Vec<f64>) -> &'a [f64] {
         assert!(x < self.n, "row index out of range");
         match &self.store {
-            Store::Cached { rows } => rows[x].get_or_init(|| hash_row(x, self.n)),
+            Store::Cached { rows } => rows[x].get_or_init(|| {
+                self.counters.rows_built.fetch_add(1, Ordering::Relaxed);
+                hash_row(x, self.n)
+            }),
             Store::Lru { state, .. } => {
                 scratch.clear();
                 // A bulk hit saves a whole row's worth of hashing —
@@ -359,8 +424,13 @@ impl PairHashes {
                     .expect("lru poisoned")
                     .touch(x, self.n as u64);
                 match hot {
-                    Some(row) => scratch.extend_from_slice(&row),
+                    Some(row) => {
+                        self.counters.lru_hits.fetch_add(1, Ordering::Relaxed);
+                        scratch.extend_from_slice(&row);
+                    }
                     None => {
+                        self.counters.lru_misses.fetch_add(1, Ordering::Relaxed);
+                        self.counters.rows_built.fetch_add(1, Ordering::Relaxed);
                         scratch.resize(self.n, 0.0);
                         fill_row(x, scratch);
                     }
@@ -368,11 +438,39 @@ impl PairHashes {
                 scratch
             }
             Store::Direct => {
+                self.counters.rows_built.fetch_add(1, Ordering::Relaxed);
                 scratch.clear();
                 scratch.resize(self.n, 0.0);
                 fill_row(x, scratch);
                 scratch
             }
+        }
+    }
+
+    /// A point-in-time view of the store's cumulative counters (plus the
+    /// LRU thrash detector's admission state and the resident row count).
+    /// Observation only — reading never perturbs the store.
+    pub fn store_stats(&self) -> PairStoreStats {
+        let (lru_evictions, bypassed, cached_rows) = match &self.store {
+            Store::Cached { rows } => (
+                0,
+                false,
+                rows.iter().filter(|r| r.get().is_some()).count(),
+            ),
+            Store::Lru { state, .. } => {
+                let lru = state.lock().expect("lru poisoned");
+                (lru.evictions, lru.bypass, lru.rows.len())
+            }
+            Store::Direct => (0, false, 0),
+        };
+        PairStoreStats {
+            rows_built: self.counters.rows_built.load(Ordering::Relaxed),
+            lru_hits: self.counters.lru_hits.load(Ordering::Relaxed),
+            lru_misses: self.counters.lru_misses.load(Ordering::Relaxed),
+            lru_evictions,
+            direct_hashes: self.counters.direct_hashes.load(Ordering::Relaxed),
+            bypassed,
+            cached_rows,
         }
     }
 }

@@ -42,7 +42,7 @@ pub use attack::AttackSeries;
 pub use config::{
     MaintenanceEngine, MaintenanceMode, OracleChoice, PredicateChoice, SimConfig,
 };
-pub use hashes::{PairCacheStats, PairHashes, ShardPairCache, DEFAULT_HASH_BUDGET};
+pub use hashes::{PairCacheStats, PairHashes, PairStoreStats, ShardPairCache, DEFAULT_HASH_BUDGET};
 pub use index::CandidateIndex;
 pub use oracle::SimOracle;
 
@@ -50,6 +50,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use avmem_avmon::AvailabilityOracle;
+use avmem_metrics::{shard_lane, Counter, Histogram, Registry, Tracer};
 use avmem_shuffle::{ShuffleConfig, ShuffleMessage, ShuffleNode, ShuffleProposal, View};
 use avmem_sim::{EngineGroup, Network, SimDuration, SimTime};
 use avmem_trace::{AvailabilityPdf, ChurnTrace, OnlineIndex};
@@ -871,11 +872,22 @@ impl MaintSchedule {
     }
 }
 
+/// Phase names of the harness [`Tracer`], index-aligned with the
+/// `PH_*` constants. Spans are keyed `(phase, lane)`: lane 0 is the
+/// coordinator (whose totals are the [`PhaseTimings`] wall-clock), the
+/// other lanes accumulate shard-worker busy time.
+const PHASES: &[&str] = &["oracle", "propose", "commit", "finalize"];
+const PH_ORACLE: usize = 0;
+const PH_PROPOSE: usize = 1;
+const PH_COMMIT: usize = 2;
+const PH_FINALIZE: usize = 3;
+
 /// Cumulative wall-clock spent in each phase of maintenance, plus the
 /// number of timestamp cohorts processed. Exposed through
 /// [`AvmemSim::phase_timings`] so drivers (the scenario runner, the
 /// shard-scaling bench) can report where a run's time went — in
-/// particular what share the commit/merge barrier claims.
+/// particular what share the commit/merge barrier claims. Assembled
+/// from the harness's span [`Tracer`] (coordinator lane).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseTimings {
     /// Oracle advancement + online-index refresh (per distinct cohort
@@ -972,10 +984,27 @@ pub struct AvmemSim {
     /// Persistent event-driven schedule (`None` until the first
     /// event-driven advance builds it).
     maint: Option<MaintSchedule>,
-    /// Cumulative per-phase maintenance wall-clock.
-    timings: PhaseTimings,
+    /// Per-phase maintenance span accumulator (replaces the old ad-hoc
+    /// `Instant` arithmetic; [`AvmemSim::phase_timings`] reads its
+    /// coordinator lane).
+    tracer: Tracer,
+    /// Registry-backed instruments, present once
+    /// [`AvmemSim::set_metrics`] attaches a registry.
+    metrics: Option<HarnessInstruments>,
     /// Cumulative finalize fast-path counters.
     fin_stats: FinalizeStats,
+}
+
+/// Instrument handles the harness records into when a registry is
+/// attached; everything here is off the per-node hot paths (the barrier
+/// loops run at most `shards²` times per cohort).
+struct HarnessInstruments {
+    /// Cross-shard exchange batch sizes at the transpose barriers.
+    exchange_req_batch: Histogram,
+    exchange_reply_batch: Histogram,
+    /// Cumulative messages moved across the barriers.
+    exchange_requests: Counter,
+    exchange_replies: Counter,
 }
 
 impl std::fmt::Debug for AvmemSim {
@@ -1079,9 +1108,49 @@ impl AvmemSim {
             n_star,
             member_order_seed: seeder.next_u64(),
             maint: None,
-            timings: PhaseTimings::default(),
+            tracer: Tracer::new(PHASES),
+            metrics: None,
             fin_stats: FinalizeStats::default(),
         }
+    }
+
+    /// Attaches a metrics registry: phase spans gain live span-duration
+    /// histograms, the sharded engine records cross-shard exchange batch
+    /// sizes, and the oracle (AVMON) reports slot-advance cost. Without
+    /// a registry the harness only pays the tracer's relaxed atomic
+    /// adds — instrumentation stays allocation-free either way.
+    pub fn set_metrics(&mut self, registry: &Arc<Registry>) {
+        self.tracer.attach(registry, "avmem");
+        self.oracle.set_metrics(registry);
+        let batch_help = "Cross-shard exchange batch sizes at the phase barriers (messages).";
+        self.metrics = Some(HarnessInstruments {
+            exchange_req_batch: registry.histogram(
+                "avmem_exchange_batch_msgs",
+                batch_help,
+                &[("dir", "request")],
+            ),
+            exchange_reply_batch: registry.histogram(
+                "avmem_exchange_batch_msgs",
+                batch_help,
+                &[("dir", "reply")],
+            ),
+            exchange_requests: registry.counter(
+                "avmem_exchange_msgs_total",
+                "Messages moved across the shard barriers.",
+                &[("dir", "request")],
+            ),
+            exchange_replies: registry.counter(
+                "avmem_exchange_msgs_total",
+                "Messages moved across the shard barriers.",
+                &[("dir", "reply")],
+            ),
+        });
+    }
+
+    /// The harness's phase-span tracer (publishable into a registry by
+    /// the serve loop).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The churn trace driving the simulation.
@@ -1144,14 +1213,17 @@ impl AvmemSim {
         let target = self.now + duration;
         match self.config.maintenance {
             MaintenanceMode::Converged => {
+                {
+                    let _span = self.tracer.span(PH_ORACLE, 0);
+                    self.oracle.advance(&self.trace, target);
+                    self.now = target;
+                    self.online.refresh(&self.trace, target);
+                }
+                // A span guard would hold `&self.tracer` across the
+                // `&mut self` rebuild; record the measured time instead.
                 let t0 = Instant::now();
-                self.oracle.advance(&self.trace, target);
-                self.now = target;
-                self.online.refresh(&self.trace, target);
-                self.timings.oracle += t0.elapsed();
-                let t1 = Instant::now();
                 self.rebuild_converged();
-                self.timings.finalize += t1.elapsed();
+                self.tracer.record(PH_FINALIZE, 0, t0.elapsed());
             }
             MaintenanceMode::EventDriven {
                 protocol_period,
@@ -1182,11 +1254,10 @@ impl AvmemSim {
         }
         match self.config.maintenance {
             MaintenanceMode::Converged => {
-                let t0 = Instant::now();
+                let _span = self.tracer.span(PH_ORACLE, 0);
                 self.oracle.advance(&self.trace, target);
                 self.now = target;
                 self.online.refresh(&self.trace, target);
-                self.timings.oracle += t0.elapsed();
             }
             MaintenanceMode::EventDriven {
                 protocol_period,
@@ -1203,9 +1274,16 @@ impl AvmemSim {
         self.maint.as_ref().and_then(|m| m.group.peek_time())
     }
 
-    /// Cumulative per-phase maintenance wall-clock since construction.
+    /// Cumulative per-phase maintenance wall-clock since construction
+    /// (the coordinator lane of the span tracer).
     pub fn phase_timings(&self) -> PhaseTimings {
-        self.timings
+        PhaseTimings {
+            oracle: self.tracer.lane_total(PH_ORACLE, 0),
+            propose: self.tracer.lane_total(PH_PROPOSE, 0),
+            commit: self.tracer.lane_total(PH_COMMIT, 0),
+            finalize: self.tracer.lane_total(PH_FINALIZE, 0),
+            cohorts: self.tracer.cohorts(),
+        }
     }
 
     /// Cumulative finalize fast-path counters since construction. All
@@ -1214,6 +1292,19 @@ impl AvmemSim {
     /// and is not counted here).
     pub fn finalize_stats(&self) -> FinalizeStats {
         self.fin_stats
+    }
+
+    /// Cumulative counters of the shared pair-hash row store (mode,
+    /// rows built, LRU hit/miss/eviction traffic, thrash-bypass state).
+    pub fn hash_store_stats(&self) -> PairStoreStats {
+        self.hashes.store_stats()
+    }
+
+    /// Number of maintenance events currently scheduled (0 for converged
+    /// maintenance or before the first event-driven advance) — the
+    /// service mode's queue-depth gauge.
+    pub fn pending_maintenance(&self) -> usize {
+        self.maint.as_ref().map_or(0, |m| m.group.pending())
     }
 
     /// Rebuilds every node's lists directly from the predicate — the
@@ -1449,12 +1540,13 @@ impl AvmemSim {
             // Shared time-dependent state advances once per distinct
             // timestamp: the oracle (AVMON ping processing) and the
             // online index (slot-boundary crossings).
-            let t0 = Instant::now();
-            self.oracle.advance(&self.trace, t);
-            self.online.refresh(&self.trace, t);
-            self.now = self.now.max(t);
-            self.timings.oracle += t0.elapsed();
-            self.timings.cohorts += 1;
+            {
+                let _span = self.tracer.span(PH_ORACLE, 0);
+                self.oracle.advance(&self.trace, t);
+                self.online.refresh(&self.trace, t);
+                self.now = self.now.max(t);
+            }
+            self.tracer.tick_cohort();
             if straight_line {
                 let MaintSchedule {
                     ref batches,
@@ -1487,11 +1579,10 @@ impl AvmemSim {
             }
         }
         self.maint = Some(maint);
-        let t0 = Instant::now();
+        let _span = self.tracer.span(PH_ORACLE, 0);
         self.oracle.advance(&self.trace, target);
         self.now = target;
         self.online.refresh(&self.trace, target);
-        self.timings.oracle += t0.elapsed();
     }
 
     /// Reference implementation of one cohort: the canonical phases as
@@ -1505,7 +1596,7 @@ impl AvmemSim {
         let n = self.trace.num_nodes();
         // Phase 1 — propose, capturing each proposal's request (or its
         // timeout, when the target is offline) for the commit phase.
-        let tp = Instant::now();
+        let tp = self.tracer.span(PH_PROPOSE, 0);
         let mut requests: Vec<RequestMsg> = Vec::new();
         let mut timeouts: Vec<(u32, NodeId)> = Vec::new();
         let mut seeds = Vec::new();
@@ -1532,11 +1623,11 @@ impl AvmemSim {
                 timeouts.push((i as u32, target));
             }
         }
-        self.timings.propose += tp.elapsed();
+        drop(tp);
         // Phase 2 — commit: requests responder-major, each responder's
         // inbound ordered by initiator; then replies and timeouts (at
         // most one per initiator).
-        let tc = Instant::now();
+        let tc = self.tracer.span(PH_COMMIT, 0);
         requests.sort_unstable_by_key(|m| (m.responder, m.initiator));
         let mut replies: Vec<ReplyMsg> = Vec::with_capacity(requests.len());
         for msg in requests {
@@ -1553,11 +1644,11 @@ impl AvmemSim {
         for (i, target) in timeouts {
             self.shuffles[i as usize].handle_timeout(target);
         }
-        self.timings.commit += tc.elapsed();
+        drop(tc);
         // Phase 3 — finalize: discovery over the post-commit views, then
         // refresh (canonical intra-node order; cross-node order is
         // irrelevant, each node touches only its own lists).
-        let tf = Instant::now();
+        let tf = self.tracer.span(PH_FINALIZE, 0);
         scratch.begin_cohort(1);
         for &event in batch {
             match event {
@@ -1594,7 +1685,7 @@ impl AvmemSim {
             let ops = scratch.ops[k];
             ctx.finalize_node(ops, &mut self.memberships[ops.node as usize], scratch, 0, n);
         }
-        self.timings.finalize += tf.elapsed();
+        drop(tf);
         self.fin_stats.merge(scratch.take_stats());
     }
 
@@ -1625,11 +1716,12 @@ impl AvmemSim {
         let n = part.len();
         let trace = &self.trace;
         let online = &self.online;
+        let tracer = &self.tracer;
         let mut shuffles = std::mem::take(&mut self.shuffles);
         // Phase 1 — propose: per shard, collect the cohort's work lists,
         // run every online tick against the shard-owned shuffle slice,
         // and batch the resulting requests by the responder's shard.
-        let tp = Instant::now();
+        let tp = tracer.span(PH_PROPOSE, 0);
         {
             let slices = part.split_mut(&mut shuffles);
             let mut tasks: Vec<(usize, &mut [ShuffleNode], &mut ShardScratch, &[MaintEvent])> =
@@ -1642,7 +1734,8 @@ impl AvmemSim {
                         (part.range(s).start, slice, scratch, batch.as_slice())
                     })
                     .collect();
-            par_each_mut(&mut tasks, threads, |_, (start, slice, scratch, batch)| {
+            par_each_mut(&mut tasks, threads, |s, (start, slice, scratch, batch)| {
+                let _span = tracer.span(PH_PROPOSE, shard_lane(s));
                 scratch.begin_cohort(shards);
                 for &event in batch.iter() {
                     match event {
@@ -1678,13 +1771,17 @@ impl AvmemSim {
                 }
             });
         }
-        self.timings.propose += tp.elapsed();
-        let tc = Instant::now();
+        drop(tp);
+        let tc = tracer.span(PH_COMMIT, 0);
         // Barrier — transpose the request batches: shard `s`'s outbox for
         // destination `d` is appended to `d`'s inbox. Iteration order is
         // immaterial: each responder sorts its inbox before applying.
         for scratch in scratches.iter_mut() {
             for (d, out) in scratch.req_out.iter_mut().enumerate() {
+                if let Some(m) = &self.metrics {
+                    m.exchange_req_batch.record(out.len() as u64);
+                    m.exchange_requests.add(out.len() as u64);
+                }
                 req_in[d].append(out);
             }
         }
@@ -1719,6 +1816,10 @@ impl AvmemSim {
         // Barrier — transpose the reply batches back to their initiators.
         for scratch in scratches.iter_mut() {
             for (d, out) in scratch.reply_out.iter_mut().enumerate() {
+                if let Some(m) = &self.metrics {
+                    m.exchange_reply_batch.record(out.len() as u64);
+                    m.exchange_replies.add(out.len() as u64);
+                }
                 reply_in[d].append(out);
             }
         }
@@ -1751,11 +1852,11 @@ impl AvmemSim {
             });
         }
         self.shuffles = shuffles;
-        self.timings.commit += tc.elapsed();
+        drop(tc);
         // Phase 3 — finalize: each shard walks its per-node ops against
         // its membership slice, reading the (now frozen) post-commit
         // shuffle views.
-        let tf = Instant::now();
+        let tf = tracer.span(PH_FINALIZE, 0);
         let mut memberships = std::mem::take(&mut self.memberships);
         {
             let memo;
@@ -1788,7 +1889,8 @@ impl AvmemSim {
                 })
                 .collect();
             let ctx = &ctx;
-            par_each_mut(&mut tasks, threads, |_, (start, len, slice, scratch)| {
+            par_each_mut(&mut tasks, threads, |s, (start, len, slice, scratch)| {
+                let _span = tracer.span(PH_FINALIZE, shard_lane(s));
                 for k in 0..scratch.ops.len() {
                     let ops = scratch.ops[k];
                     ctx.finalize_node(
@@ -1805,7 +1907,7 @@ impl AvmemSim {
         for scratch in scratches.iter_mut() {
             self.fin_stats.merge(scratch.take_stats());
         }
-        self.timings.finalize += tf.elapsed();
+        drop(tf);
     }
 
     /// Captures the current overlay state for analysis.

@@ -72,6 +72,38 @@ impl SimOracle {
         }
     }
 
+    /// Attaches a metrics registry to the AVMON service (slot-advance
+    /// cost counters; a no-op for the instant oracles). Observation
+    /// only: estimates are unchanged.
+    pub fn set_metrics(&mut self, registry: &avmem_metrics::Registry) {
+        if let SimOracle::Avmon(service) = self {
+            service.set_metrics(registry);
+        }
+    }
+
+    /// A short label for the configured estimation strategy, used by
+    /// reports that compare per-strategy accuracy (e.g. ring vs
+    /// all-pairs MAE).
+    pub fn strategy_label(&self) -> &'static str {
+        match self {
+            SimOracle::Exact(_) => "exact",
+            SimOracle::Noisy(o) => {
+                if o.is_per_querier() {
+                    "noisy"
+                } else {
+                    "noisy-shared"
+                }
+            }
+            SimOracle::Avmon(o) => {
+                if o.is_ring_assignment() {
+                    "avmon-ring"
+                } else {
+                    "avmon-all-pairs"
+                }
+            }
+        }
+    }
+
     /// Whether every querier sees the same estimate for a given target
     /// at a given time. True for ground truth, shared-noise aggregates,
     /// and AVMON's aggregated answers; false for the per-querier noise

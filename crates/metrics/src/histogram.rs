@@ -1,0 +1,226 @@
+//! Fixed-bucket log₂-scale histograms.
+//!
+//! A histogram is 64 atomic buckets; value `v` lands in bucket
+//! `64 - v.leading_zeros()` (bucket 0 holds exactly zero), so bucket `b`
+//! covers `[2^(b-1), 2^b - 1]` — ≤2× relative error on any quantile,
+//! constant memory, and recording is two relaxed `fetch_add`s. That is
+//! deliberately coarse: the registry serves *live* p50/p99/p999 over
+//! unbounded streams, where a factor-of-two bound per bucket beats an
+//! unbounded reservoir.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log₂ buckets per histogram.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket (the value quantiles report).
+#[inline]
+pub fn bucket_upper(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        b if b >= BUCKETS - 1 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new() -> HistCore {
+        HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record_n(&self, value: u64, n: u64) {
+        self.buckets[bucket_of(value)].fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A cloneable recording handle; clones share the same buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    pub(crate) core: Arc<HistCore>,
+}
+
+impl Histogram {
+    /// A histogram not registered anywhere (unit tests, ad-hoc use).
+    pub fn detached() -> Histogram {
+        Histogram {
+            core: Arc::new(HistCore::new()),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.core.record_n(value, 1);
+    }
+
+    /// Records `n` identical observations in one update.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        self.core.record_n(value, n);
+    }
+
+    /// A consistent-enough copy of the current buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core.snapshot()
+    }
+}
+
+/// A point-in-time copy of a histogram, with quantile extraction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; BUCKETS],
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The all-zero snapshot.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`), reported as the upper
+    /// bound of the bucket holding the rank-`⌈q·count⌉` observation — an
+    /// overestimate by at most 2×. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(b);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Adds `other`'s observations into `self` (shard-merge).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, &n) in other.buckets.iter().enumerate() {
+            self.buckets[b] += n;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for v in [0u64, 1, 2, 3, 1000, 1 << 40, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(bucket_upper(b) >= v, "upper({b}) < {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_point_mass() {
+        let h = Histogram::detached();
+        h.record_n(100, 1000);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        let p50 = s.p50();
+        assert!((100..200).contains(&p50), "p50 = {p50}");
+        assert_eq!(s.p50(), s.p999());
+        assert_eq!(s.mean(), 100.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bound_the_max() {
+        let h = Histogram::detached();
+        for v in [1u64, 5, 9, 120, 4000, 4001, 70_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.quantile(0.0) <= s.p50());
+        assert!(s.p50() <= s.p99());
+        assert!(s.p99() <= s.p999());
+        assert!(s.quantile(1.0) >= 70_000);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sums() {
+        let a = Histogram::detached();
+        let b = Histogram::detached();
+        a.record_n(10, 5);
+        b.record_n(1000, 7);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 12);
+        assert_eq!(m.sum, 5 * 10 + 7 * 1000);
+    }
+}

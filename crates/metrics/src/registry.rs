@@ -1,0 +1,369 @@
+//! The metric registry and its two text exporters.
+//!
+//! Families are keyed by metric name; series within a family by their
+//! canonical (key-sorted) label rendering. `counter`/`gauge`/`histogram`
+//! are get-or-create: the first call registers, later calls with the same
+//! name and labels return a handle to the same cell, so independent
+//! layers (harness, AVMON, the serve loop) can instrument against one
+//! shared [`Registry`] without coordinating ownership.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{bucket_upper, HistCore, Histogram, BUCKETS};
+
+/// A monotonically increasing (or periodically re-stored) integer metric.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not registered anywhere.
+    pub fn detached() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — used to mirror an externally accumulated
+    /// cumulative count (e.g. `FinalizeStats`) into the registry.
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time `f64` metric (stored as bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge not registered anywhere.
+    pub fn detached() -> Gauge {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistCore>),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Canonical label rendering (`{k="v",…}`, keys sorted; empty for no
+    /// labels) → cell.
+    series: BTreeMap<String, Cell>,
+}
+
+/// The shared metric registry; see the module docs.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_unstable();
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        assert!(valid_name(k), "invalid label name {k:?}");
+        assert!(
+            !v.contains(['"', '\\', '\n']),
+            "label value {v:?} needs escaping"
+        );
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Splices one more label into a canonical label rendering (used for the
+/// `le` bound of exported histogram buckets).
+fn with_label(series: &str, key: &str, value: &str) -> String {
+    if series.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        format!("{},{key}=\"{value}\"}}", &series[..series.len() - 1])
+    }
+}
+
+/// Formats an `f64` the way both exporters expect: integral values print
+/// without a fraction, everything else via the shortest round-trip form.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Gets or creates a counter. Panics if `name` is already registered
+    /// with a different kind, or on a malformed name/label.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.cell(name, help, labels, Kind::Counter) {
+            Cell::Counter(a) => Counter(a),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Gets or creates a gauge (same contract as [`Registry::counter`]).
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.cell(name, help, labels, Kind::Gauge) {
+            Cell::Gauge(a) => Gauge(a),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Gets or creates a histogram (same contract as [`Registry::counter`]).
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.cell(name, help, labels, Kind::Histogram) {
+            Cell::Histogram(core) => Histogram { core },
+            _ => unreachable!(),
+        }
+    }
+
+    fn cell(&self, name: &str, help: &str, labels: &[(&str, &str)], kind: Kind) -> Cell {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let series = label_key(labels);
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind, kind,
+            "metric {name} already registered as a {}",
+            family.kind.name()
+        );
+        let cell = family.series.entry(series).or_insert_with(|| match kind {
+            Kind::Counter => Cell::Counter(Arc::new(AtomicU64::new(0))),
+            Kind::Gauge => Cell::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))),
+            Kind::Histogram => Cell::Histogram(Arc::new(HistCore::new())),
+        });
+        match cell {
+            Cell::Counter(a) => Cell::Counter(Arc::clone(a)),
+            Cell::Gauge(a) => Cell::Gauge(Arc::clone(a)),
+            Cell::Histogram(h) => Cell::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// Renders the Prometheus text exposition format (`# HELP`/`# TYPE`
+    /// headers; histograms as cumulative `_bucket{le=…}` series plus
+    /// `_sum`/`_count`; only non-empty buckets are emitted, `+Inf`
+    /// always).
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.name());
+            for (series, cell) in &family.series {
+                match cell {
+                    Cell::Counter(a) => {
+                        let _ = writeln!(out, "{name}{series} {}", a.load(Ordering::Relaxed));
+                    }
+                    Cell::Gauge(a) => {
+                        let v = f64::from_bits(a.load(Ordering::Relaxed));
+                        let _ = writeln!(out, "{name}{series} {}", fmt_f64(v));
+                    }
+                    Cell::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for b in 0..BUCKETS {
+                            if snap.buckets[b] == 0 {
+                                continue;
+                            }
+                            cum += snap.buckets[b];
+                            let labels =
+                                with_label(series, "le", &bucket_upper(b).to_string());
+                            let _ = writeln!(out, "{name}_bucket{labels} {cum}");
+                        }
+                        let labels = with_label(series, "le", "+Inf");
+                        let _ = writeln!(out, "{name}_bucket{labels} {cum}");
+                        let _ = writeln!(out, "{name}_sum{series} {}", snap.sum);
+                        let _ = writeln!(out, "{name}_count{series} {cum}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the human snapshot: one line per series, histograms as
+    /// `count/mean/p50/p99/p999`.
+    pub fn render_text(&self) -> String {
+        let families = self.families.lock().expect("registry poisoned");
+        let mut out = String::from("# avmem metrics snapshot\n");
+        for (name, family) in families.iter() {
+            for (series, cell) in &family.series {
+                match cell {
+                    Cell::Counter(a) => {
+                        let _ = writeln!(
+                            out,
+                            "counter {name}{series} {}",
+                            a.load(Ordering::Relaxed)
+                        );
+                    }
+                    Cell::Gauge(a) => {
+                        let v = f64::from_bits(a.load(Ordering::Relaxed));
+                        let _ = writeln!(out, "gauge {name}{series} {}", fmt_f64(v));
+                    }
+                    Cell::Histogram(h) => {
+                        let s = h.snapshot();
+                        let _ = writeln!(
+                            out,
+                            "histogram {name}{series} count={} mean={} p50={} p99={} p999={}",
+                            s.count(),
+                            fmt_f64(s.mean()),
+                            s.p50(),
+                            s.p99(),
+                            s.p999()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells() {
+        let r = Registry::new();
+        let a = r.counter("ops_total", "ops", &[("kind", "anycast")]);
+        let b = r.counter("ops_total", "ops", &[("kind", "anycast")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        // Label order does not create a new series.
+        let c = r.counter("multi", "m", &[("b", "2"), ("a", "1")]);
+        let d = r.counter("multi", "m", &[("a", "1"), ("b", "2")]);
+        c.inc();
+        assert_eq!(d.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x_total", "x", &[]);
+        let _ = r.gauge("x_total", "x", &[]);
+    }
+
+    #[test]
+    fn golden_prometheus_rendering() {
+        let r = Registry::new();
+        r.counter("avmem_ops_total", "Operations ingested.", &[("kind", "anycast")])
+            .add(12);
+        r.gauge("avmem_lag_ms", "Wall-clock lag.", &[]).set(1.5);
+        let h = r.histogram("avmem_op_latency_ms", "Op latency.", &[]);
+        h.record_n(3, 2); // bucket 2 (le 3)
+        h.record(100); // bucket 7 (le 127)
+        let got = r.render_prometheus();
+        let want = "\
+# HELP avmem_lag_ms Wall-clock lag.
+# TYPE avmem_lag_ms gauge
+avmem_lag_ms 1.5
+# HELP avmem_op_latency_ms Op latency.
+# TYPE avmem_op_latency_ms histogram
+avmem_op_latency_ms_bucket{le=\"3\"} 2
+avmem_op_latency_ms_bucket{le=\"127\"} 3
+avmem_op_latency_ms_bucket{le=\"+Inf\"} 3
+avmem_op_latency_ms_sum 106
+avmem_op_latency_ms_count 3
+# HELP avmem_ops_total Operations ingested.
+# TYPE avmem_ops_total counter
+avmem_ops_total{kind=\"anycast\"} 12
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn golden_text_rendering() {
+        let r = Registry::new();
+        r.counter("avmem_cohorts_total", "Cohorts.", &[]).add(42);
+        r.gauge("avmem_online", "Online nodes.", &[]).set(800.0);
+        let h = r.histogram("avmem_op_latency_ms", "Op latency.", &[("kind", "anycast")]);
+        h.record_n(100, 10);
+        let got = r.render_text();
+        let want = "\
+# avmem metrics snapshot
+counter avmem_cohorts_total 42
+gauge avmem_online 800
+histogram avmem_op_latency_ms{kind=\"anycast\"} count=10 mean=100 p50=127 p99=127 p999=127
+";
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,186 @@
+//! A tiny blocking-TCP metrics endpoint (std-only).
+//!
+//! [`MetricsServer::bind`] spawns one background thread running a
+//! nonblocking `accept` loop; each connection gets a minimal HTTP/1.0
+//! response rendered from the shared registry:
+//!
+//! * `GET /metrics` — Prometheus text exposition format;
+//! * `GET /` (or `/text`) — the human snapshot;
+//! * anything else — 404.
+//!
+//! There is deliberately no connection pooling, keep-alive, or TLS: the
+//! endpoint exists so a scrape loop (or a human with `curl`) can watch a
+//! long `scenario serve` run, and one short-lived connection per scrape
+//! is exactly the Prometheus model. [`scrape`] is the matching client,
+//! used by the CI smoke and the integration tests.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// Poll interval of the nonblocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// Per-connection read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The background exporter endpoint; shuts down (and joins its thread)
+/// on drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`; port 0 picks an ephemeral
+    /// port — read it back with [`MetricsServer::local_addr`]) and starts
+    /// serving `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O errors.
+    pub fn bind(registry: Arc<Registry>, addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("avmem-metrics".into())
+            .spawn(move || loop {
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => serve_conn(stream, &registry),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => thread::sleep(ACCEPT_POLL),
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread; idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_conn(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    // Read the request head (we only care about the request line).
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, body) = match path {
+        "/metrics" => ("200 OK", registry.render_prometheus()),
+        "/" | "/text" => ("200 OK", registry.render_text()),
+        _ => ("404 Not Found", String::from("not found\n")),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Fetches `path` from a [`MetricsServer`] and returns the response body
+/// (the client half of the endpoint, used by tests and the CI smoke).
+///
+/// # Errors
+///
+/// Propagates connect/read errors; a non-200 status is surfaced as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn scrape<A: ToSocketAddrs>(addr: A, path: &str) -> std::io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let request = format!("GET {path} HTTP/1.0\r\nHost: avmem\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response")
+    })?;
+    if !head.starts_with("HTTP/1.0 200") && !head.starts_with("HTTP/1.1 200") {
+        let status = head.lines().next().unwrap_or("").to_string();
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, status));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_both_exporters_and_404() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("avmem_test_total", "Test.", &[]).add(7);
+        let server = MetricsServer::bind(Arc::clone(&registry), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let prom = scrape(addr, "/metrics").unwrap();
+        assert!(prom.contains("# TYPE avmem_test_total counter"));
+        assert!(prom.contains("avmem_test_total 7"));
+        let text = scrape(addr, "/").unwrap();
+        assert!(text.starts_with("# avmem metrics snapshot"));
+        assert!(scrape(addr, "/nope").is_err());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let registry = Arc::new(Registry::new());
+        let mut server = MetricsServer::bind(registry, "127.0.0.1:0").unwrap();
+        server.shutdown();
+        server.shutdown();
+    }
+}

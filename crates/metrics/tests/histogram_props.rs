@@ -1,0 +1,82 @@
+//! Property tests for the log-scale histogram: quantile ordering, the
+//! 2× bucket bound, and merge invariants.
+
+use avmem_metrics::histogram::{bucket_of, bucket_upper};
+use avmem_metrics::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::detached();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Exact `q`-quantile of raw values by the same rank rule the histogram
+/// uses (rank ⌈q·n⌉, 1-based).
+fn exact_quantile(values: &mut [u64], q: f64) -> u64 {
+    values.sort_unstable();
+    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    values[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let s = snapshot_of(&values);
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(s.quantile(w[0]) <= s.quantile(w[1]));
+        }
+    }
+
+    #[test]
+    fn quantile_brackets_the_exact_value(
+        mut values in proptest::collection::vec(0u64..1_000_000, 1..200),
+        q in 0.01f64..1.0,
+    ) {
+        let s = snapshot_of(&values);
+        let approx = s.quantile(q);
+        let exact = exact_quantile(&mut values, q);
+        // The reported value is the upper bound of the exact value's
+        // bucket: never below the exact value, at most one power of two
+        // above it.
+        prop_assert!(approx >= exact, "approx {approx} < exact {exact}");
+        prop_assert_eq!(approx, bucket_upper(bucket_of(exact)));
+    }
+
+    #[test]
+    fn merge_matches_recording_the_union(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(merged, snapshot_of(&union));
+    }
+
+    #[test]
+    fn merged_quantile_lies_between_component_quantiles(
+        a in proptest::collection::vec(0u64..1_000_000, 1..100),
+        b in proptest::collection::vec(0u64..1_000_000, 1..100),
+        q in 0.01f64..1.0,
+    ) {
+        let sa = snapshot_of(&a);
+        let sb = snapshot_of(&b);
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        let (lo, hi) = (sa.quantile(q).min(sb.quantile(q)), sa.quantile(q).max(sb.quantile(q)));
+        let m = merged.quantile(q);
+        prop_assert!(m >= lo && m <= hi, "merged q{q} = {m} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn count_and_sum_are_exact(values in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let s = snapshot_of(&values);
+        prop_assert_eq!(s.count(), values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+    }
+}

@@ -1,4 +1,5 @@
-//! The `scenario` CLI: list, inspect, check, and run scenarios.
+//! The `scenario` CLI: list, inspect, check, run, serve, and sweep
+//! scenarios.
 //!
 //! ```text
 //! scenario list                      # built-in scenarios
@@ -6,18 +7,26 @@
 //! scenario check my-experiment.scn   # parse + validate a spec file
 //! scenario run overnet-day           # run a built-in
 //! scenario run my-experiment.scn --seed 9 --engine serial --json
+//! scenario serve serve-100k --metrics-addr 127.0.0.1:9464
+//! scenario sweep smoke --seeds 1..8 --engines serial,sharded
 //! ```
 //!
-//! `run` and `check` resolve their argument as a built-in name first,
-//! then as a file path. Run overrides: `--seed N`,
-//! `--engine serial|sharded`, `--shards S` (0 = one per worker),
-//! `--threads K` (0 = all cores), `--warmup-mins N` / `--duration-mins N`
-//! (truncated CI smokes of big scenarios), `--json` for machine-readable
-//! output.
+//! `run`, `serve`, `sweep`, and `check` resolve their argument as a
+//! built-in name first, then as a file path. Shared overrides:
+//! `--seed N`, `--engine serial|sharded`, `--shards S` (0 = one per
+//! worker), `--threads K` (0 = all cores), `--warmup-mins N` /
+//! `--duration-mins N` (truncated CI smokes of big scenarios), `--json`
+//! for machine-readable output. `serve` adds the service-mode knobs
+//! (rate, pacing, lag budget, metrics endpoint); `sweep` runs an
+//! inclusive seed range and aggregates headline metrics.
 
 use std::process::ExitCode;
 
-use avmem_scenario::{builtin, parse_spec, EngineSpec, ScenarioRunner, ScenarioSpec};
+use avmem::harness::MaintenanceEngine;
+use avmem_scenario::{
+    builtin, parse_spec, EngineSpec, ScenarioRunner, ScenarioSpec, ServeOptions, SweepEngine,
+    SweepOptions,
+};
 
 fn usage() -> &'static str {
     "usage: scenario <command>\n\
@@ -27,15 +36,31 @@ fn usage() -> &'static str {
      \x20 show <name>                 print a built-in scenario's spec text\n\
      \x20 check <name|file>           parse and validate a built-in or spec file\n\
      \x20 run <name|file> [options]   run a scenario and print its report\n\
+     \x20 serve <name|file> [options] run as a sustained-traffic service with live metrics\n\
+     \x20 sweep <name|file> [options] run a seed sweep and aggregate headline metrics\n\
      \n\
-     run options:\n\
+     run/serve/sweep options:\n\
      \x20 --seed <n>                  override the spec's seed\n\
      \x20 --engine serial|sharded     override the maintenance engine\n\
      \x20 --shards <s>                shard count for --engine sharded (0 = one per worker)\n\
      \x20 --threads <k>               worker threads for --engine sharded (0 = all cores)\n\
      \x20 --warmup-mins <n>           override the spec's warmup length\n\
      \x20 --duration-mins <n>         override the spec's measured duration\n\
-     \x20 --json                      print the report as JSON\n"
+     \x20 --json                      print the report as JSON\n\
+     \n\
+     serve options:\n\
+     \x20 --for-mins <n>              serve only the first n minutes of the window\n\
+     \x20 --ops-per-day <r>           sustained rate in operations per simulated day\n\
+     \x20 --pace <p>                  simulated seconds per wall second (0 = unpaced)\n\
+     \x20 --lag-budget-ms <n>         shed operations when lag exceeds this budget\n\
+     \x20 --metrics-addr <host:port>  expose /metrics on this address (port 0 = ephemeral)\n\
+     \x20 --snapshot-secs <n>         heartbeat every n wall seconds (0 = silent)\n\
+     \x20 --max-wall-secs <n>         hard wall-clock cap for the serve loop\n\
+     \x20 --scrape-once               print a final Prometheus scrape on exit\n\
+     \n\
+     sweep options:\n\
+     \x20 --seeds <a..b>              inclusive seed range (or a single seed)\n\
+     \x20 --engines <e1,e2,...>       engines to cross-check (serial, sharded)\n"
 }
 
 fn main() -> ExitCode {
@@ -57,6 +82,14 @@ fn main() -> ExitCode {
         Some("run") => match args.get(1) {
             Some(which) => run(which, &args[2..]),
             None => fail("run needs a scenario name or spec file"),
+        },
+        Some("serve") => match args.get(1) {
+            Some(which) => serve(which, &args[2..]),
+            None => fail("serve needs a scenario name or spec file"),
+        },
+        Some("sweep") => match args.get(1) {
+            Some(which) => sweep(which, &args[2..]),
+            None => fail("sweep needs a scenario name or spec file"),
         },
         Some("--help") | Some("-h") | None => {
             print!("{}", usage());
@@ -130,68 +163,100 @@ fn load_file(path: &str) -> Result<ScenarioSpec, String> {
     Ok(spec)
 }
 
+/// Overrides shared by `run`, `serve`, and `sweep`.
+#[derive(Default)]
+struct Common {
+    engine: Option<&'static str>,
+    shards: Option<usize>,
+    threads: Option<usize>,
+    json: bool,
+}
+
+impl Common {
+    /// Tries to consume `option` (and its value from `iter`) as a common
+    /// override. `Ok(true)` = consumed, `Ok(false)` = not a common
+    /// option, `Err` = recognized but malformed.
+    fn consume(
+        &mut self,
+        spec: &mut ScenarioSpec,
+        option: &str,
+        iter: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        match option {
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => spec.seed = seed,
+                None => return Err("--seed needs an integer".into()),
+            },
+            // "parallel" is the pre-sharding spelling, kept as an alias.
+            "--engine" => match iter.next().map(String::as_str) {
+                Some("serial") => self.engine = Some("serial"),
+                Some("sharded" | "parallel") => self.engine = Some("sharded"),
+                _ => return Err("--engine needs `serial` or `sharded`".into()),
+            },
+            "--shards" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(s) => self.shards = Some(s),
+                None => return Err("--shards needs an integer".into()),
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(k) => self.threads = Some(k),
+                None => return Err("--threads needs an integer".into()),
+            },
+            "--warmup-mins" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(mins) => spec.warmup_mins = mins,
+                None => return Err("--warmup-mins needs an integer".into()),
+            },
+            "--duration-mins" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(mins) => spec.duration_mins = mins,
+                None => return Err("--duration-mins needs an integer".into()),
+            },
+            "--json" => self.json = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Applies the engine override to the spec.
+    fn apply_engine(&self, spec: &mut ScenarioSpec) {
+        match self.engine {
+            Some("serial") => spec.maintenance.engine = EngineSpec::Serial,
+            Some(_) => {
+                spec.maintenance.engine = EngineSpec::Sharded {
+                    shards: self.shards.unwrap_or(0),
+                    threads: self.threads.unwrap_or(0),
+                }
+            }
+            None => {
+                // Bare --shards/--threads refine an already-sharded spec.
+                if let EngineSpec::Sharded { shards: s, threads: t } = spec.maintenance.engine {
+                    if self.shards.is_some() || self.threads.is_some() {
+                        spec.maintenance.engine = EngineSpec::Sharded {
+                            shards: self.shards.unwrap_or(s),
+                            threads: self.threads.unwrap_or(t),
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn run(which: &str, options: &[String]) -> ExitCode {
     let mut spec = match resolve(which) {
         Ok(spec) => spec,
         Err(message) => return fail(&message),
     };
 
-    let mut engine: Option<&str> = None;
-    let mut shards: Option<usize> = None;
-    let mut threads: Option<usize> = None;
-    let mut json = false;
+    let mut common = Common::default();
     let mut iter = options.iter();
     while let Some(option) = iter.next() {
-        match option.as_str() {
-            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(seed) => spec.seed = seed,
-                None => return fail("--seed needs an integer"),
-            },
-            // "parallel" is the pre-sharding spelling, kept as an alias.
-            "--engine" => match iter.next().map(String::as_str) {
-                Some(name @ ("serial" | "sharded" | "parallel")) => engine = Some(name),
-                _ => return fail("--engine needs `serial` or `sharded`"),
-            },
-            "--shards" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(s) => shards = Some(s),
-                None => return fail("--shards needs an integer"),
-            },
-            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(k) => threads = Some(k),
-                None => return fail("--threads needs an integer"),
-            },
-            "--warmup-mins" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(mins) => spec.warmup_mins = mins,
-                None => return fail("--warmup-mins needs an integer"),
-            },
-            "--duration-mins" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(mins) => spec.duration_mins = mins,
-                None => return fail("--duration-mins needs an integer"),
-            },
-            "--json" => json = true,
-            other => return fail(&format!("unknown run option {other:?}")),
+        match common.consume(&mut spec, option, &mut iter) {
+            Ok(true) => {}
+            Ok(false) => return fail(&format!("unknown run option {option:?}")),
+            Err(message) => return fail(&message),
         }
     }
-    match engine {
-        Some("serial") => spec.maintenance.engine = EngineSpec::Serial,
-        Some("sharded" | "parallel") => {
-            spec.maintenance.engine = EngineSpec::Sharded {
-                shards: shards.unwrap_or(0),
-                threads: threads.unwrap_or(0),
-            }
-        }
-        _ => {
-            // Bare --shards/--threads refine an already-sharded spec.
-            if let EngineSpec::Sharded { shards: s, threads: t } = spec.maintenance.engine {
-                if shards.is_some() || threads.is_some() {
-                    spec.maintenance.engine = EngineSpec::Sharded {
-                        shards: shards.unwrap_or(s),
-                        threads: threads.unwrap_or(t),
-                    };
-                }
-            }
-        }
-    }
+    common.apply_engine(&mut spec);
+    let json = common.json;
 
     let runner = match ScenarioRunner::new(spec) {
         Ok(runner) => runner,
@@ -211,6 +276,196 @@ fn run(which: &str, options: &[String]) -> ExitCode {
                 print!("{}", report.render_text());
             }
             ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+fn serve(which: &str, options: &[String]) -> ExitCode {
+    let mut spec = match resolve(which) {
+        Ok(spec) => spec,
+        Err(message) => return fail(&message),
+    };
+
+    let mut common = Common::default();
+    let mut opts = ServeOptions {
+        snapshot_every_secs: 10,
+        ..ServeOptions::default()
+    };
+    let mut iter = options.iter();
+    while let Some(option) = iter.next() {
+        match common.consume(&mut spec, option, &mut iter) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(message) => return fail(&message),
+        }
+        match option.as_str() {
+            "--for-mins" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(mins) => opts.for_mins = Some(mins),
+                None => return fail("--for-mins needs an integer"),
+            },
+            "--ops-per-day" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(rate) => opts.ops_per_day = Some(rate),
+                None => return fail("--ops-per-day needs a number"),
+            },
+            "--pace" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(pace) => opts.pace = Some(pace),
+                None => return fail("--pace needs a number"),
+            },
+            "--lag-budget-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => opts.lag_budget_ms = Some(ms),
+                None => return fail("--lag-budget-ms needs an integer"),
+            },
+            "--metrics-addr" => match iter.next() {
+                Some(addr) => opts.metrics_addr = Some(addr.clone()),
+                None => return fail("--metrics-addr needs a host:port"),
+            },
+            "--snapshot-secs" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(secs) => opts.snapshot_every_secs = secs,
+                None => return fail("--snapshot-secs needs an integer"),
+            },
+            "--max-wall-secs" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(secs) => opts.max_wall_secs = Some(secs),
+                None => return fail("--max-wall-secs needs an integer"),
+            },
+            "--scrape-once" => opts.scrape_on_exit = true,
+            other => return fail(&format!("unknown serve option {other:?}")),
+        }
+    }
+    common.apply_engine(&mut spec);
+    if common.json {
+        opts.snapshot_every_secs = 0;
+    }
+
+    let runner = match ScenarioRunner::new(spec) {
+        Ok(runner) => runner,
+        Err(e) => return fail(&e.to_string()),
+    };
+    if !common.json {
+        eprintln!(
+            "serving scenario {:?} (seed {}) ...",
+            runner.spec().name, runner.spec().seed
+        );
+    }
+    match runner.serve(&opts) {
+        Ok(outcome) => {
+            if common.json {
+                println!(
+                    "{{\"wall_secs\":{:.3},\"sim_mins\":{},\"ops_handled\":{},\
+                     \"ops_per_sim_day\":{:.1},\"report\":{}}}",
+                    outcome.wall_secs,
+                    outcome.sim_mins,
+                    outcome.ops_handled,
+                    outcome.ops_per_sim_day,
+                    outcome.report.render_json()
+                );
+            } else {
+                println!(
+                    "served {} sim-min in {:.1}s wall: {} arrivals handled \
+                     ({:.0} ops per simulated day)",
+                    outcome.sim_mins,
+                    outcome.wall_secs,
+                    outcome.ops_handled,
+                    outcome.ops_per_sim_day
+                );
+                print!("{}", outcome.report.render_text());
+                if let Some(text) = &outcome.metrics_text {
+                    println!("--- final metrics scrape ---");
+                    print!("{text}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+/// Parses `a..b` / `a..=b` (inclusive either way) or a single seed.
+fn parse_seed_range(text: &str) -> Option<(u64, u64)> {
+    if let Some((lo, hi)) = text.split_once("..") {
+        let hi = hi.strip_prefix('=').unwrap_or(hi);
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    } else {
+        let seed = text.trim().parse().ok()?;
+        Some((seed, seed))
+    }
+}
+
+fn sweep(which: &str, options: &[String]) -> ExitCode {
+    let mut spec = match resolve(which) {
+        Ok(spec) => spec,
+        Err(message) => return fail(&message),
+    };
+
+    let mut common = Common::default();
+    let mut seeds: Option<(u64, u64)> = None;
+    let mut engines: Vec<SweepEngine> = Vec::new();
+    let mut iter = options.iter();
+    while let Some(option) = iter.next() {
+        match common.consume(&mut spec, option, &mut iter) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(message) => return fail(&message),
+        }
+        match option.as_str() {
+            "--seeds" => match iter.next().and_then(|v| parse_seed_range(v)) {
+                Some(range) if range.0 <= range.1 => seeds = Some(range),
+                _ => return fail("--seeds needs `a..b` with a <= b (or a single seed)"),
+            },
+            "--engines" => match iter.next() {
+                Some(list) => {
+                    for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                        let engine = match name {
+                            "serial" => MaintenanceEngine::Serial,
+                            "sharded" | "parallel" => MaintenanceEngine::Sharded {
+                                shards: None,
+                                threads: None,
+                            },
+                            other => {
+                                return fail(&format!(
+                                    "unknown engine {other:?} (serial, sharded)"
+                                ))
+                            }
+                        };
+                        engines.push(SweepEngine {
+                            label: name.to_string(),
+                            engine: Some(engine),
+                        });
+                    }
+                }
+                None => return fail("--engines needs a comma-separated list"),
+            },
+            other => return fail(&format!("unknown sweep option {other:?}")),
+        }
+    }
+    common.apply_engine(&mut spec);
+    let Some(seeds) = seeds else {
+        return fail("sweep needs --seeds <a..b>");
+    };
+
+    let runner = match ScenarioRunner::new(spec) {
+        Ok(runner) => runner,
+        Err(e) => return fail(&e.to_string()),
+    };
+    if !common.json {
+        eprintln!(
+            "sweeping scenario {:?} over seeds {}..={} ...",
+            runner.spec().name, seeds.0, seeds.1
+        );
+    }
+    match runner.sweep(&SweepOptions { seeds, engines }) {
+        Ok(summary) => {
+            if common.json {
+                println!("{}", summary.render_json());
+            } else {
+                print!("{}", summary.render_text());
+            }
+            if summary.mismatches.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                // Engine divergence is a broken determinism contract.
+                ExitCode::FAILURE
+            }
         }
         Err(e) => fail(&e.to_string()),
     }

@@ -364,6 +364,55 @@ hi = 0.95
 "#,
     },
     Builtin {
+        name: "serve-100k",
+        blurb: "service-mode yardstick: 100,000 hosts at one million ops per simulated day",
+        source: r#"
+name = "serve-100k"
+seed = 29
+warmup_mins = 10
+duration_mins = 20
+health_every_mins = 10
+
+[churn]
+model = "overnet"
+hosts = 100000
+days = 1
+
+[oracle]
+kind = "avmon"
+assignment = "ring"
+vnodes = 8
+monitors = 8
+
+[maintenance]
+mode = "event-driven"
+protocol_secs = 60
+refresh_mins = 20
+engine = "sharded"
+
+[workload]
+ops_per_hour = 41666.0
+anycast_fraction = 0.9
+policy = "retried-greedy"
+retries = 8
+scope = "both"
+ttl = 6
+initiators = "any"
+multicast = "flood"
+
+[[target]]
+weight = 1.0
+kind = "range"
+lo = 0.85
+hi = 0.95
+
+[serve]
+ops_per_day = 1000000.0
+pace = 0.0
+lag_budget_ms = 2000
+"#,
+    },
+    Builtin {
         name: "stress-1m",
         blurb: "1,000,000-host frontier: ring-AVMON monitoring, live maintenance and operations at 10^6 scale",
         source: r#"

@@ -23,9 +23,15 @@
 //!   maintenance engines and thread counts;
 //! * [`report`] — per-operation aggregates, per-interval overlay health,
 //!   and the attack acceptance series, with text and JSON rendering;
+//! * [`serve`] — the sustained-traffic service mode: the same event
+//!   loop paced against wall clock, exporting live metrics through
+//!   [`avmem_metrics`] and shedding operations (never maintenance) when
+//!   the simulation falls behind its lag budget;
+//! * [`sweep`] — seed sweeps with optional cross-engine bit-identity
+//!   checks, aggregated to min/median/max headline metrics;
 //! * [`builtin`] — a library of named, paper-anchored scenarios
 //!   (`overnet-day`, `grid-reboot`, `flash-crowd`, `mass-departure`,
-//!   `selfish-mix`, `stress-10k`, `smoke`).
+//!   `selfish-mix`, `stress-10k`, `smoke`, `serve-100k`).
 //!
 //! # Examples
 //!
@@ -43,13 +49,19 @@ pub mod builtin;
 pub mod parse;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod spec;
+pub mod sweep;
 
 pub use parse::{parse_spec, ParseError};
-pub use report::{AnycastStats, AttackStats, HealthSample, MulticastStats, ScenarioReport};
-pub use runner::ScenarioRunner;
+pub use report::{
+    AnycastStats, AttackStats, EstimatorAccuracy, HealthSample, MulticastStats, ScenarioReport,
+};
+pub use runner::{RunSession, ScenarioRunner};
+pub use serve::{ServeOptions, ServeOutcome};
 pub use spec::{
     AdversarySpec, AssignmentSpec, BandSpec, ChurnSpec, EngineSpec, MaintenanceModeSpec,
     MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ScenarioError,
-    ScenarioSpec, ScopeSpec, TargetMix, TargetSpec, WorkloadSpec,
+    ScenarioSpec, ScopeSpec, ServeSpec, TargetMix, TargetSpec, WorkloadSpec,
 };
+pub use sweep::{SweepEngine, SweepMetric, SweepOptions, SweepSummary};

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use crate::spec::{
     AdversarySpec, AssignmentSpec, BandSpec, ChurnSpec, EngineSpec, MaintenanceModeSpec,
     MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ScenarioSpec,
-    ScopeSpec, TargetMix, TargetSpec, WorkloadSpec,
+    ScopeSpec, ServeSpec, TargetMix, TargetSpec, WorkloadSpec,
 };
 
 /// A parse failure, located at a 1-based source line.
@@ -122,13 +122,14 @@ fn split_raw(input: &str) -> Result<RawDoc, ParseError> {
                 return Err(ParseError::new(lineno, format!("unterminated [...]: {line:?}")));
             };
             let name = name.trim().to_string();
-            const KNOWN: [&str; 6] = [
+            const KNOWN: [&str; 7] = [
                 "churn",
                 "predicate",
                 "oracle",
                 "maintenance",
                 "workload",
                 "adversary",
+                "serve",
             ];
             if !KNOWN.contains(&name.as_str()) {
                 return Err(ParseError::new(lineno, format!("unknown section [{name}]")));
@@ -713,6 +714,24 @@ pub fn parse_spec(input: &str) -> Result<ScenarioSpec, ParseError> {
         }
     };
 
+    let serve = match doc.sections.get("serve") {
+        None => None,
+        Some(raw) => {
+            let mut section = Section::new("serve", raw);
+            let ops_per_day = match section.raw_value("ops_per_day") {
+                None => None,
+                Some(value) => Some(section.f64_of(value, "ops_per_day")?),
+            };
+            let spec = ServeSpec {
+                ops_per_day,
+                pace: section.f64_or("pace", 0.0)?,
+                lag_budget_ms: section.u64_or("lag_budget_ms", 2_000)?,
+            };
+            section.finish()?;
+            Some(spec)
+        }
+    };
+
     Ok(ScenarioSpec {
         name,
         seed,
@@ -734,6 +753,7 @@ pub fn parse_spec(input: &str) -> Result<ScenarioSpec, ParseError> {
             targets,
         },
         adversary,
+        serve,
     })
 }
 
@@ -912,6 +932,14 @@ impl ScenarioSpec {
             writeln!(w, "flooder_fraction = {:?}", adv.flooder_fraction).unwrap();
             writeln!(w, "cushion = {:?}", adv.cushion).unwrap();
             writeln!(w, "probes = {}", adv.probes).unwrap();
+        }
+        if let Some(serve) = &self.serve {
+            writeln!(w, "\n[serve]").unwrap();
+            if let Some(rate) = serve.ops_per_day {
+                writeln!(w, "ops_per_day = {rate:?}").unwrap();
+            }
+            writeln!(w, "pace = {:?}", serve.pace).unwrap();
+            writeln!(w, "lag_budget_ms = {}", serve.lag_budget_ms).unwrap();
         }
         out
     }

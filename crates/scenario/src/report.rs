@@ -142,6 +142,43 @@ impl AttackStats {
     }
 }
 
+/// Sampled accuracy of the configured availability estimator: at every
+/// health boundary the runner draws a fixed number of (querier, target)
+/// pairs from a dedicated keyed stream and accumulates the absolute error
+/// of the oracle's estimate against the trace's long-term availability.
+/// Deterministic (engine- and thread-independent), so it participates in
+/// report equality — and lets a sweep compare strategies (e.g. AVMON ring
+/// vs all-pairs) on equal arrivals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EstimatorAccuracy {
+    /// Label of the estimation strategy (`exact`, `noisy`, `avmon-ring`,
+    /// `avmon-all-pairs`, …).
+    pub strategy: String,
+    /// Sum of `|estimate − truth|` over answered samples.
+    pub abs_error_sum: f64,
+    /// Samples the oracle answered (unanswered queries are not errors:
+    /// AVMON simply has no estimate before the first ping lands).
+    pub answered: u64,
+    /// Samples drawn in total.
+    pub drawn: u64,
+}
+
+impl EstimatorAccuracy {
+    /// Mean absolute error over answered samples (`0.0` when none).
+    pub fn mae(&self) -> f64 {
+        if self.answered == 0 {
+            0.0
+        } else {
+            self.abs_error_sum / self.answered as f64
+        }
+    }
+
+    /// Fraction of drawn samples the oracle could answer.
+    pub fn coverage(&self) -> f64 {
+        ratio(self.answered, self.drawn)
+    }
+}
+
 /// One overlay-health sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthSample {
@@ -188,6 +225,12 @@ pub struct ScenarioReport {
     pub health: Vec<HealthSample>,
     /// Operations skipped because no eligible initiator was online.
     pub skipped_ops: u64,
+    /// Operations dropped by serve-mode admission control (always `0`
+    /// for `run` and for unpaced serve, which keeps fixed-duration serve
+    /// bit-identical to run).
+    pub admission_drops: u64,
+    /// Sampled estimator accuracy; see [`EstimatorAccuracy`].
+    pub estimator: EstimatorAccuracy,
     /// Maintenance phase wall-clock totals (oracle / propose / commit /
     /// finalize) accumulated over the whole run. Excluded from `==`.
     pub timings: avmem::PhaseTimings,
@@ -212,6 +255,8 @@ impl PartialEq for ScenarioReport {
             && self.attack == other.attack
             && self.health == other.health
             && self.skipped_ops == other.skipped_ops
+            && self.admission_drops == other.admission_drops
+            && self.estimator == other.estimator
     }
 }
 
@@ -333,6 +378,23 @@ impl ScenarioReport {
         if self.skipped_ops > 0 {
             writeln!(w, "skipped operations (no eligible initiator): {}", self.skipped_ops)
                 .unwrap();
+        }
+        if self.admission_drops > 0 {
+            writeln!(w, "admission drops (serve backpressure): {}", self.admission_drops)
+                .unwrap();
+        }
+        let e = &self.estimator;
+        if e.drawn > 0 {
+            writeln!(
+                w,
+                "estimator {:?}: MAE {:.4} over {} answered of {} sampled ({:.1}% coverage)",
+                e.strategy,
+                e.mae(),
+                e.answered,
+                e.drawn,
+                100.0 * e.coverage()
+            )
+            .unwrap();
         }
         let t = &self.timings;
         if t.cohorts > 0 {
@@ -456,12 +518,26 @@ impl ScenarioReport {
             )
             .unwrap();
         }
+        let e = &self.estimator;
+        write!(
+            w,
+            "],\"skipped_ops\":{},\"admission_drops\":{},\
+             \"estimator\":{{\"strategy\":{:?},\"abs_error_sum\":{},\"answered\":{},\
+             \"drawn\":{},\"mae\":{}}}",
+            self.skipped_ops,
+            self.admission_drops,
+            e.strategy,
+            json_f64(e.abs_error_sum),
+            e.answered,
+            e.drawn,
+            json_f64(e.mae())
+        )
+        .unwrap();
         let t = &self.timings;
         write!(
             w,
-            "],\"skipped_ops\":{},\"timings\":{{\"cohorts\":{},\"oracle_secs\":{},\
+            ",\"timings\":{{\"cohorts\":{},\"oracle_secs\":{},\
              \"propose_secs\":{},\"commit_secs\":{},\"finalize_secs\":{}}}",
-            self.skipped_ops,
             t.cohorts,
             json_f64(t.oracle.as_secs_f64()),
             json_f64(t.propose.as_secs_f64()),
@@ -568,6 +644,13 @@ mod tests {
                 },
             ],
             skipped_ops: 1,
+            admission_drops: 0,
+            estimator: EstimatorAccuracy {
+                strategy: "exact".into(),
+                abs_error_sum: 5.12,
+                answered: 512,
+                drawn: 1024,
+            },
             timings: avmem::PhaseTimings {
                 oracle: std::time::Duration::from_millis(120),
                 propose: std::time::Duration::from_millis(40),
@@ -672,6 +755,38 @@ mod tests {
         quiet.finalize = avmem::FinalizeStats::default();
         assert!(!quiet.render_text().contains("finalize fast path"));
         assert!(quiet.render_json().contains("\"finalize\":{\"memo_hits\":0"));
+    }
+
+    #[test]
+    fn renderings_carry_estimator_accuracy_and_drops() {
+        let mut report = sample_report();
+        report.admission_drops = 7;
+        let text = report.render_text();
+        assert!(text.contains("estimator \"exact\": MAE 0.0100"), "{text}");
+        assert!(text.contains("50.0% coverage"), "{text}");
+        assert!(text.contains("admission drops (serve backpressure): 7"), "{text}");
+        let json = report.render_json();
+        assert!(json.contains("\"admission_drops\":7"), "{json}");
+        assert!(json.contains("\"estimator\":{\"strategy\":\"exact\""), "{json}");
+        assert!(json.contains("\"answered\":512"), "{json}");
+        // A run with no samples drops the text line but keeps the JSON
+        // object for a stable schema.
+        let mut quiet = sample_report();
+        quiet.estimator = EstimatorAccuracy::default();
+        assert!(!quiet.render_text().contains("estimator"));
+        assert!(!quiet.render_text().contains("admission drops"));
+        assert!(quiet.render_json().contains("\"estimator\":{\"strategy\":\"\""));
+    }
+
+    #[test]
+    fn estimator_accuracy_participates_in_equality() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.estimator.abs_error_sum += 0.5;
+        assert_ne!(a, b, "estimator accuracy is deterministic and compared");
+        let mut c = sample_report();
+        c.admission_drops = 3;
+        assert_ne!(a, c, "admission drops are compared");
     }
 
     #[test]

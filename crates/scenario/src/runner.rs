@@ -8,7 +8,11 @@
 //!    from counter-keyed RNG streams (`SplitMix64::keyed(&[seed, purpose,
 //!    op_index])`), so the schedule is a pure function of the spec and
 //!    seed, independent of maintenance engine, thread count, or drain
-//!    order;
+//!    order. The schedule is generated **lazily**: three monotonic
+//!    sources (health lattice, converged-rebuild lattice, Poisson
+//!    arrivals) are merged on the fly under the strict total order
+//!    `(at, order)`, so a multi-day serve never materializes its full
+//!    event list;
 //! 3. the run advances the harness clock operation by operation with
 //!    [`avmem::harness::AvmemSim::advance_to`] — event-driven maintenance
 //!    cohorts execute *between* operations, so each operation observes
@@ -18,19 +22,33 @@
 //! 4. anycasts/multicasts execute over a borrowed
 //!    [`avmem::ops::OverlayWorld`] view with per-operation keyed RNG and
 //!    latency streams, adversary arrivals probe receiver-side
-//!    verification, and health samples snapshot the overlay.
+//!    verification, and health samples snapshot the overlay — each
+//!    health boundary also draws a fixed batch of estimator-accuracy
+//!    samples (see [`EstimatorAccuracy`]).
+//!
+//! The single-shot [`ScenarioRunner::run`] is a thin loop over
+//! [`RunSession`], the resumable step-at-a-time form that `scenario
+//! serve` paces against wall-clock and instruments through a live
+//! [`avmem_metrics::Registry`]. A session with metrics attached produces
+//! a bit-identical report to one without: instrumentation only observes.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use avmem::harness::{AvmemSim, MaintenanceEngine};
 use avmem::ops::{run_anycast, run_multicast};
 use avmem::AdmissionPolicy;
 use avmem::AvailabilityTarget;
 use avmem::SliverScope;
+use avmem_avmon::AvailabilityOracle;
+use avmem_metrics::{Counter, Gauge, Histogram, Registry};
 use avmem_sim::{LatencyModel, Network, SimDuration, SimTime};
+use avmem_trace::ChurnTrace;
 use avmem_util::{NodeId, Rng, SplitMix64};
 
 use crate::report::{
-    AnycastStats, AttackStats, HealthSample, MulticastStats, ScenarioReport, DECILES,
-    HOPS_BUCKETS,
+    AnycastStats, AttackStats, EstimatorAccuracy, HealthSample, MulticastStats, ScenarioReport,
+    DECILES, HOPS_BUCKETS,
 };
 use crate::spec::{BandSpec, MaintenanceModeSpec, ScenarioError, ScenarioSpec};
 
@@ -44,6 +62,19 @@ const STREAM_INITIATOR: u64 = 0x5ce0_0003;
 const STREAM_OP: u64 = 0x5ce0_0004;
 const STREAM_NET: u64 = 0x5ce0_0005;
 const STREAM_PROBE: u64 = 0x5ce0_0006;
+/// Estimator-accuracy sampling; keyed by health-sample index, not op.
+const STREAM_MAE: u64 = 0x5ce0_0007;
+
+/// (querier, target) pairs drawn per health boundary for the estimator
+/// MAE series.
+const MAE_SAMPLES_PER_HEALTH: u64 = 512;
+
+/// Rejection-sampling tries before an initiator pick falls back to the
+/// exact eligible scan. With fraction `p` of the population eligible,
+/// the fallback fires with probability `(1-p)^64` — at Overnet's ~15%
+/// online that is ~3·10⁻⁵, so the amortized pick cost is O(1) instead
+/// of the O(N) population scan per operation.
+const PICK_TRIES: u32 = 64;
 
 /// What one scheduled arrival does.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,12 +84,14 @@ enum OpKind {
     FloodProbe,
 }
 
-/// One entry of the precomputed run timeline.
+/// One entry of the run timeline.
 #[derive(Debug, Clone, Copy)]
 struct TimelineEvent {
     at: SimTime,
     /// Tie order at equal instants: rebuilds first, then health samples,
-    /// then operations in index order.
+    /// then operations in index order. Carried on the event so tests can
+    /// pin the merge order; the execution loop only needs `what`.
+    #[cfg_attr(not(test), allow(dead_code))]
     order: (u8, u64),
     what: EventKind,
 }
@@ -67,14 +100,293 @@ struct TimelineEvent {
 enum EventKind {
     Rebuild,
     Health,
-    Op { index: u64, kind: OpKind },
+    Op { index: u64 },
+}
+
+/// Merge key of a timeline event: instant plus the tie order.
+type EventKey = (SimTime, (u8, u64));
+
+/// Which of the merged timeline sources produced a candidate event.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    Rebuild,
+    Health,
+    Arrival,
+}
+
+/// Lazy Poisson arrival source: exponential inter-arrival gaps, each
+/// drawn from its own keyed stream. Bit-identical to eagerly drawing the
+/// whole schedule up front — the accumulated `at_ms` float and the
+/// per-index streams do not depend on when the draws happen.
+#[derive(Debug, Clone)]
+struct ArrivalGen {
+    seed: u64,
+    mean_gap_ms: f64,
+    at_ms: f64,
+    end_ms: f64,
+    index: u64,
+    pending: Option<SimTime>,
+}
+
+impl ArrivalGen {
+    fn new(seed: u64, ops_per_hour: f64, warm_end: SimTime, end: SimTime) -> ArrivalGen {
+        let mut arrivals = ArrivalGen {
+            seed,
+            mean_gap_ms: 0.0,
+            at_ms: warm_end.as_millis() as f64,
+            end_ms: end.as_millis() as f64,
+            index: 0,
+            pending: None,
+        };
+        if ops_per_hour > 0.0 {
+            arrivals.mean_gap_ms = 3_600_000.0 / ops_per_hour;
+            arrivals.draw();
+        }
+        arrivals
+    }
+
+    /// Draws the arrival instant for `self.index`.
+    fn draw(&mut self) {
+        let mut gap_rng = SplitMix64::keyed(&[self.seed, STREAM_ARRIVAL, self.index]);
+        // u ∈ [0, 1) keeps ln(1 - u) finite.
+        let gap = -(1.0 - gap_rng.next_f64()).ln() * self.mean_gap_ms;
+        self.at_ms += gap.max(1.0);
+        self.pending =
+            (self.at_ms < self.end_ms).then(|| SimTime::from_millis(self.at_ms as u64));
+    }
+
+    fn peek(&self) -> Option<SimTime> {
+        self.pending
+    }
+
+    fn next_index(&self) -> u64 {
+        self.index
+    }
+
+    /// Consumes the pending arrival, returning its op index.
+    fn pop(&mut self) -> u64 {
+        debug_assert!(self.pending.is_some(), "pop without a pending arrival");
+        let index = self.index;
+        self.index += 1;
+        self.draw();
+        index
+    }
+}
+
+/// The merged, lazily generated run timeline; see the module docs. Every
+/// event key `(at, order)` is distinct across sources (the leading order
+/// byte is the source), so the three-way min-merge is a strict total
+/// order and yields exactly the sequence the old sort-the-whole-schedule
+/// path produced.
+#[derive(Debug, Clone)]
+struct Timeline {
+    end: SimTime,
+    health_at: SimTime,
+    health_step: SimDuration,
+    rebuild_at: Option<SimTime>,
+    rebuild_step: SimDuration,
+    arrivals: ArrivalGen,
+}
+
+impl Timeline {
+    fn new(spec: &ScenarioSpec, warm_end: SimTime, end: SimTime) -> Timeline {
+        // Converged-mode rebuild boundaries; event-driven mode has none
+        // (cohorts run inside `advance_to`).
+        let (rebuild_at, rebuild_step) =
+            if let MaintenanceModeSpec::Converged { rebuild_every_mins } = spec.maintenance.mode {
+                let step = SimDuration::from_mins(rebuild_every_mins);
+                let first = warm_end + step;
+                ((first < end).then_some(first), step)
+            } else {
+                (None, SimDuration::from_mins(1))
+            };
+        Timeline {
+            end,
+            // Health samples on the interval lattice, excluding the run
+            // end (the final sample is taken unconditionally by
+            // `RunSession::finish`).
+            health_at: warm_end,
+            health_step: SimDuration::from_mins(spec.health_every_mins),
+            rebuild_at,
+            rebuild_step,
+            arrivals: ArrivalGen::new(spec.seed, spec.workload.ops_per_hour, warm_end, end),
+        }
+    }
+
+    /// The next event's key and source, without consuming it.
+    fn peek(&self) -> Option<(EventKey, Source)> {
+        let rebuild = self.rebuild_at.map(|t| ((t, (0u8, 0u64)), Source::Rebuild));
+        let health = (self.health_at < self.end)
+            .then_some(((self.health_at, (1u8, 0u64)), Source::Health));
+        let arrival = self
+            .arrivals
+            .peek()
+            .map(|t| ((t, (2u8, self.arrivals.next_index())), Source::Arrival));
+        [rebuild, health, arrival]
+            .into_iter()
+            .flatten()
+            .min_by_key(|&(key, _)| key)
+    }
+
+    fn next(&mut self) -> Option<TimelineEvent> {
+        let ((at, order), source) = self.peek()?;
+        let what = match source {
+            Source::Rebuild => {
+                let next = at + self.rebuild_step;
+                self.rebuild_at = (next < self.end).then_some(next);
+                EventKind::Rebuild
+            }
+            Source::Health => {
+                self.health_at += self.health_step;
+                EventKind::Health
+            }
+            Source::Arrival => EventKind::Op {
+                index: self.arrivals.pop(),
+            },
+        };
+        Some(TimelineEvent { at, order, what })
+    }
+}
+
+/// Static per-band initiator lists (long-term availability is a property
+/// of the trace, not of time), built once when the spec restricts
+/// initiators to a band. `Any` needs no index — it rejection-samples the
+/// whole population.
+#[derive(Debug, Default)]
+struct BandIndex {
+    low: Vec<u32>,
+    mid: Vec<u32>,
+    high: Vec<u32>,
+}
+
+impl BandIndex {
+    fn build(trace: &ChurnTrace) -> BandIndex {
+        let mut bands = BandIndex::default();
+        for i in 0..trace.num_nodes() {
+            let av = trace.long_term_availability(i).value();
+            let list = if av < 1.0 / 3.0 {
+                &mut bands.low
+            } else if av < 2.0 / 3.0 {
+                &mut bands.mid
+            } else {
+                &mut bands.high
+            };
+            list.push(i as u32);
+        }
+        bands
+    }
+
+    fn list(&self, band: BandSpec) -> &[u32] {
+        match band {
+            BandSpec::Low => &self.low,
+            BandSpec::Mid => &self.mid,
+            BandSpec::High => &self.high,
+            BandSpec::Any => &[],
+        }
+    }
+}
+
+/// Live-op instrumentation handles; present only after
+/// [`RunSession::set_metrics`]. Observation only — none of these affect
+/// the report.
+#[derive(Debug)]
+struct ScenarioInstruments {
+    ops_anycast: Counter,
+    ops_multicast: Counter,
+    ops_probe: Counter,
+    delivered_anycast: Counter,
+    entered_multicast: Counter,
+    skipped: Counter,
+    dropped: Counter,
+    latency_ms: Histogram,
+    hops: Histogram,
+    exec_us: Histogram,
+    online: Gauge,
+    mean_degree: Gauge,
+    largest_component: Gauge,
+    backlog: Gauge,
+    mae: Gauge,
+}
+
+impl ScenarioInstruments {
+    fn new(registry: &Registry, strategy: &str) -> ScenarioInstruments {
+        let ops = |kind| registry.counter("avmem_ops_total", "Operations fired.", &[("kind", kind)]);
+        let delivered = |kind| {
+            registry.counter(
+                "avmem_ops_delivered_total",
+                "Anycasts delivered / multicasts that entered their range.",
+                &[("kind", kind)],
+            )
+        };
+        ScenarioInstruments {
+            ops_anycast: ops("anycast"),
+            ops_multicast: ops("multicast"),
+            ops_probe: ops("probe"),
+            delivered_anycast: delivered("anycast"),
+            entered_multicast: delivered("multicast"),
+            skipped: registry.counter(
+                "avmem_ops_skipped_total",
+                "Operations skipped: no eligible initiator online.",
+                &[],
+            ),
+            dropped: registry.counter(
+                "avmem_ops_dropped_total",
+                "Operations dropped by serve-mode admission control.",
+                &[],
+            ),
+            latency_ms: registry.histogram(
+                "avmem_op_latency_ms",
+                "End-to-end anycast latency (ms).",
+                &[],
+            ),
+            hops: registry.histogram("avmem_op_hops", "Hops per delivered anycast.", &[]),
+            exec_us: registry.histogram(
+                "avmem_op_exec_us",
+                "Wall-clock execution time per operation (µs).",
+                &[],
+            ),
+            online: registry.gauge(
+                "avmem_online",
+                "Online population at the last health sample.",
+                &[],
+            ),
+            mean_degree: registry.gauge(
+                "avmem_mean_degree",
+                "Mean overlay out-degree over online nodes.",
+                &[],
+            ),
+            largest_component: registry.gauge(
+                "avmem_largest_component",
+                "Largest-connected-component fraction of the online overlay.",
+                &[],
+            ),
+            backlog: registry.gauge(
+                "avmem_maintenance_backlog",
+                "Maintenance work items pending behind the clock.",
+                &[],
+            ),
+            mae: registry.gauge(
+                "avmem_estimator_mae",
+                "Sampled estimator mean absolute error.",
+                &[("strategy", strategy)],
+            ),
+        }
+    }
+
+    fn observe_health(&self, sample: &HealthSample, backlog: usize, mae: f64) {
+        self.online.set(sample.online as f64);
+        self.mean_degree.set(sample.mean_degree);
+        self.largest_component.set(sample.largest_component);
+        self.backlog.set(backlog as f64);
+        self.mae.set(mae);
+    }
 }
 
 /// Runs scenarios; see the module docs for the execution model.
 #[derive(Debug, Clone)]
 pub struct ScenarioRunner {
-    spec: ScenarioSpec,
-    engine_override: Option<MaintenanceEngine>,
+    pub(crate) spec: ScenarioSpec,
+    pub(crate) engine_override: Option<MaintenanceEngine>,
 }
 
 impl ScenarioRunner {
@@ -111,7 +423,20 @@ impl ScenarioRunner {
     /// Returns [`ScenarioError::Trace`] / [`ScenarioError::Invalid`] from
     /// trace construction (file I/O, trace shorter than the run).
     pub fn run(&self) -> Result<ScenarioReport, ScenarioError> {
-        let spec = &self.spec;
+        let mut session = self.session()?;
+        while session.step().is_some() {}
+        Ok(session.finish())
+    }
+
+    /// Builds the resumable step-at-a-time session this runner's `run`
+    /// drives to completion. `scenario serve` uses the session directly
+    /// to pace events against wall-clock and shed load under pressure.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioRunner::run`].
+    pub fn session(&self) -> Result<RunSession, ScenarioError> {
+        let spec = self.spec.clone();
         let trace = spec.build_trace()?;
         let hosts = trace.num_nodes();
         let mut config = spec.sim_config();
@@ -122,14 +447,19 @@ impl ScenarioRunner {
 
         let warm_end = SimTime::ZERO + SimDuration::from_mins(spec.warmup_mins);
         let end = warm_end + SimDuration::from_mins(spec.duration_mins);
-        let timeline = self.build_timeline(warm_end, end);
+        let timeline = Timeline::new(&spec, warm_end, end);
 
         // Warm-up: maintenance only. Converged mode rebuilds here (and
         // then on the spec's interval via Rebuild events); event-driven
         // mode runs the protocols from cold.
         sim.warm_up(warm_end.saturating_since(SimTime::ZERO));
 
-        let mut report = ScenarioReport {
+        let bands = if matches!(spec.workload.initiators, BandSpec::Any) {
+            BandIndex::default()
+        } else {
+            BandIndex::build(sim.trace())
+        };
+        let report = ScenarioReport {
             scenario: spec.name.clone(),
             seed: spec.seed,
             hosts,
@@ -139,213 +469,273 @@ impl ScenarioRunner {
             attack: spec.adversary.map(|_| AttackStats::new()),
             health: Vec::new(),
             skipped_ops: 0,
+            admission_drops: 0,
+            estimator: EstimatorAccuracy {
+                strategy: sim.oracle().strategy_label().to_string(),
+                ..EstimatorAccuracy::default()
+            },
             timings: avmem::PhaseTimings::default(),
             finalize: avmem::FinalizeStats::default(),
         };
-        // Interval accumulators for the health series.
-        let mut ops_since_last = 0u64;
-        let mut attack_since_last = (0u64, 0u64);
-
-        for event in timeline {
-            match event.what {
-                EventKind::Rebuild => {
-                    // warm_up advances to the boundary and rebuilds there.
-                    sim.warm_up(event.at.saturating_since(sim.now()));
-                }
-                EventKind::Health => {
-                    sim.advance_to(event.at);
-                    report.health.push(health_sample(
-                        &sim,
-                        event.at,
-                        std::mem::take(&mut ops_since_last),
-                        std::mem::take(&mut attack_since_last),
-                    ));
-                }
-                EventKind::Op { index, kind } => {
-                    sim.advance_to(event.at);
-                    ops_since_last += 1;
-                    self.fire_op(&mut sim, index, kind, &mut report, &mut attack_since_last);
-                }
-            }
-        }
-        sim.advance_to(end);
-        report.health.push(health_sample(
-            &sim,
+        Ok(RunSession {
+            spec,
+            sim,
+            timeline,
             end,
-            ops_since_last,
-            attack_since_last,
+            report,
+            ops_since_last: 0,
+            attack_since_last: (0, 0),
+            health_index: 0,
+            bands,
+            instruments: None,
+        })
+    }
+}
+
+/// One in-flight scenario execution, advanced one timeline event at a
+/// time. Stepping to exhaustion and finishing is exactly
+/// [`ScenarioRunner::run`]; the serve loop interleaves [`RunSession::step`]
+/// with wall-clock pacing and may shed operations with
+/// [`RunSession::drop_next_op`] when behind budget.
+#[derive(Debug)]
+pub struct RunSession {
+    spec: ScenarioSpec,
+    sim: AvmemSim,
+    timeline: Timeline,
+    end: SimTime,
+    report: ScenarioReport,
+    ops_since_last: u64,
+    attack_since_last: (u64, u64),
+    health_index: u64,
+    bands: BandIndex,
+    instruments: Option<ScenarioInstruments>,
+}
+
+impl RunSession {
+    /// Attaches a metrics registry: harness phase spans, AVMON slot
+    /// costs, and per-operation counters/latency histograms all land in
+    /// `registry` from here on. Observation only — the report is
+    /// bit-identical with or without metrics attached.
+    pub fn set_metrics(&mut self, registry: &Arc<Registry>) {
+        self.sim.set_metrics(registry);
+        self.instruments = Some(ScenarioInstruments::new(
+            registry,
+            self.sim.oracle().strategy_label(),
         ));
-        report.timings = sim.phase_timings();
-        report.finalize = sim.finalize_stats();
-        Ok(report)
     }
 
-    /// Draws the full arrival schedule: a pure function of (spec, seed).
-    fn build_timeline(&self, warm_end: SimTime, end: SimTime) -> Vec<TimelineEvent> {
-        let spec = &self.spec;
-        let mut events: Vec<TimelineEvent> = Vec::new();
+    /// Simulated instant of the next pending event, `None` once the
+    /// timeline is exhausted.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.timeline.peek().map(|((at, _), _)| at)
+    }
 
-        // Health samples on the interval lattice, excluding the run end
-        // (the final sample is taken unconditionally after the loop).
-        let health_step = SimDuration::from_mins(spec.health_every_mins);
-        let mut t = warm_end;
-        while t < end {
-            events.push(TimelineEvent {
-                at: t,
-                order: (1, 0),
-                what: EventKind::Health,
-            });
-            t += health_step;
-        }
+    /// Whether the next pending event is an operation (the only event
+    /// class serve-mode admission control may shed — maintenance and
+    /// health samples are never dropped).
+    pub fn next_is_op(&self) -> bool {
+        matches!(self.timeline.peek(), Some((_, Source::Arrival)))
+    }
 
-        // Converged-mode rebuild boundaries.
-        if let MaintenanceModeSpec::Converged { rebuild_every_mins } = spec.maintenance.mode {
-            let step = SimDuration::from_mins(rebuild_every_mins);
-            let mut t = warm_end + step;
-            while t < end {
-                events.push(TimelineEvent {
-                    at: t,
-                    order: (0, 0),
-                    what: EventKind::Rebuild,
-                });
-                t += step;
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// End of the operation window.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// The underlying harness (read-only; serve heartbeats export its
+    /// cache/backlog statistics).
+    pub fn sim(&self) -> &AvmemSim {
+        &self.sim
+    }
+
+    /// The report accumulated so far (final totals come from
+    /// [`RunSession::finish`]).
+    pub fn report(&self) -> &ScenarioReport {
+        &self.report
+    }
+
+    /// Executes the next timeline event; returns its simulated instant,
+    /// or `None` when the timeline is exhausted.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let event = self.timeline.next()?;
+        match event.what {
+            EventKind::Rebuild => {
+                // warm_up advances to the boundary and rebuilds there.
+                self.sim.warm_up(event.at.saturating_since(self.sim.now()));
             }
-        }
-
-        // Poisson-like operation arrivals: exponential inter-arrival
-        // gaps, each drawn from its own keyed stream.
-        if spec.workload.ops_per_hour > 0.0 {
-            let mean_gap_ms = 3_600_000.0 / spec.workload.ops_per_hour;
-            let mut at_ms = warm_end.as_millis() as f64;
-            let mut index = 0u64;
-            loop {
-                let mut gap_rng = SplitMix64::keyed(&[spec.seed, STREAM_ARRIVAL, index]);
-                // u ∈ [0, 1) keeps ln(1 - u) finite.
-                let gap = -(1.0 - gap_rng.next_f64()).ln() * mean_gap_ms;
-                at_ms += gap.max(1.0);
-                if at_ms >= end.as_millis() as f64 {
-                    break;
+            EventKind::Health => {
+                self.sim.advance_to(event.at);
+                self.sample_estimator();
+                let sample = health_sample(
+                    &self.sim,
+                    event.at,
+                    std::mem::take(&mut self.ops_since_last),
+                    std::mem::take(&mut self.attack_since_last),
+                );
+                if let Some(ins) = &self.instruments {
+                    ins.observe_health(
+                        &sample,
+                        self.sim.pending_maintenance(),
+                        self.report.estimator.mae(),
+                    );
                 }
-                let at = SimTime::from_millis(at_ms as u64);
-                let kind = self.draw_kind(index);
-                events.push(TimelineEvent {
-                    at,
-                    order: (2, index),
-                    what: EventKind::Op { index, kind },
-                });
-                index += 1;
+                self.report.health.push(sample);
+            }
+            EventKind::Op { index } => {
+                self.sim.advance_to(event.at);
+                self.ops_since_last += 1;
+                let kind = draw_kind(&self.spec, index);
+                let t0 = self.instruments.is_some().then(Instant::now);
+                self.fire_op(index, kind);
+                if let (Some(ins), Some(t0)) = (&self.instruments, t0) {
+                    ins.exec_us.record(t0.elapsed().as_micros() as u64);
+                }
             }
         }
-
-        events.sort_by_key(|e| (e.at, e.order));
-        events
+        Some(event.at)
     }
 
-    /// Draws one arrival's kind and target from its keyed mix stream.
-    fn draw_kind(&self, index: u64) -> OpKind {
-        let spec = &self.spec;
-        let mut rng = SplitMix64::keyed(&[spec.seed, STREAM_MIX, index]);
-        if let Some(adv) = &spec.adversary {
-            if rng.chance(adv.flooder_fraction) {
-                return OpKind::FloodProbe;
-            }
-        } else {
-            // Keep stream alignment identical with and without an
-            // adversary section so A/B spec comparisons share arrivals.
-            let _ = rng.next_f64();
+    /// Sheds the next pending event, which must be an operation (checked
+    /// by the caller via [`RunSession::next_is_op`]): the clock still
+    /// advances to the arrival instant — maintenance owed by then runs —
+    /// but the operation itself is not fired. Returns the arrival
+    /// instant.
+    pub fn drop_next_op(&mut self) -> Option<SimTime> {
+        debug_assert!(self.next_is_op(), "only operations may be dropped");
+        let event = self.timeline.next()?;
+        self.sim.advance_to(event.at);
+        self.report.admission_drops += 1;
+        if let Some(ins) = &self.instruments {
+            ins.dropped.inc();
         }
-        let anycast = rng.chance(spec.workload.anycast_fraction);
-        let target = self.draw_target(&mut rng);
-        if anycast {
-            OpKind::Anycast { target }
-        } else {
-            OpKind::Multicast { target }
-        }
+        Some(event.at)
     }
 
-    /// Weighted pick from the target mix.
-    fn draw_target<R: Rng>(&self, rng: &mut R) -> AvailabilityTarget {
-        let targets = &self.spec.workload.targets;
-        let total: f64 = targets.iter().map(|t| t.weight).sum();
-        let mut roll = rng.next_f64() * total;
-        for mix in targets {
-            roll -= mix.weight;
-            if roll <= 0.0 {
-                return mix.target.to_target();
+    /// Takes the final health sample at the end of the operation window
+    /// and seals the report.
+    pub fn finish(self) -> ScenarioReport {
+        let end = self.end;
+        self.finish_at(end)
+    }
+
+    /// Like [`RunSession::finish`] but sealing at `at` (clamped into
+    /// `[now, end]`) — used by wall-clock-bounded serve runs that stop
+    /// before the spec's operation window closes.
+    pub fn finish_at(mut self, at: SimTime) -> ScenarioReport {
+        let at = at.min(self.end).max(self.sim.now());
+        self.sim.advance_to(at);
+        self.sample_estimator();
+        let sample = health_sample(&self.sim, at, self.ops_since_last, self.attack_since_last);
+        if let Some(ins) = &self.instruments {
+            ins.observe_health(
+                &sample,
+                self.sim.pending_maintenance(),
+                self.report.estimator.mae(),
+            );
+        }
+        self.report.health.push(sample);
+        self.report.timings = self.sim.phase_timings();
+        self.report.finalize = self.sim.finalize_stats();
+        self.report
+    }
+
+    /// Draws one batch of estimator-accuracy samples from the dedicated
+    /// keyed stream; see [`EstimatorAccuracy`].
+    fn sample_estimator(&mut self) {
+        let mut rng = SplitMix64::keyed(&[self.spec.seed, STREAM_MAE, self.health_index]);
+        self.health_index += 1;
+        let trace = self.sim.trace();
+        let oracle = self.sim.oracle();
+        let now = self.sim.now();
+        let n = trace.num_nodes();
+        let accuracy = &mut self.report.estimator;
+        for _ in 0..MAE_SAMPLES_PER_HEALTH {
+            let querier = rng.index(n);
+            let target = rng.index(n);
+            accuracy.drawn += 1;
+            if let Some(estimate) =
+                oracle.estimate(NodeId::new(querier as u64), NodeId::new(target as u64), now)
+            {
+                let truth = trace.long_term_availability(target).value();
+                accuracy.abs_error_sum += (estimate.value() - truth).abs();
+                accuracy.answered += 1;
             }
         }
-        targets.last().expect("validated non-empty").target.to_target()
     }
 
     /// Picks a uniformly random online node in `band` with the
     /// operation's keyed stream; `None` when no eligible node is online.
     ///
-    /// One population pass collects the eligible set, then a single
-    /// keyed draw indexes it — the same distribution (and the same draw)
-    /// as a count-then-select pass at half the scanning cost.
-    fn pick_initiator(
-        &self,
-        sim: &AvmemSim,
-        index: u64,
-        band: BandSpec,
-        stream: u64,
-    ) -> Option<NodeId> {
-        let trace = sim.trace();
-        let now = sim.now();
-        let in_band = |i: usize| {
-            // `Any` needs no availability lookup — at 10⁶ hosts the
-            // per-candidate long-term-availability scan is the cost.
-            if matches!(band, BandSpec::Any) {
-                return true;
+    /// Rejection sampling: up to [`PICK_TRIES`] keyed draws over the
+    /// population (or the static band list), accepting the first online
+    /// candidate. On exhaustion it falls back to the exact eligible scan,
+    /// continuing the same stream — the pick stays a pure function of
+    /// `(spec, seed, op index, overlay state)` either way.
+    fn pick_initiator(&self, index: u64, band: BandSpec, stream: u64) -> Option<NodeId> {
+        let trace = self.sim.trace();
+        let now = self.sim.now();
+        let mut rng = SplitMix64::keyed(&[self.spec.seed, stream, index]);
+        if matches!(band, BandSpec::Any) {
+            let n = trace.num_nodes();
+            for _ in 0..PICK_TRIES {
+                let i = rng.index(n);
+                if trace.is_online(i, now) {
+                    return Some(NodeId::new(i as u64));
+                }
             }
-            let av = trace.long_term_availability(i).value();
-            match band {
-                BandSpec::Low => av < 1.0 / 3.0,
-                BandSpec::Mid => (1.0 / 3.0..2.0 / 3.0).contains(&av),
-                BandSpec::High => av >= 2.0 / 3.0,
-                BandSpec::Any => true,
-            }
-        };
-        let eligible: Vec<u32> = (0..trace.num_nodes())
-            .filter(|&i| trace.is_online(i, now) && in_band(i))
-            .map(|i| i as u32)
-            .collect();
-        if eligible.is_empty() {
+            let eligible: Vec<u32> = (0..n)
+                .filter(|&i| trace.is_online(i, now))
+                .map(|i| i as u32)
+                .collect();
+            return pick_from(&eligible, &mut rng);
+        }
+        let list = self.bands.list(band);
+        if list.is_empty() {
             return None;
         }
-        let mut rng = SplitMix64::keyed(&[self.spec.seed, stream, index]);
-        let pick = eligible[rng.index(eligible.len())];
-        Some(NodeId::new(u64::from(pick)))
+        for _ in 0..PICK_TRIES {
+            let i = list[rng.index(list.len())];
+            if trace.is_online(i as usize, now) {
+                return Some(NodeId::new(u64::from(i)));
+            }
+        }
+        let eligible: Vec<u32> = list
+            .iter()
+            .copied()
+            .filter(|&i| trace.is_online(i as usize, now))
+            .collect();
+        pick_from(&eligible, &mut rng)
     }
 
     /// Executes one scheduled operation against the live overlay.
-    fn fire_op(
-        &self,
-        sim: &mut AvmemSim,
-        index: u64,
-        kind: OpKind,
-        report: &mut ScenarioReport,
-        attack_since_last: &mut (u64, u64),
-    ) {
-        let spec = &self.spec;
+    fn fire_op(&mut self, index: u64, kind: OpKind) {
         match kind {
             // Anycast and multicast share the exact same setup — one
             // initiator stream, one op-RNG stream, one latency stream —
             // so A/B spec comparisons stay paired; keep it hoisted.
             OpKind::Anycast { target } | OpKind::Multicast { target } => {
                 let Some(initiator) =
-                    self.pick_initiator(sim, index, spec.workload.initiators, STREAM_INITIATOR)
+                    self.pick_initiator(index, self.spec.workload.initiators, STREAM_INITIATOR)
                 else {
-                    report.skipped_ops += 1;
+                    self.report.skipped_ops += 1;
+                    if let Some(ins) = &self.instruments {
+                        ins.skipped.inc();
+                    }
                     return;
                 };
+                let spec = &self.spec;
                 let mut rng = SplitMix64::keyed(&[spec.seed, STREAM_OP, index]);
                 let mut net = Network::new(
                     LatencyModel::PAPER,
                     0.0,
                     SplitMix64::keyed(&[spec.seed, STREAM_NET, index]).next_u64(),
                 );
-                let world = sim.world();
+                let world = self.sim.world();
                 if matches!(kind, OpKind::Anycast { .. }) {
                     let outcome = run_anycast(
                         &world,
@@ -355,7 +745,7 @@ impl ScenarioRunner {
                         target,
                         spec.workload.anycast_config(),
                     );
-                    let stats = &mut report.anycast;
+                    let stats = &mut self.report.anycast;
                     stats.sent += 1;
                     stats.total_messages += u64::from(outcome.messages);
                     stats.total_latency_ms += outcome.latency.as_millis();
@@ -368,6 +758,14 @@ impl ScenarioRunner {
                             stats.delivered_in_truth += 1;
                         }
                     }
+                    if let Some(ins) = &self.instruments {
+                        ins.ops_anycast.inc();
+                        ins.latency_ms.record(outcome.latency.as_millis());
+                        if outcome.is_delivered() {
+                            ins.delivered_anycast.inc();
+                            ins.hops.record(u64::from(outcome.hops));
+                        }
+                    }
                 } else {
                     let outcome = run_multicast(
                         &world,
@@ -377,7 +775,7 @@ impl ScenarioRunner {
                         target,
                         spec.workload.multicast_config(),
                     );
-                    let stats = &mut report.multicast;
+                    let stats = &mut self.report.multicast;
                     stats.sent += 1;
                     stats.total_messages +=
                         u64::from(outcome.messages) + u64::from(outcome.anycast.messages);
@@ -392,31 +790,46 @@ impl ScenarioRunner {
                         stats.spam_sum += spam;
                         stats.spam_count += 1;
                     }
-                    let trace = sim.trace();
+                    let trace = self.sim.trace();
                     for &node in outcome.deliveries.keys() {
                         let av = trace.long_term_availability(node.raw() as usize).value();
                         let decile = ((av * DECILES as f64) as usize).min(DECILES - 1);
                         stats.deliveries_by_decile[decile] += 1;
                     }
+                    if let Some(ins) = &self.instruments {
+                        ins.ops_multicast.inc();
+                        if outcome.anycast.is_delivered() {
+                            ins.entered_multicast.inc();
+                        }
+                    }
                 }
             }
             OpKind::FloodProbe => {
-                let adv = spec.adversary.expect("probes only scheduled with an adversary");
+                let adv = self
+                    .spec
+                    .adversary
+                    .expect("probes only scheduled with an adversary");
                 // The selfish sender is any online node — flooding pays
                 // regardless of the attacker's own availability, which is
                 // exactly why the acceptance series is bucketed by it.
-                let Some(sender) = self.pick_initiator(sim, index, BandSpec::Any, STREAM_PROBE)
+                let Some(sender) = self.pick_initiator(index, BandSpec::Any, STREAM_PROBE)
                 else {
-                    report.skipped_ops += 1;
+                    self.report.skipped_ops += 1;
+                    if let Some(ins) = &self.instruments {
+                        ins.skipped.inc();
+                    }
                     return;
                 };
-                let mut rng = SplitMix64::keyed(&[spec.seed, STREAM_OP, index]);
+                if let Some(ins) = &self.instruments {
+                    ins.ops_probe.inc();
+                }
+                let mut rng = SplitMix64::keyed(&[self.spec.seed, STREAM_OP, index]);
                 let policy = AdmissionPolicy::with_cushion(adv.cushion);
-                let trace = sim.trace();
-                let now = sim.now();
+                let trace = self.sim.trace();
+                let now = self.sim.now();
                 let online: Vec<usize> = trace.online_at(now);
-                let membership = sim.membership(sender);
-                let stats = report.attack.as_mut().expect("attack stats exist");
+                let membership = self.sim.membership(sender);
+                let stats = self.report.attack.as_mut().expect("attack stats exist");
                 stats.attempts += 1;
                 let decile = {
                     let av = trace.long_term_availability(sender.raw() as usize).value();
@@ -437,23 +850,68 @@ impl ScenarioRunner {
                 );
                 for victim in victims {
                     let accepted = policy.accepts(
-                        sim.predicate(),
-                        sim.oracle(),
+                        self.sim.predicate(),
+                        self.sim.oracle(),
                         sender,
                         NodeId::new(victim as u64),
                         now,
                     );
                     stats.probes += 1;
                     stats.by_decile[decile].0 += 1;
-                    attack_since_last.0 += 1;
+                    self.attack_since_last.0 += 1;
                     if accepted {
                         stats.accepted += 1;
                         stats.by_decile[decile].1 += 1;
-                        attack_since_last.1 += 1;
+                        self.attack_since_last.1 += 1;
                     }
                 }
             }
         }
+    }
+}
+
+/// Draws one arrival's kind and target from its keyed mix stream.
+fn draw_kind(spec: &ScenarioSpec, index: u64) -> OpKind {
+    let mut rng = SplitMix64::keyed(&[spec.seed, STREAM_MIX, index]);
+    if let Some(adv) = &spec.adversary {
+        if rng.chance(adv.flooder_fraction) {
+            return OpKind::FloodProbe;
+        }
+    } else {
+        // Keep stream alignment identical with and without an
+        // adversary section so A/B spec comparisons share arrivals.
+        let _ = rng.next_f64();
+    }
+    let anycast = rng.chance(spec.workload.anycast_fraction);
+    let target = draw_target(spec, &mut rng);
+    if anycast {
+        OpKind::Anycast { target }
+    } else {
+        OpKind::Multicast { target }
+    }
+}
+
+/// Weighted pick from the target mix.
+fn draw_target<R: Rng>(spec: &ScenarioSpec, rng: &mut R) -> AvailabilityTarget {
+    let targets = &spec.workload.targets;
+    let total: f64 = targets.iter().map(|t| t.weight).sum();
+    let mut roll = rng.next_f64() * total;
+    for mix in targets {
+        roll -= mix.weight;
+        if roll <= 0.0 {
+            return mix.target.to_target();
+        }
+    }
+    targets.last().expect("validated non-empty").target.to_target()
+}
+
+/// Uniform keyed draw from an eligible list (the rejection-sampling
+/// fallback); `None` when nothing is eligible.
+fn pick_from<R: Rng>(eligible: &[u32], rng: &mut R) -> Option<NodeId> {
+    if eligible.is_empty() {
+        None
+    } else {
+        Some(NodeId::new(u64::from(eligible[rng.index(eligible.len())])))
     }
 }
 
@@ -515,12 +973,42 @@ mod tests {
         // One sample per health interval plus the final one.
         assert!(report.health.len() >= 2, "health series too short");
         assert!(report.health.windows(2).all(|w| w[0].at_mins < w[1].at_mins));
+        // Estimator accuracy sampled at every health boundary.
+        assert_eq!(
+            report.estimator.drawn,
+            report.health.len() as u64 * MAE_SAMPLES_PER_HEALTH
+        );
+        assert_eq!(report.estimator.strategy, "exact");
+        // The exact oracle answers everything with zero error.
+        assert_eq!(report.estimator.answered, report.estimator.drawn);
+        assert_eq!(report.estimator.mae(), 0.0);
+        assert_eq!(report.admission_drops, 0);
     }
 
     #[test]
     fn same_spec_same_report() {
         let runner = ScenarioRunner::new(tiny_spec()).unwrap();
         assert_eq!(runner.run().unwrap(), runner.run().unwrap());
+    }
+
+    #[test]
+    fn stepped_session_with_metrics_matches_run() {
+        let runner = ScenarioRunner::new(tiny_spec()).unwrap();
+        let baseline = runner.run().unwrap();
+        let registry = Arc::new(Registry::new());
+        let mut session = runner.session().unwrap();
+        session.set_metrics(&registry);
+        while session.step().is_some() {}
+        let instrumented = session.finish();
+        assert_eq!(baseline, instrumented, "metrics must only observe");
+        // And the registry actually saw the traffic.
+        let fired = baseline.anycast.sent + baseline.multicast.sent;
+        let text = registry.render_text();
+        assert!(
+            text.contains("avmem_ops_total{kind=\"anycast\"}"),
+            "missing op counters: {text}"
+        );
+        assert!(fired > 0);
     }
 
     #[test]
@@ -579,19 +1067,57 @@ mod tests {
     }
 
     #[test]
+    fn banded_initiators_come_from_the_band() {
+        let mut spec = tiny_spec();
+        spec.workload.initiators = BandSpec::High;
+        let report = ScenarioRunner::new(spec).unwrap().run().unwrap();
+        // High-band initiators exist in the Overnet trace, so traffic
+        // still flows (possibly with skips when the band is offline).
+        assert!(report.anycast.sent + report.multicast.sent + report.skipped_ops > 0);
+    }
+
+    #[test]
     fn ops_land_inside_the_operation_window() {
         let spec = tiny_spec();
-        let runner = ScenarioRunner::new(spec.clone()).unwrap();
         let warm_end = SimTime::ZERO + SimDuration::from_mins(spec.warmup_mins);
         let end = warm_end + SimDuration::from_mins(spec.duration_mins);
-        let timeline = runner.build_timeline(warm_end, end);
-        assert!(!timeline.is_empty());
-        for event in &timeline {
+        let mut timeline = Timeline::new(&spec, warm_end, end);
+        let mut events = Vec::new();
+        while let Some(event) = timeline.next() {
+            events.push(event);
+        }
+        assert!(!events.is_empty());
+        for event in &events {
             assert!(event.at >= warm_end && event.at < end);
         }
-        // Sorted by (time, order).
-        assert!(timeline
+        // The lazy merge yields a strictly increasing (time, order) key.
+        assert!(events
             .windows(2)
-            .all(|w| (w[0].at, w[0].order) <= (w[1].at, w[1].order)));
+            .all(|w| (w[0].at, w[0].order) < (w[1].at, w[1].order)));
+    }
+
+    #[test]
+    fn dropping_ops_counts_and_never_fires_them() {
+        let runner = ScenarioRunner::new(tiny_spec()).unwrap();
+        let mut session = runner.session().unwrap();
+        let mut dropped = 0u64;
+        loop {
+            if session.next_is_op() {
+                if session.drop_next_op().is_none() {
+                    break;
+                }
+                dropped += 1;
+            } else if session.step().is_none() {
+                break;
+            }
+        }
+        let report = session.finish();
+        assert!(dropped > 0);
+        assert_eq!(report.admission_drops, dropped);
+        assert_eq!(report.anycast.sent, 0, "dropped ops must not fire");
+        assert_eq!(report.multicast.sent, 0);
+        assert_eq!(report.skipped_ops, 0);
+        // Health samples still happen — they are never droppable.
+        assert!(report.health.len() >= 2);
     }
 }

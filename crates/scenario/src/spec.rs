@@ -65,6 +65,8 @@ pub struct ScenarioSpec {
     pub workload: WorkloadSpec,
     /// Optional selfish-flooder mix.
     pub adversary: Option<AdversarySpec>,
+    /// Optional service-mode defaults for `scenario serve`.
+    pub serve: Option<ServeSpec>,
 }
 
 /// The churn model driving node up/down state.
@@ -335,6 +337,37 @@ pub struct AdversarySpec {
     pub probes: u32,
 }
 
+/// Service-mode (`scenario serve`) defaults. All of these can be
+/// overridden on the serve command line; `run` ignores the section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSpec {
+    /// Sustained operation rate per **simulated day**, overriding the
+    /// workload's `ops_per_hour` in serve mode (`None` keeps the
+    /// workload rate). The serve-mode throughput yardstick — e.g.
+    /// `1e6` ops/day at 10⁵ hosts.
+    pub ops_per_day: Option<f64>,
+    /// Simulated seconds advanced per wall-clock second. `0` (the
+    /// default) runs unpaced: events execute back to back, no admission
+    /// control engages, and a fixed-duration serve is bit-identical to
+    /// `run`.
+    pub pace: f64,
+    /// Wall-clock lag budget in milliseconds: when a paced serve falls
+    /// further behind than this, pending *operations* are shed
+    /// (maintenance and health samples never are) until the loop
+    /// catches up.
+    pub lag_budget_ms: u64,
+}
+
+impl Default for ServeSpec {
+    fn default() -> ServeSpec {
+        ServeSpec {
+            ops_per_day: None,
+            pace: 0.0,
+            lag_budget_ms: 2_000,
+        }
+    }
+}
+
 impl ScenarioSpec {
     /// Checks every cross-field invariant the parser cannot see, returning
     /// the first violation.
@@ -477,6 +510,16 @@ impl ScenarioSpec {
             }
             if adv.probes == 0 {
                 return fail("adversary probes must be positive".into());
+            }
+        }
+        if let Some(serve) = &self.serve {
+            if let Some(rate) = serve.ops_per_day {
+                if !(rate.is_finite() && rate > 0.0) {
+                    return fail("serve ops_per_day must be positive and finite".into());
+                }
+            }
+            if !(serve.pace.is_finite() && serve.pace >= 0.0) {
+                return fail("serve pace must be non-negative and finite".into());
             }
         }
         Ok(())

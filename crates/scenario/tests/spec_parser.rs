@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use avmem_scenario::{
     parse_spec, AdversarySpec, AssignmentSpec, BandSpec, ChurnSpec, EngineSpec,
     MaintenanceModeSpec, MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec,
-    ScenarioSpec, ScopeSpec, TargetMix, TargetSpec, WorkloadSpec,
+    ScenarioSpec, ScopeSpec, ServeSpec, TargetMix, TargetSpec, WorkloadSpec,
 };
 
 fn arb_churn() -> impl Strategy<Value = ChurnSpec> {
@@ -163,6 +163,24 @@ fn arb_adversary() -> impl Strategy<Value = Option<AdversarySpec>> {
     ]
 }
 
+fn arb_serve() -> impl Strategy<Value = Option<ServeSpec>> {
+    prop_oneof![
+        Just(None),
+        (
+            prop_oneof![Just(None), (1.0f64..1.0e7).prop_map(Some)],
+            0.0f64..1000.0,
+            0u64..60_000,
+        )
+            .prop_map(|(ops_per_day, pace, lag_budget_ms)| {
+                Some(ServeSpec {
+                    ops_per_day,
+                    pace,
+                    lag_budget_ms,
+                })
+            }),
+    ]
+}
+
 fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
     (
         (0u64..1000, 0u64..u64::from(u32::MAX), 1u64..3000, 0u64..3000, 1u64..240),
@@ -170,7 +188,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         arb_predicate(),
         arb_oracle(),
         arb_maintenance(),
-        (arb_workload(), arb_adversary()),
+        (arb_workload(), arb_adversary(), arb_serve()),
     )
         .prop_map(
             |(
@@ -179,7 +197,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                 predicate,
                 oracle,
                 maintenance,
-                (workload, adversary),
+                (workload, adversary, serve),
             )| {
                 ScenarioSpec {
                     name: format!("generated-{name_tag}"),
@@ -193,6 +211,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     maintenance,
                     workload,
                     adversary,
+                    serve,
                 }
             },
         )

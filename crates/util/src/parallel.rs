@@ -18,6 +18,7 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -157,6 +158,24 @@ pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Cumulative submission counters, for observability surfaces (see
+    /// [`WorkerPool::pool_stats`]).
+    batches: AtomicU64,
+    jobs: AtomicU64,
+    inline_batches: AtomicU64,
+}
+
+/// A point-in-time view of a [`WorkerPool`]'s cumulative submission
+/// counters; see [`WorkerPool::pool_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Sections submitted via [`WorkerPool::run_boxed`].
+    pub batches: u64,
+    /// Individual jobs across all submitted batches.
+    pub jobs: u64,
+    /// Batches that degraded to inline execution (single job, no
+    /// background workers, or nested submission from inside a job).
+    pub inline_batches: u64,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -193,12 +212,26 @@ impl WorkerPool {
             shared,
             workers,
             threads,
+            batches: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            inline_batches: AtomicU64::new(0),
         }
     }
 
     /// Total parallelism of the pool (background workers + the caller).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Cumulative submission counters since construction. Observation
+    /// only; the counters are updated with relaxed atomics at batch
+    /// granularity, so reading them costs nothing on the job hot path.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+            inline_batches: self.inline_batches.load(Ordering::Relaxed),
+        }
     }
 
     /// Runs a batch of independent jobs to completion, in parallel when
@@ -222,7 +255,10 @@ impl WorkerPool {
     /// may execute another batch's queued jobs while its own are in
     /// flight.
     pub fn run_boxed<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.jobs.fetch_add(jobs.len() as u64, Ordering::Relaxed);
         if jobs.len() <= 1 || self.workers.is_empty() || IN_POOL_JOB.with(Cell::get) {
+            self.inline_batches.fetch_add(1, Ordering::Relaxed);
             for job in jobs {
                 job();
             }
