@@ -20,53 +20,51 @@ use serde::{Deserialize, Serialize};
 /// ```
 /// use avmem_avmon::PingEstimator;
 ///
-/// let mut est = PingEstimator::new(0.05);
+/// let mut est = PingEstimator::new();
 /// for _ in 0..3 {
-///     est.record(true);
+///     est.record(true, 0.05);
 /// }
-/// est.record(false);
+/// est.record(false, 0.05);
 /// assert_eq!(est.raw().unwrap().value(), 0.75);
 /// assert_eq!(est.samples(), 4);
 /// ```
 /// Counters are `u32`: one ping per probe slot means even a decade-long
 /// trace stays far below 2³², and the estimator arena at 10⁶ hosts ×
 /// `k` monitors is a hot columnar structure where the 8 bytes per edge
-/// saved by the narrower counters are real memory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// saved by the narrower counters are real memory. The EWMA smoothing
+/// factor is *not* stored per slot — every estimator in an arena shares
+/// the service's configured `alpha`, so callers pass it to
+/// [`PingEstimator::record`] and each slot stays at 16 bytes instead
+/// of 24.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PingEstimator {
     hits: u32,
     attempts: u32,
     aged: f64,
-    alpha: f64,
 }
 
 impl PingEstimator {
-    /// Creates an estimator with EWMA smoothing factor `alpha ∈ (0, 1]`
-    /// (weight given to the newest observation).
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        PingEstimator::default()
+    }
+
+    /// Records one ping outcome, folding it into the EWMA with smoothing
+    /// factor `alpha ∈ (0, 1]` (weight given to the newest observation).
     ///
-    /// # Panics
-    ///
-    /// Panics if `alpha` is outside `(0, 1]`.
-    pub fn new(alpha: f64) -> Self {
-        assert!(
+    /// `alpha` is per-call because it is a service-wide constant, not
+    /// per-target state; passing a different value per call mixes decay
+    /// rates and is on the caller.
+    pub fn record(&mut self, answered: bool, alpha: f64) {
+        debug_assert!(
             alpha > 0.0 && alpha <= 1.0,
             "EWMA alpha must be in (0, 1]"
         );
-        PingEstimator {
-            hits: 0,
-            attempts: 0,
-            aged: 0.0,
-            alpha,
-        }
-    }
-
-    /// Records one ping outcome.
-    pub fn record(&mut self, answered: bool) {
         let obs = if answered { 1.0 } else { 0.0 };
         if self.attempts == 0 {
             self.aged = obs;
         } else {
-            self.aged = self.alpha * obs + (1.0 - self.alpha) * self.aged;
+            self.aged = alpha * obs + (1.0 - alpha) * self.aged;
         }
         self.attempts += 1;
         if answered {
@@ -107,29 +105,29 @@ mod tests {
 
     #[test]
     fn no_samples_means_no_estimate() {
-        let est = PingEstimator::new(0.1);
+        let est = PingEstimator::new();
         assert!(est.raw().is_none());
         assert!(est.aged().is_none());
     }
 
     #[test]
     fn raw_is_hit_fraction() {
-        let mut est = PingEstimator::new(0.1);
+        let mut est = PingEstimator::new();
         for i in 0..10 {
-            est.record(i % 2 == 0);
+            est.record(i % 2 == 0, 0.1);
         }
         assert_eq!(est.raw().unwrap().value(), 0.5);
     }
 
     #[test]
     fn aged_tracks_recent_behaviour_faster_than_raw() {
-        let mut est = PingEstimator::new(0.3);
+        let mut est = PingEstimator::new();
         // Long up history, then a down streak.
         for _ in 0..100 {
-            est.record(true);
+            est.record(true, 0.3);
         }
         for _ in 0..10 {
-            est.record(false);
+            est.record(false, 0.3);
         }
         let raw = est.raw().unwrap().value();
         let aged = est.aged().unwrap().value();
@@ -140,23 +138,31 @@ mod tests {
 
     #[test]
     fn first_observation_initializes_ewma() {
-        let mut est = PingEstimator::new(0.01);
-        est.record(true);
+        let mut est = PingEstimator::new();
+        est.record(true, 0.01);
         assert_eq!(est.aged().unwrap().value(), 1.0);
     }
 
     #[test]
     fn estimates_stay_in_unit_interval() {
-        let mut est = PingEstimator::new(1.0);
-        est.record(true);
-        est.record(false);
+        let mut est = PingEstimator::new();
+        est.record(true, 1.0);
+        est.record(false, 1.0);
         assert!((0.0..=1.0).contains(&est.raw().unwrap().value()));
         assert!((0.0..=1.0).contains(&est.aged().unwrap().value()));
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "alpha")]
     fn zero_alpha_panics() {
-        let _ = PingEstimator::new(0.0);
+        let mut est = PingEstimator::new();
+        est.record(true, 0.0);
+    }
+
+    #[test]
+    fn slot_footprint_is_sixteen_bytes() {
+        // The arena layout the million-host budget counts on.
+        assert_eq!(std::mem::size_of::<PingEstimator>(), 16);
     }
 }

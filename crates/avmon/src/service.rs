@@ -214,13 +214,13 @@ impl AvmonService {
         let (assignment, index) = match config.assignment {
             AssignmentChoice::AllPairs => {
                 let assignment = MonitorAssignment::new(config.cms, n as f64);
-                let index = build_all_pairs_index(trace, &assignment, config.alpha);
+                let index = build_all_pairs_index(trace, &assignment);
                 (assignment, index)
             }
             AssignmentChoice::Ring { vnodes, k } => {
                 let members = (0..n as u32).filter(|&i| trace.is_online_in_slot(i as usize, 0));
                 let ring = RingAssignment::new(n, vnodes, k, members);
-                let index = build_ring_index(&ring, n, config.alpha);
+                let index = build_ring_index(&ring, n);
                 (MonitorAssignment::Ring(ring), index)
             }
         };
@@ -386,7 +386,7 @@ impl AvmonService {
                                 && loss
                                     .as_mut()
                                     .map_or(true, |rng| !rng.chance(config.ping_loss));
-                            est.record(answered);
+                            est.record(answered, config.alpha);
                         }
                     }
                 });
@@ -425,7 +425,7 @@ impl AvmonService {
                                 ]);
                                 !rng.chance(config.ping_loss)
                             });
-                        est.record(answered);
+                        est.record(answered, config.alpha);
                     }
                 });
             }
@@ -513,7 +513,6 @@ impl AvmonService {
             unreachable!("ring index without ring assignment");
         };
         let n = trace.num_nodes();
-        let alpha = self.config.alpha;
         while *synced_slot < slot {
             let prev = *synced_slot;
             let next = prev + 1;
@@ -555,7 +554,7 @@ impl AvmonService {
                         .position(|&e| e == NO_MONITOR)
                         .expect("a k-wide row fits k distinct monitors");
                     row[free] = m;
-                    estimators[t * *k + free] = PingEstimator::new(alpha);
+                    estimators[t * *k + free] = PingEstimator::new();
                 }
             }
             *synced_slot = next;
@@ -622,11 +621,7 @@ fn push_estimate(estimator: &PingEstimator, config: &AvmonConfig, values: &mut V
 /// The all-pairs build: each monitor's target row is an independent
 /// N-scan of the consistent-assignment hash — the O(N²) SHA-256 cost —
 /// so rows are computed in parallel, then inverted by counting sort.
-fn build_all_pairs_index(
-    trace: &ChurnTrace,
-    assignment: &MonitorAssignment,
-    alpha: f64,
-) -> MonitorIndex {
+fn build_all_pairs_index(trace: &ChurnTrace, assignment: &MonitorAssignment) -> MonitorIndex {
     let n = trace.num_nodes();
     let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
     par_chunks_mut(&mut rows, 1, default_threads(), |offset, chunk| {
@@ -677,7 +672,7 @@ fn build_all_pairs_index(
     MonitorIndex::AllPairs {
         target_offsets,
         target_ids,
-        estimators: vec![PingEstimator::new(alpha); total],
+        estimators: vec![PingEstimator::new(); total],
         inv_offsets,
         inv_entries,
     }
@@ -686,7 +681,7 @@ fn build_all_pairs_index(
 /// The ring build: one `k`-wide row per target, filled from the ring's
 /// distinct-successor walks (parallel over rows; the ring is shared
 /// read-only).
-fn build_ring_index(ring: &RingAssignment, n: usize, alpha: f64) -> MonitorIndex {
+fn build_ring_index(ring: &RingAssignment, n: usize) -> MonitorIndex {
     let k = ring.k() as usize;
     let mut monitors = vec![NO_MONITOR; n * k];
     par_chunks_mut(&mut monitors, k, default_threads(), |offset, chunk| {
@@ -700,7 +695,7 @@ fn build_ring_index(ring: &RingAssignment, n: usize, alpha: f64) -> MonitorIndex
     MonitorIndex::Ring {
         k,
         monitors,
-        estimators: vec![PingEstimator::new(alpha); n * k],
+        estimators: vec![PingEstimator::new(); n * k],
         synced_slot: 0,
     }
 }

@@ -48,9 +48,9 @@ proptest! {
 
     #[test]
     fn estimator_raw_matches_counts(outcomes in proptest::collection::vec(any::<bool>(), 1..200)) {
-        let mut est = PingEstimator::new(0.1);
+        let mut est = PingEstimator::new();
         for &answered in &outcomes {
-            est.record(answered);
+            est.record(answered, 0.1);
         }
         let hits = outcomes.iter().filter(|&&b| b).count();
         let expected = hits as f64 / outcomes.len() as f64;
@@ -63,9 +63,9 @@ proptest! {
         alpha in 0.01f64..=1.0,
         outcomes in proptest::collection::vec(any::<bool>(), 1..200),
     ) {
-        let mut est = PingEstimator::new(alpha);
+        let mut est = PingEstimator::new();
         for &answered in &outcomes {
-            est.record(answered);
+            est.record(answered, alpha);
             let aged = est.aged().unwrap().value();
             prop_assert!((0.0..=1.0).contains(&aged));
         }

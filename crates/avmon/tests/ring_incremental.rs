@@ -78,10 +78,7 @@ impl RebuildReference {
         for (t, monitors) in assignment.iter().enumerate() {
             for &m in monitors {
                 let edge = (m, t as u32);
-                let est = self
-                    .estimators
-                    .remove(&edge)
-                    .unwrap_or_else(|| PingEstimator::new(self.config.alpha));
+                let est = self.estimators.remove(&edge).unwrap_or_default();
                 surviving.insert(edge, est);
             }
         }
@@ -105,7 +102,7 @@ impl RebuildReference {
                 self.estimators
                     .get_mut(&(m, t as u32))
                     .expect("edge was just installed")
-                    .record(answered);
+                    .record(answered, self.config.alpha);
             }
         }
         // Aggregation: median of the assigned monitors' estimates.

@@ -48,7 +48,7 @@ impl SerialReference {
         }
         let estimators = targets
             .iter()
-            .map(|ts| ts.iter().map(|_| PingEstimator::new(config.alpha)).collect())
+            .map(|ts| ts.iter().map(|_| PingEstimator::new()).collect())
             .collect();
         SerialReference {
             config,
@@ -84,7 +84,7 @@ impl SerialReference {
                     && loss
                         .as_mut()
                         .map_or(true, |rng| !rng.chance(self.config.ping_loss));
-                self.estimators[m][k].record(answered);
+                self.estimators[m][k].record(answered, self.config.alpha);
             }
         }
         // Aggregation phase: median over online monitors' estimates,

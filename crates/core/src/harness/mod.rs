@@ -51,7 +51,7 @@ use std::time::{Duration, Instant};
 
 use avmem_avmon::AvailabilityOracle;
 use avmem_metrics::{shard_lane, Counter, Histogram, Registry, Tracer};
-use avmem_shuffle::{ShuffleConfig, ShuffleMessage, ShuffleNode, ShuffleProposal, View};
+use avmem_shuffle::{EntryPool, ShuffleConfig, ShuffleMessage, ShuffleNode, ShuffleProposal, View};
 use avmem_sim::{EngineGroup, Network, SimDuration, SimTime};
 use avmem_trace::{AvailabilityPdf, ChurnTrace, OnlineIndex};
 use avmem_util::parallel::{default_threads, par_chunks_mut, par_each_mut};
@@ -350,6 +350,19 @@ struct ShardScratch {
     fast: FinalizeShardState,
     /// Fast-path effectiveness counters, drained after every cohort.
     stats: FinalizeStats,
+    /// Pooled shuffle-entry buffers: proposal, reply, and in-flight
+    /// vectors cycle through here instead of the allocator.
+    pool: EntryPool,
+    /// Commit fast path: per-responder chain heads, indexed by the
+    /// responder's offset in the shard (`u32::MAX` = no requests).
+    /// Only touched slots are reset after each cohort.
+    bucket_head: Vec<u32>,
+    /// Per-responder chain tails, parallel to `bucket_head`.
+    bucket_tail: Vec<u32>,
+    /// Chain links, parallel to the inbound request batch.
+    bucket_next: Vec<u32>,
+    /// Responder offsets with inbound requests, in first-touch order.
+    bucket_touched: Vec<u32>,
 }
 
 /// Per-node epoch-stamped memos owned by one shard, indexed by the
@@ -358,13 +371,17 @@ struct ShardScratch {
 /// no epoch value can collide with "unset".
 #[derive(Debug, Default)]
 struct FinalizeShardState {
-    /// Per node: (stamp, memoized horizontal threshold at that epoch).
-    horizontal: Vec<(u64, f64)>,
+    /// Per node: stamp under which `horizontal` below is memoized.
+    /// Stamps are compact `u32` (see [`compact_stamp`]): epochs count
+    /// oracle changes, which stay far below `u32::MAX` in any run.
+    horizontal_stamp: Vec<u32>,
+    /// Per node: memoized horizontal threshold at the stamped epoch.
+    horizontal: Vec<f64>,
     /// Per node: stamp under which the node's entire membership is known
     /// fully classified — the refresh short-circuit license.
-    classified: Vec<u64>,
+    classified: Vec<u32>,
     /// Per node: stamp under which `seen` below is valid.
-    seen_stamp: Vec<u64>,
+    seen_stamp: Vec<u32>,
     /// Per node: sorted candidate ids whose discovery classification
     /// produced no insert (no sliver, or the oracle had no estimate) at
     /// the `seen_stamp` epoch, rebuilt every discovery from the current
@@ -382,12 +399,25 @@ struct FinalizeShardState {
 impl FinalizeShardState {
     fn ensure_len(&mut self, len: usize) {
         if self.horizontal.len() != len {
-            self.horizontal.resize(len, (0, 0.0));
+            self.horizontal_stamp.resize(len, 0);
+            self.horizontal.resize(len, 0.0);
             self.classified.resize(len, 0);
             self.seen_stamp.resize(len, 0);
             self.seen.resize_with(len, Vec::new);
         }
     }
+}
+
+/// Epoch → nonzero compact stamp for the finalize memos: `epoch + 1`
+/// truncated to `u32`, so freshly zeroed state never matches. Oracle
+/// epochs count churn changes (~10^5 per simulated week at 10^6 hosts)
+/// and never approach the 32-bit wrap, enforced in debug builds.
+fn compact_stamp(epoch: u64) -> u32 {
+    debug_assert!(
+        epoch < u32::MAX as u64,
+        "oracle epoch overflows the compact finalize stamp"
+    );
+    (epoch as u32).wrapping_add(1)
 }
 
 impl ShardScratch {
@@ -461,6 +491,44 @@ impl ShardScratch {
             self.ops.push(ops);
         }
     }
+
+    /// Counting-bucket placement of an inbound request batch: chains the
+    /// messages by responder offset without sorting. `responder_off`
+    /// yields the responder's offset within the shard for message `idx`.
+    ///
+    /// Inboxes arrive globally ascending by initiator (each source
+    /// shard's outbox is built over its sorted tick list, and shards own
+    /// ascending contiguous id ranges, so ascending-shard concatenation
+    /// preserves the order), so appending at each chain's tail keeps
+    /// every responder's chain in ascending-initiator order — the
+    /// canonical commit order the serial reference sorts into.
+    fn chain_by_responder<F: Fn(usize) -> usize>(
+        &mut self,
+        shard_len: usize,
+        count: usize,
+        responder_off: F,
+    ) {
+        if self.bucket_head.len() != shard_len {
+            self.bucket_head.clear();
+            self.bucket_head.resize(shard_len, u32::MAX);
+            self.bucket_tail.clear();
+            self.bucket_tail.resize(shard_len, u32::MAX);
+        }
+        self.bucket_next.clear();
+        self.bucket_next.resize(count, u32::MAX);
+        self.bucket_touched.clear();
+        for idx in 0..count {
+            let r = responder_off(idx);
+            debug_assert!(r < shard_len, "responder outside shard");
+            if self.bucket_head[r] == u32::MAX {
+                self.bucket_head[r] = idx as u32;
+                self.bucket_touched.push(r as u32);
+            } else {
+                self.bucket_next[self.bucket_tail[r] as usize] = idx as u32;
+            }
+            self.bucket_tail[r] = idx as u32;
+        }
+    }
 }
 
 /// The deterministic stagger offset of `node`'s periodic event: a
@@ -487,6 +555,7 @@ fn propose_tick(
     i: usize,
     shuffle: &mut ShuffleNode,
     seeds: &mut Vec<u32>,
+    pool: &mut EntryPool,
 ) -> Option<ShuffleProposal> {
     if shuffle.view().is_empty() {
         let mut rng = SplitMix64::keyed(&[seed, STREAM_BOOTSTRAP, i as u64, now.as_millis()]);
@@ -494,8 +563,8 @@ fn propose_tick(
         shuffle.bootstrap(seeds.iter().map(|&j| NodeId::new(j as u64)));
     }
     let mut rng = SplitMix64::keyed(&[seed, STREAM_SHUFFLE, i as u64, now.as_millis()]);
-    let proposal = shuffle.propose(&mut rng)?;
-    shuffle.apply(&proposal);
+    let proposal = shuffle.propose_with(&mut rng, pool)?;
+    shuffle.apply_with(&proposal, pool);
     Some(proposal)
 }
 
@@ -664,18 +733,18 @@ impl MaintCtx<'_> {
         let cache = pair_cache
             .get_or_insert_with(|| ShardPairCache::with_capacity(self.pair_capacity));
         // Stamps are `epoch + 1`, so zeroed state never matches.
-        let stamp = fast.epoch.map(|e| e.wrapping_add(1));
+        let stamp = fast.epoch.map(compact_stamp);
         let local = i - shard_start;
         let horizontal = match stamp {
             Some(stamp) => {
                 state.ensure_len(shard_len);
-                let slot = &mut state.horizontal[local];
-                if slot.0 == stamp {
+                if state.horizontal_stamp[local] == stamp {
                     stats.memo_hits += 1;
-                    slot.1
+                    state.horizontal[local]
                 } else {
                     let h = fast.memo.horizontal_of(own_av);
-                    *slot = (stamp, h);
+                    state.horizontal_stamp[local] = stamp;
+                    state.horizontal[local] = h;
                     stats.memo_misses += 1;
                     h
                 }
@@ -1594,61 +1663,12 @@ impl AvmemSim {
     fn run_batch_serial(&mut self, t: SimTime, batch: &[MaintEvent], scratch: &mut ShardScratch) {
         let seed = self.config.seed;
         let n = self.trace.num_nodes();
-        // Phase 1 — propose, capturing each proposal's request (or its
-        // timeout, when the target is offline) for the commit phase.
+        // Phase 1 — propose over the sorted tick list (propose randomness
+        // is keyed per node, so iterating the sorted list instead of raw
+        // event order changes nothing), capturing each proposal's request
+        // — in ascending-initiator order, the property the commit chains
+        // rely on — or its timeout, in the pooled cohort buffers.
         let tp = self.tracer.span(PH_PROPOSE, 0);
-        let mut requests: Vec<RequestMsg> = Vec::new();
-        let mut timeouts: Vec<(u32, NodeId)> = Vec::new();
-        let mut seeds = Vec::new();
-        for &event in batch {
-            let MaintEvent::Tick(i) = event else { continue };
-            if !self.trace.is_online(i, t) {
-                continue;
-            }
-            let Some(p) =
-                propose_tick(seed, &self.online, t, i, &mut self.shuffles[i], &mut seeds)
-            else {
-                continue;
-            };
-            let target = p.target();
-            let tgt = target.raw() as usize;
-            if tgt < n && self.trace.is_online(tgt, t) {
-                let (_, request) = p.into_request();
-                requests.push(RequestMsg {
-                    initiator: i as u32,
-                    responder: tgt as u32,
-                    request,
-                });
-            } else {
-                timeouts.push((i as u32, target));
-            }
-        }
-        drop(tp);
-        // Phase 2 — commit: requests responder-major, each responder's
-        // inbound ordered by initiator; then replies and timeouts (at
-        // most one per initiator).
-        let tc = self.tracer.span(PH_COMMIT, 0);
-        requests.sort_unstable_by_key(|m| (m.responder, m.initiator));
-        let mut replies: Vec<ReplyMsg> = Vec::with_capacity(requests.len());
-        for msg in requests {
-            let reply = self.shuffles[msg.responder as usize].handle_request(msg.request);
-            replies.push(ReplyMsg {
-                initiator: msg.initiator,
-                reply,
-            });
-        }
-        replies.sort_unstable_by_key(|m| m.initiator);
-        for msg in replies {
-            self.shuffles[msg.initiator as usize].handle_reply(msg.reply);
-        }
-        for (i, target) in timeouts {
-            self.shuffles[i as usize].handle_timeout(target);
-        }
-        drop(tc);
-        // Phase 3 — finalize: discovery over the post-commit views, then
-        // refresh (canonical intra-node order; cross-node order is
-        // irrelevant, each node touches only its own lists).
-        let tf = self.tracer.span(PH_FINALIZE, 0);
         scratch.begin_cohort(1);
         for &event in batch {
             match event {
@@ -1662,6 +1682,82 @@ impl AvmemSim {
             }
         }
         scratch.build_ops();
+        let mut requests = std::mem::take(&mut scratch.req_out[0]);
+        for k in 0..scratch.ticks.len() {
+            let i = scratch.ticks[k] as usize;
+            let Some(p) = propose_tick(
+                seed,
+                &self.online,
+                t,
+                i,
+                &mut self.shuffles[i],
+                &mut scratch.seeds,
+                &mut scratch.pool,
+            ) else {
+                continue;
+            };
+            let target = p.target();
+            let tgt = target.raw() as usize;
+            if tgt < n && self.trace.is_online(tgt, t) {
+                let (_, request) = p.into_request();
+                requests.push(RequestMsg {
+                    initiator: i as u32,
+                    responder: tgt as u32,
+                    request,
+                });
+            } else {
+                p.recycle_into(&mut scratch.pool);
+                scratch.timeouts.push((i as u32, target));
+            }
+        }
+        drop(tp);
+        // Phase 2 — commit: counting-bucket chains replace the
+        // (responder, initiator) sort. Each responder's chain is already
+        // ascending by initiator (requests were generated over the
+        // sorted tick list), and cross-responder order is immaterial — a
+        // request only touches the responder's own state.
+        let tc = self.tracer.span(PH_COMMIT, 0);
+        scratch.chain_by_responder(n, requests.len(), |idx| requests[idx].responder as usize);
+        let mut replies = std::mem::take(&mut scratch.reply_out[0]);
+        for k in 0..scratch.bucket_touched.len() {
+            let r = scratch.bucket_touched[k] as usize;
+            let mut idx = scratch.bucket_head[r];
+            while idx != u32::MAX {
+                let msg = &mut requests[idx as usize];
+                let request = std::mem::replace(
+                    &mut msg.request,
+                    ShuffleMessage::Request {
+                        entries: Vec::new(),
+                    },
+                );
+                let initiator = msg.initiator;
+                let reply = self.shuffles[r].handle_request_with(request, &mut scratch.pool);
+                replies.push(ReplyMsg { initiator, reply });
+                idx = scratch.bucket_next[idx as usize];
+            }
+            scratch.bucket_head[r] = u32::MAX;
+            scratch.bucket_tail[r] = u32::MAX;
+        }
+        requests.clear();
+        scratch.req_out[0] = requests;
+        // Replies and timeouts: at most one per initiator, each touching
+        // only the initiator's own state, so application order is
+        // immaterial — no sort needed.
+        for msg in replies.drain(..) {
+            self.shuffles[msg.initiator as usize].handle_reply_with(msg.reply, &mut scratch.pool);
+        }
+        scratch.reply_out[0] = replies;
+        for k in 0..scratch.timeouts.len() {
+            let (i, target) = scratch.timeouts[k];
+            self.shuffles[i as usize].handle_timeout_with(target, &mut scratch.pool);
+        }
+        scratch.timeouts.clear();
+        drop(tc);
+        // Phase 3 — finalize: discovery over the post-commit views, then
+        // refresh (canonical intra-node order; cross-node order is
+        // irrelevant, each node touches only its own lists). The ops
+        // list was built in the propose span.
+        let tf = self.tracer.span(PH_FINALIZE, 0);
         let memo;
         let fast = if self.config.finalize_fast {
             memo = SimMemo::build(&self.predicate);
@@ -1751,9 +1847,15 @@ impl AvmemSim {
                 scratch.build_ops();
                 for k in 0..scratch.ticks.len() {
                     let i = scratch.ticks[k] as usize;
-                    let Some(p) =
-                        propose_tick(seed, online, t, i, &mut slice[i - *start], &mut scratch.seeds)
-                    else {
+                    let Some(p) = propose_tick(
+                        seed,
+                        online,
+                        t,
+                        i,
+                        &mut slice[i - *start],
+                        &mut scratch.seeds,
+                        &mut scratch.pool,
+                    ) else {
                         continue;
                     };
                     let target = p.target();
@@ -1766,6 +1868,7 @@ impl AvmemSim {
                             request,
                         });
                     } else {
+                        p.recycle_into(&mut scratch.pool);
                         scratch.timeouts.push((i as u32, target));
                     }
                 }
@@ -1774,8 +1877,11 @@ impl AvmemSim {
         drop(tp);
         let tc = tracer.span(PH_COMMIT, 0);
         // Barrier — transpose the request batches: shard `s`'s outbox for
-        // destination `d` is appended to `d`'s inbox. Iteration order is
-        // immaterial: each responder sorts its inbox before applying.
+        // destination `d` is appended to `d`'s inbox. Source shards are
+        // walked in ascending order, and each outbox is itself ascending
+        // by initiator (built over the sorted tick list) over the shard's
+        // contiguous id range — so every inbox comes out globally
+        // ascending by initiator, the order the commit chains rely on.
         for scratch in scratches.iter_mut() {
             for (d, out) in scratch.req_out.iter_mut().enumerate() {
                 if let Some(m) = &self.metrics {
@@ -1785,9 +1891,10 @@ impl AvmemSim {
                 req_in[d].append(out);
             }
         }
-        // Phase 2a — request application: each responder shard drains its
-        // inbox responder-major, ordered by initiator id (the canonical
-        // commit order), batching replies by the initiator's shard.
+        // Phase 2a — request application: each responder shard chains its
+        // inbox by responder (counting buckets — no sort; each chain is
+        // ascending by initiator, the canonical commit order) and applies
+        // chain by chain, batching replies by the initiator's shard.
         {
             let slices = part.split_mut(&mut shuffles);
             let mut tasks: Vec<(
@@ -1803,14 +1910,33 @@ impl AvmemSim {
                 .map(|(s, ((slice, scratch), inbox))| (part.range(s).start, slice, scratch, inbox))
                 .collect();
             par_each_mut(&mut tasks, threads, |_, (start, slice, scratch, inbox)| {
-                inbox.sort_unstable_by_key(|m| (m.responder, m.initiator));
-                for msg in inbox.drain(..) {
-                    let reply = slice[msg.responder as usize - *start].handle_request(msg.request);
-                    scratch.reply_out[part.owner(msg.initiator as usize)].push(ReplyMsg {
-                        initiator: msg.initiator,
-                        reply,
-                    });
+                let base = *start;
+                scratch.chain_by_responder(slice.len(), inbox.len(), |idx| {
+                    inbox[idx].responder as usize - base
+                });
+                for k in 0..scratch.bucket_touched.len() {
+                    let r = scratch.bucket_touched[k] as usize;
+                    let mut idx = scratch.bucket_head[r];
+                    while idx != u32::MAX {
+                        let msg = &mut inbox[idx as usize];
+                        let request = std::mem::replace(
+                            &mut msg.request,
+                            ShuffleMessage::Request {
+                                entries: Vec::new(),
+                            },
+                        );
+                        let initiator = msg.initiator;
+                        let reply = slice[r].handle_request_with(request, &mut scratch.pool);
+                        scratch.reply_out[part.owner(initiator as usize)].push(ReplyMsg {
+                            initiator,
+                            reply,
+                        });
+                        idx = scratch.bucket_next[idx as usize];
+                    }
+                    scratch.bucket_head[r] = u32::MAX;
+                    scratch.bucket_tail[r] = u32::MAX;
                 }
+                inbox.clear();
             });
         }
         // Barrier — transpose the reply batches back to their initiators.
@@ -1824,8 +1950,8 @@ impl AvmemSim {
             }
         }
         // Phase 2b — reply/timeout application: at most one per
-        // initiator, so order within the shard is immaterial (sorted
-        // anyway for a deterministic walk).
+        // initiator, each touching only the initiator's own state, so
+        // application order is immaterial — the inbox drains as-is.
         {
             let slices = part.split_mut(&mut shuffles);
             let mut tasks: Vec<(
@@ -1841,12 +1967,13 @@ impl AvmemSim {
                 .map(|(s, ((slice, scratch), inbox))| (part.range(s).start, slice, scratch, inbox))
                 .collect();
             par_each_mut(&mut tasks, threads, |_, (start, slice, scratch, inbox)| {
-                inbox.sort_unstable_by_key(|m| m.initiator);
                 for msg in inbox.drain(..) {
-                    slice[msg.initiator as usize - *start].handle_reply(msg.reply);
+                    slice[msg.initiator as usize - *start]
+                        .handle_reply_with(msg.reply, &mut scratch.pool);
                 }
-                for &(i, target) in scratch.timeouts.iter() {
-                    slice[i as usize - *start].handle_timeout(target);
+                for k in 0..scratch.timeouts.len() {
+                    let (i, target) = scratch.timeouts[k];
+                    slice[i as usize - *start].handle_timeout_with(target, &mut scratch.pool);
                 }
                 scratch.timeouts.clear();
             });
@@ -1923,8 +2050,8 @@ impl AvmemSim {
                     online: self.trace.is_online(i, self.now),
                     estimated_availability: estimated,
                     true_availability: self.trace.long_term_availability(i),
-                    hs: self.memberships[i].hs().iter().map(|nb| nb.id).collect(),
-                    vs: self.memberships[i].vs().iter().map(|nb| nb.id).collect(),
+                    hs: self.memberships[i].hs().map(|nb| nb.id).collect(),
+                    vs: self.memberships[i].vs().map(|nb| nb.id).collect(),
                 }
             })
             .collect();
@@ -1976,9 +2103,9 @@ impl AvmemSim {
                 continue;
             }
             let membership = &self.memberships[i];
-            degree_sum += (membership.hs().len() + membership.vs().len()) as f64;
-            for neighbor in membership.hs().iter().chain(membership.vs().iter()) {
-                let j = neighbor.id.raw() as usize;
+            degree_sum += membership.len() as f64;
+            for neighbor_id in membership.neighbor_ids(SliverScope::Both) {
+                let j = neighbor_id.raw() as usize;
                 if online[j] {
                     let (a, b) = (find(&mut parent, i as u32), find(&mut parent, j as u32));
                     if a != b {
@@ -2121,10 +2248,7 @@ impl OverlayWorld for WorldView<'_> {
     }
 
     fn neighbors(&self, id: NodeId, scope: SliverScope) -> Vec<Neighbor> {
-        self.memberships[id.raw() as usize]
-            .neighbors(scope)
-            .copied()
-            .collect()
+        self.memberships[id.raw() as usize].neighbors(scope).collect()
     }
 }
 
@@ -2401,8 +2525,8 @@ mod tests {
         let snapshot = sim.snapshot();
         for node in snapshot.nodes() {
             let membership = sim.membership(node.id);
-            assert_eq!(membership.hs().len(), node.hs.len());
-            assert_eq!(membership.vs().len(), node.vs.len());
+            assert_eq!(membership.hs_len(), node.hs.len());
+            assert_eq!(membership.vs_len(), node.vs.len());
         }
     }
 

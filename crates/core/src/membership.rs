@@ -15,6 +15,17 @@
 //!   cached values are what anycast/multicast forwarding decisions use
 //!   ("node x … uses cached values of availabilities for its neighbors",
 //!   §3.2).
+//!
+//! # Storage
+//!
+//! Both slivers live in one struct-of-arrays block — `ids: Vec<u32>`
+//! (index-space node ids), `avs: Vec<Availability>`, and byte-packed
+//! [`Stamp`]s (compact u32-millisecond added/refreshed instants) — with
+//! the horizontal sliver occupying the first `hs_len` slots. That is
+//! 20 bytes per neighbor instead of the 32 of the former
+//! `Vec<Neighbor>` pair, the dominant term of resident-set size at 10⁶
+//! hosts. The public API still speaks [`Neighbor`] (materialized on the
+//! fly); ids above `u32::MAX` are rejected by the index-space contract.
 
 use avmem_avmon::AvailabilityOracle;
 use avmem_sim::SimTime;
@@ -60,6 +71,14 @@ pub struct Neighbor {
     pub refreshed_at: SimTime,
 }
 
+/// Byte-packed added/refreshed instants of one slot (compact
+/// u32-millisecond stamps, see [`SimTime::as_compact_ms`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Stamp {
+    added_ms: u32,
+    refreshed_ms: u32,
+}
+
 /// Outcome of a refresh pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RefreshOutcome {
@@ -71,6 +90,11 @@ pub struct RefreshOutcome {
     pub migrated: usize,
     /// Neighbors kept (cached availability updated).
     pub kept: usize,
+}
+
+#[inline]
+fn packed_id(id: NodeId) -> u32 {
+    u32::try_from(id.raw()).expect("membership ids are index-space (must fit u32)")
 }
 
 /// The HS + VS membership state of one node.
@@ -100,8 +124,11 @@ pub struct RefreshOutcome {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Membership {
     owner: NodeId,
-    hs: Vec<Neighbor>,
-    vs: Vec<Neighbor>,
+    /// `[HS | VS]`: slots `0..hs_len` are horizontal, the rest vertical.
+    ids: Vec<u32>,
+    avs: Vec<Availability>,
+    stamps: Vec<Stamp>,
+    hs_len: u32,
 }
 
 impl Membership {
@@ -109,8 +136,10 @@ impl Membership {
     pub fn new(owner: NodeId) -> Self {
         Membership {
             owner,
-            hs: Vec::new(),
-            vs: Vec::new(),
+            ids: Vec::new(),
+            avs: Vec::new(),
+            stamps: Vec::new(),
+            hs_len: 0,
         }
     }
 
@@ -119,47 +148,109 @@ impl Membership {
         self.owner
     }
 
-    /// The horizontal sliver.
-    pub fn hs(&self) -> &[Neighbor] {
-        &self.hs
+    #[inline]
+    fn neighbor_at(&self, pos: usize) -> Neighbor {
+        Neighbor {
+            id: NodeId::new(u64::from(self.ids[pos])),
+            cached_availability: self.avs[pos],
+            added_at: SimTime::from_compact_ms(self.stamps[pos].added_ms),
+            refreshed_at: SimTime::from_compact_ms(self.stamps[pos].refreshed_ms),
+        }
     }
 
-    /// The vertical sliver.
-    pub fn vs(&self) -> &[Neighbor] {
-        &self.vs
+    /// The horizontal sliver, in insertion order.
+    pub fn hs(&self) -> impl Iterator<Item = Neighbor> + '_ {
+        (0..self.hs_len as usize).map(|pos| self.neighbor_at(pos))
+    }
+
+    /// The vertical sliver, in insertion order.
+    pub fn vs(&self) -> impl Iterator<Item = Neighbor> + '_ {
+        (self.hs_len as usize..self.ids.len()).map(|pos| self.neighbor_at(pos))
+    }
+
+    /// Horizontal-sliver entry count.
+    pub fn hs_len(&self) -> usize {
+        self.hs_len as usize
+    }
+
+    /// Vertical-sliver entry count.
+    pub fn vs_len(&self) -> usize {
+        self.ids.len() - self.hs_len as usize
     }
 
     /// Total neighbor count (HS + VS).
     pub fn len(&self) -> usize {
-        self.hs.len() + self.vs.len()
+        self.ids.len()
     }
 
     /// Whether both lists are empty.
     pub fn is_empty(&self) -> bool {
-        self.hs.is_empty() && self.vs.is_empty()
+        self.ids.is_empty()
     }
 
     /// Whether `id` is currently a neighbor (either sliver).
     pub fn contains(&self, id: NodeId) -> bool {
-        self.hs.iter().any(|n| n.id == id) || self.vs.iter().any(|n| n.id == id)
+        match u32::try_from(id.raw()) {
+            Ok(raw) => self.ids.contains(&raw),
+            Err(_) => false,
+        }
     }
 
     /// Iterates neighbors in the given scope (HS first, then VS, each in
     /// insertion order — the deterministic order gossip target selection
     /// relies on).
-    pub fn neighbors(&self, scope: SliverScope) -> impl Iterator<Item = &Neighbor> + '_ {
-        let hs = matches!(scope, SliverScope::HsOnly | SliverScope::Both);
-        let vs = matches!(scope, SliverScope::VsOnly | SliverScope::Both);
-        self.hs
-            .iter()
-            .filter(move |_| hs)
-            .chain(self.vs.iter().filter(move |_| vs))
+    pub fn neighbors(&self, scope: SliverScope) -> impl Iterator<Item = Neighbor> + '_ {
+        let (start, end) = match scope {
+            SliverScope::HsOnly => (0, self.hs_len as usize),
+            SliverScope::VsOnly => (self.hs_len as usize, self.ids.len()),
+            SliverScope::Both => (0, self.ids.len()),
+        };
+        (start..end).map(|pos| self.neighbor_at(pos))
+    }
+
+    /// Iterates neighbor ids in the given scope without materializing
+    /// [`Neighbor`]s — the cheap form for degree/health accounting.
+    pub fn neighbor_ids(&self, scope: SliverScope) -> impl Iterator<Item = NodeId> + '_ {
+        let (start, end) = match scope {
+            SliverScope::HsOnly => (0, self.hs_len as usize),
+            SliverScope::VsOnly => (self.hs_len as usize, self.ids.len()),
+            SliverScope::Both => (0, self.ids.len()),
+        };
+        self.ids[start..end].iter().map(|&id| NodeId::new(u64::from(id)))
     }
 
     /// Drops all neighbors (a node that lost its soft state).
     pub fn clear(&mut self) {
-        self.hs.clear();
-        self.vs.clear();
+        self.ids.clear();
+        self.avs.clear();
+        self.stamps.clear();
+        self.hs_len = 0;
+    }
+
+    /// Appends to the end of the HS region (slot `hs_len`), preserving
+    /// both slivers' relative orders.
+    fn push_hs(&mut self, neighbor: Neighbor) {
+        let pos = self.hs_len as usize;
+        self.ids.insert(pos, packed_id(neighbor.id));
+        self.avs.insert(pos, neighbor.cached_availability);
+        self.stamps.insert(
+            pos,
+            Stamp {
+                added_ms: neighbor.added_at.as_compact_ms(),
+                refreshed_ms: neighbor.refreshed_at.as_compact_ms(),
+            },
+        );
+        self.hs_len += 1;
+    }
+
+    /// Appends to the end of the VS region (the arrays' tail).
+    fn push_vs(&mut self, neighbor: Neighbor) {
+        self.ids.push(packed_id(neighbor.id));
+        self.avs.push(neighbor.cached_availability);
+        self.stamps.push(Stamp {
+            added_ms: neighbor.added_at.as_compact_ms(),
+            refreshed_ms: neighbor.refreshed_at.as_compact_ms(),
+        });
     }
 
     /// Inserts an already-classified neighbor, skipping duplicates and
@@ -173,8 +264,8 @@ impl Membership {
             return false;
         }
         match sliver {
-            Sliver::Horizontal => self.hs.push(neighbor),
-            Sliver::Vertical => self.vs.push(neighbor),
+            Sliver::Horizontal => self.push_hs(neighbor),
+            Sliver::Vertical => self.push_vs(neighbor),
         }
         true
     }
@@ -182,13 +273,19 @@ impl Membership {
     /// Removes a neighbor from whichever list holds it, returning the
     /// entry and the sliver it occupied.
     pub fn remove(&mut self, id: NodeId) -> Option<(Neighbor, Sliver)> {
-        if let Some(pos) = self.hs.iter().position(|n| n.id == id) {
-            return Some((self.hs.remove(pos), Sliver::Horizontal));
-        }
-        if let Some(pos) = self.vs.iter().position(|n| n.id == id) {
-            return Some((self.vs.remove(pos), Sliver::Vertical));
-        }
-        None
+        let raw = u32::try_from(id.raw()).ok()?;
+        let pos = self.ids.iter().position(|&e| e == raw)?;
+        let neighbor = self.neighbor_at(pos);
+        let sliver = if pos < self.hs_len as usize {
+            self.hs_len -= 1;
+            Sliver::Horizontal
+        } else {
+            Sliver::Vertical
+        };
+        self.ids.remove(pos);
+        self.avs.remove(pos);
+        self.stamps.remove(pos);
+        Some((neighbor, sliver))
     }
 
     /// Discovery sub-protocol: for each candidate not already a neighbor,
@@ -229,8 +326,8 @@ impl Membership {
                     refreshed_at: now,
                 };
                 match sliver {
-                    Sliver::Horizontal => self.hs.push(neighbor),
-                    Sliver::Vertical => self.vs.push(neighbor),
+                    Sliver::Horizontal => self.push_hs(neighbor),
+                    Sliver::Vertical => self.push_vs(neighbor),
                 }
                 added += 1;
             }
@@ -286,35 +383,63 @@ impl Membership {
     {
         let mut outcome = RefreshOutcome::default();
         migrants.clear();
-        let mut revalidate = |list: &mut Vec<Neighbor>,
-                              expected: Sliver,
-                              migrants: &mut Vec<(Neighbor, Sliver)>| {
-            list.retain_mut(|neighbor| match eval(neighbor.id) {
+        let now_ms = now.as_compact_ms();
+        let hs_end = self.hs_len as usize;
+        let total = self.ids.len();
+        // Single compaction sweep over `[HS | VS]`: kept entries slide to
+        // the write cursor (order preserved within each region), evicted
+        // entries vanish, migrants are parked in `migrants` and appended
+        // to their new region afterwards — the same final layout as the
+        // old per-list `retain_mut` + append scheme.
+        let mut write = 0usize;
+        let mut hs_kept = 0usize;
+        for read in 0..total {
+            let expected = if read < hs_end {
+                Sliver::Horizontal
+            } else {
+                Sliver::Vertical
+            };
+            let id = NodeId::new(u64::from(self.ids[read]));
+            match eval(id) {
                 None => {
                     outcome.evicted += 1;
-                    false
                 }
                 Some((fresh_av, sliver)) => {
-                    neighbor.cached_availability = fresh_av;
-                    neighbor.refreshed_at = now;
                     if sliver == expected {
                         outcome.kept += 1;
-                        true
+                        self.ids[write] = self.ids[read];
+                        self.avs[write] = fresh_av;
+                        self.stamps[write] = Stamp {
+                            added_ms: self.stamps[read].added_ms,
+                            refreshed_ms: now_ms,
+                        };
+                        if expected == Sliver::Horizontal {
+                            hs_kept += 1;
+                        }
+                        write += 1;
                     } else {
-                        migrants.push((*neighbor, sliver));
                         outcome.migrated += 1;
-                        false
+                        migrants.push((
+                            Neighbor {
+                                id,
+                                cached_availability: fresh_av,
+                                added_at: SimTime::from_compact_ms(self.stamps[read].added_ms),
+                                refreshed_at: now,
+                            },
+                            sliver,
+                        ));
                     }
                 }
-            });
-        };
-
-        revalidate(&mut self.hs, Sliver::Horizontal, migrants);
-        revalidate(&mut self.vs, Sliver::Vertical, migrants);
+            }
+        }
+        self.ids.truncate(write);
+        self.avs.truncate(write);
+        self.stamps.truncate(write);
+        self.hs_len = hs_kept as u32;
         for (neighbor, sliver) in migrants.drain(..) {
             match sliver {
-                Sliver::Horizontal => self.hs.push(neighbor),
-                Sliver::Vertical => self.vs.push(neighbor),
+                Sliver::Horizontal => self.push_hs(neighbor),
+                Sliver::Vertical => self.push_vs(neighbor),
             }
         }
         outcome
@@ -332,10 +457,11 @@ impl Membership {
     /// sliver it did then — no evictions, no migrations, identical cached
     /// values — so skipping the per-neighbor work is bit-identical.
     pub fn touch_refreshed(&mut self, now: SimTime) -> usize {
-        for neighbor in self.hs.iter_mut().chain(self.vs.iter_mut()) {
-            neighbor.refreshed_at = now;
+        let now_ms = now.as_compact_ms();
+        for stamp in &mut self.stamps {
+            stamp.refreshed_ms = now_ms;
         }
-        self.hs.len() + self.vs.len()
+        self.ids.len()
     }
 }
 
@@ -392,6 +518,14 @@ mod tests {
         NodeInfo::new(NodeId::new(0), Availability::saturating(0.5))
     }
 
+    fn hs_vec(m: &Membership) -> Vec<Neighbor> {
+        m.hs().collect()
+    }
+
+    fn vs_vec(m: &Membership) -> Vec<Neighbor> {
+        m.vs().collect()
+    }
+
     #[test]
     fn discover_classifies_into_slivers() {
         let mut oracle = TableOracle::default();
@@ -407,10 +541,10 @@ mod tests {
             SimTime::ZERO,
         );
         assert_eq!(added, 2);
-        assert_eq!(m.hs().len(), 1);
-        assert_eq!(m.vs().len(), 1);
-        assert_eq!(m.hs()[0].id, NodeId::new(1));
-        assert_eq!(m.vs()[0].id, NodeId::new(2));
+        assert_eq!(m.hs_len(), 1);
+        assert_eq!(m.vs_len(), 1);
+        assert_eq!(hs_vec(&m)[0].id, NodeId::new(1));
+        assert_eq!(vs_vec(&m)[0].id, NodeId::new(2));
     }
 
     #[test]
@@ -451,14 +585,14 @@ mod tests {
         let pred = take_all_predicate();
         let mut m = Membership::new(NodeId::new(0));
         m.discover(me(), [NodeId::new(1)], &oracle, &pred, SimTime::ZERO);
-        assert_eq!(m.hs().len(), 1);
+        assert_eq!(m.hs_len(), 1);
         // Availability drifts out of the ±0.1 band.
         oracle.set(1, 0.8);
         let outcome = m.refresh(me(), &oracle, &pred, SimTime::from_millis(1));
         assert_eq!(outcome.migrated, 1);
-        assert_eq!(m.hs().len(), 0);
-        assert_eq!(m.vs().len(), 1);
-        assert_eq!(m.vs()[0].cached_availability.value(), 0.8);
+        assert_eq!(m.hs_len(), 0);
+        assert_eq!(m.vs_len(), 1);
+        assert_eq!(vs_vec(&m)[0].cached_availability.value(), 0.8);
     }
 
     #[test]
@@ -472,9 +606,10 @@ mod tests {
         let later = SimTime::from_millis(60_000);
         let outcome = m.refresh(me(), &oracle, &pred, later);
         assert_eq!(outcome.kept, 1);
-        assert_eq!(m.hs()[0].cached_availability.value(), 0.55);
-        assert_eq!(m.hs()[0].refreshed_at, later);
-        assert_eq!(m.hs()[0].added_at, SimTime::ZERO);
+        let hs = hs_vec(&m);
+        assert_eq!(hs[0].cached_availability.value(), 0.55);
+        assert_eq!(hs[0].refreshed_at, later);
+        assert_eq!(hs[0].added_at, SimTime::ZERO);
     }
 
     #[test]
@@ -491,7 +626,7 @@ mod tests {
         oracle.set(1, 0.52);
         let mut m = Membership::new(NodeId::new(0));
         m.discover(me(), [NodeId::new(1)], &oracle, &pred, SimTime::ZERO);
-        assert_eq!(m.hs().len(), 1);
+        assert_eq!(m.hs_len(), 1);
         // Drift out of band: vertical rule rejects everything → eviction,
         // within one refresh (the paper's "worst case 1 protocol period").
         oracle.set(1, 0.9);
@@ -525,12 +660,13 @@ mod tests {
         assert_eq!(outcome, RefreshOutcome { evicted: 1, migrated: 1, kept: 2 });
         // Kept entries stay in place (no remove/reinsert cycling); the
         // migrant lands after the retained VS entries.
-        let hs: Vec<u64> = m.hs().iter().map(|n| n.id.raw()).collect();
-        let vs: Vec<u64> = m.vs().iter().map(|n| n.id.raw()).collect();
+        let hs: Vec<u64> = m.hs().map(|n| n.id.raw()).collect();
+        let vs: Vec<u64> = m.vs().map(|n| n.id.raw()).collect();
         assert_eq!(hs, vec![1]);
         assert_eq!(vs, vec![4, 3]);
-        assert_eq!(m.hs()[0].cached_availability.value(), 0.51);
-        assert_eq!(m.hs()[0].refreshed_at, later);
+        let first = hs_vec(&m)[0];
+        assert_eq!(first.cached_availability.value(), 0.51);
+        assert_eq!(first.refreshed_at, later);
         assert!(migrants.is_empty(), "scratch must be drained for reuse");
     }
 
@@ -551,6 +687,7 @@ mod tests {
         assert_eq!(m.neighbors(SliverScope::HsOnly).count(), 1);
         assert_eq!(m.neighbors(SliverScope::VsOnly).count(), 1);
         assert_eq!(m.neighbors(SliverScope::Both).count(), 2);
+        assert_eq!(m.neighbor_ids(SliverScope::Both).count(), 2);
     }
 
     #[test]
@@ -611,6 +748,26 @@ mod tests {
             .map(|n| n.id.raw())
             .collect();
         assert_eq!(order, vec![3, 5]);
+    }
+
+    #[test]
+    fn compact_stamps_round_trip() {
+        let mut m = Membership::new(NodeId::new(0));
+        let added = SimTime::from_millis(86_400_000); // one simulated day
+        m.insert(
+            Neighbor {
+                id: NodeId::new(1),
+                cached_availability: Availability::saturating(0.5),
+                added_at: added,
+                refreshed_at: added,
+            },
+            Sliver::Horizontal,
+        );
+        let later = SimTime::from_millis(86_460_000);
+        m.touch_refreshed(later);
+        let entry = hs_vec(&m)[0];
+        assert_eq!(entry.added_at, added);
+        assert_eq!(entry.refreshed_at, later);
     }
 
     #[test]

@@ -178,6 +178,27 @@ fn sharded_matches_serial_fast_periods_exact_oracle() {
 }
 
 #[test]
+fn pooled_commit_buffers_match_serial_across_full_matrix() {
+    // Commit-path stress leg: 15s protocol periods maximise shuffle
+    // traffic, so the counting-bucket placement and the recycled cohort
+    // buffers (outboxes, transpose scratch, timeout notices) are
+    // exercised thousands of times per run. Pinned across the *full*
+    // shard x thread matrix: any stale byte leaking out of a pooled
+    // buffer, or any ordering drift in the bucketed commit, breaks
+    // bit-identity with the allocating serial reference.
+    check_cell(
+        120,
+        23,
+        OracleChoice::Exact,
+        fast_periods(),
+        2,
+        0.5,
+        true,
+        "pooled counting-bucket commit / full shard x thread matrix",
+    );
+}
+
+#[test]
 fn sharded_matches_serial_fast_periods_shared_noise_oracle() {
     check_cell(
         120,

@@ -62,8 +62,8 @@ fn rebuilt_sets(sim: &AvmemSim) -> Vec<(BTreeSet<u64>, BTreeSet<u64>)> {
         .map(|x| {
             let m = sim.membership(NodeId::new(x as u64));
             (
-                m.hs().iter().map(|nb| nb.id.raw()).collect(),
-                m.vs().iter().map(|nb| nb.id.raw()).collect(),
+                m.hs().map(|nb| nb.id.raw()).collect(),
+                m.vs().map(|nb| nb.id.raw()).collect(),
             )
         })
         .collect()

@@ -48,6 +48,9 @@ fn usage() -> &'static str {
      \x20 --duration-mins <n>         override the spec's measured duration\n\
      \x20 --json                      print the report as JSON\n\
      \n\
+     run options:\n\
+     \x20 --assert-peak-rss-mb <n>    exit non-zero if peak RSS exceeds n MiB (CI memory smoke)\n\
+     \n\
      serve options:\n\
      \x20 --for-mins <n>              serve only the first n minutes of the window\n\
      \x20 --ops-per-day <r>           sustained rate in operations per simulated day\n\
@@ -247,12 +250,20 @@ fn run(which: &str, options: &[String]) -> ExitCode {
     };
 
     let mut common = Common::default();
+    let mut rss_ceiling_mb: Option<u64> = None;
     let mut iter = options.iter();
     while let Some(option) = iter.next() {
         match common.consume(&mut spec, option, &mut iter) {
-            Ok(true) => {}
-            Ok(false) => return fail(&format!("unknown run option {option:?}")),
+            Ok(true) => continue,
+            Ok(false) => {}
             Err(message) => return fail(&message),
+        }
+        match option.as_str() {
+            "--assert-peak-rss-mb" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(mb) => rss_ceiling_mb = Some(mb),
+                None => return fail("--assert-peak-rss-mb needs an integer (MiB)"),
+            },
+            other => return fail(&format!("unknown run option {other:?}")),
         }
     }
     common.apply_engine(&mut spec);
@@ -274,6 +285,18 @@ fn run(which: &str, options: &[String]) -> ExitCode {
                 println!("{}", report.render_json());
             } else {
                 print!("{}", report.render_text());
+            }
+            if let Some(ceiling) = rss_ceiling_mb {
+                let Some(peak) = report.memory.peak_rss_bytes else {
+                    return fail("--assert-peak-rss-mb: peak RSS not observable here");
+                };
+                let peak_mb = peak / (1024 * 1024);
+                if peak_mb > ceiling {
+                    return fail(&format!(
+                        "peak RSS {peak_mb} MiB exceeds the asserted ceiling {ceiling} MiB"
+                    ));
+                }
+                eprintln!("peak RSS {peak_mb} MiB within the {ceiling} MiB ceiling");
             }
             ExitCode::SUCCESS
         }

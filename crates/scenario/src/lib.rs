@@ -55,13 +55,14 @@ pub mod sweep;
 
 pub use parse::{parse_spec, ParseError};
 pub use report::{
-    AnycastStats, AttackStats, EstimatorAccuracy, HealthSample, MulticastStats, ScenarioReport,
+    AnycastStats, AttackStats, EstimatorAccuracy, HealthSample, MemoryStats, MulticastStats,
+    ScenarioReport,
 };
 pub use runner::{RunSession, ScenarioRunner};
 pub use serve::{ServeOptions, ServeOutcome};
 pub use spec::{
     AdversarySpec, AssignmentSpec, BandSpec, ChurnSpec, EngineSpec, MaintenanceModeSpec,
-    MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ScenarioError,
-    ScenarioSpec, ScopeSpec, ServeSpec, TargetMix, TargetSpec, WorkloadSpec,
+    MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ReportSpec,
+    ScenarioError, ScenarioSpec, ScopeSpec, ServeSpec, TargetMix, TargetSpec, WorkloadSpec,
 };
 pub use sweep::{SweepEngine, SweepMetric, SweepOptions, SweepSummary};

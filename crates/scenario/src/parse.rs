@@ -19,8 +19,8 @@ use std::collections::BTreeMap;
 
 use crate::spec::{
     AdversarySpec, AssignmentSpec, BandSpec, ChurnSpec, EngineSpec, MaintenanceModeSpec,
-    MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ScenarioSpec,
-    ScopeSpec, ServeSpec, TargetMix, TargetSpec, WorkloadSpec,
+    MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec, ReportSpec,
+    ScenarioSpec, ScopeSpec, ServeSpec, TargetMix, TargetSpec, WorkloadSpec,
 };
 
 /// A parse failure, located at a 1-based source line.
@@ -122,7 +122,7 @@ fn split_raw(input: &str) -> Result<RawDoc, ParseError> {
                 return Err(ParseError::new(lineno, format!("unterminated [...]: {line:?}")));
             };
             let name = name.trim().to_string();
-            const KNOWN: [&str; 7] = [
+            const KNOWN: [&str; 8] = [
                 "churn",
                 "predicate",
                 "oracle",
@@ -130,6 +130,7 @@ fn split_raw(input: &str) -> Result<RawDoc, ParseError> {
                 "workload",
                 "adversary",
                 "serve",
+                "report",
             ];
             if !KNOWN.contains(&name.as_str()) {
                 return Err(ParseError::new(lineno, format!("unknown section [{name}]")));
@@ -732,6 +733,20 @@ pub fn parse_spec(input: &str) -> Result<ScenarioSpec, ParseError> {
         }
     };
 
+    let report = match doc.sections.get("report") {
+        None => ReportSpec::default(),
+        Some(raw) => {
+            let mut section = Section::new("report", raw);
+            let defaults = ReportSpec::default();
+            let spec = ReportSpec {
+                estimator_samples: section
+                    .u64_or("estimator_samples", defaults.estimator_samples)?,
+            };
+            section.finish()?;
+            spec
+        }
+    };
+
     Ok(ScenarioSpec {
         name,
         seed,
@@ -754,6 +769,7 @@ pub fn parse_spec(input: &str) -> Result<ScenarioSpec, ParseError> {
         },
         adversary,
         serve,
+        report,
     })
 }
 
@@ -940,6 +956,12 @@ impl ScenarioSpec {
             }
             writeln!(w, "pace = {:?}", serve.pace).unwrap();
             writeln!(w, "lag_budget_ms = {}", serve.lag_budget_ms).unwrap();
+        }
+        // All-defaults report settings render as nothing: old spec files
+        // stay canonical and the section only appears when it matters.
+        if self.report != ReportSpec::default() {
+            writeln!(w, "\n[report]").unwrap();
+            writeln!(w, "estimator_samples = {}", self.report.estimator_samples).unwrap();
         }
         out
     }

@@ -179,6 +179,31 @@ impl EstimatorAccuracy {
     }
 }
 
+/// Process-memory observations captured when the run finishes: peak
+/// resident set from the kernel, plus heap-allocator gauges when the
+/// binary was built with the `heap-stats` counting allocator. These are
+/// environment facts, not functions of `(spec, seed)`, so they are
+/// excluded from report equality exactly like wall-clock timings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryStats {
+    /// Peak resident set size (Linux `VmHWM`), bytes. `None` when the
+    /// platform does not expose it.
+    pub peak_rss_bytes: Option<u64>,
+    /// Bytes live on the heap at report time (`heap-stats` builds only).
+    pub heap_live_bytes: Option<u64>,
+    /// Peak bytes ever live on the heap (`heap-stats` builds only).
+    pub heap_peak_bytes: Option<u64>,
+    /// Allocation calls over the process lifetime (`heap-stats` only).
+    pub heap_alloc_calls: Option<u64>,
+}
+
+impl MemoryStats {
+    /// True when nothing was observed (non-Linux, no counting allocator).
+    pub fn is_empty(&self) -> bool {
+        *self == MemoryStats::default()
+    }
+}
+
 /// One overlay-health sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthSample {
@@ -240,6 +265,9 @@ pub struct ScenarioReport {
     /// counts split the cache work differently while producing the same
     /// overlay state.
     pub finalize: avmem::FinalizeStats,
+    /// Process-memory observations (peak RSS, heap gauges). Excluded
+    /// from `==`: memory is an environment fact, not a spec function.
+    pub memory: MemoryStats,
 }
 
 impl PartialEq for ScenarioReport {
@@ -434,6 +462,23 @@ impl ScenarioReport {
             )
             .unwrap();
         }
+        let mem = &self.memory;
+        if !mem.is_empty() {
+            let field = |label: &str, bytes: Option<u64>| match bytes {
+                Some(b) => format!("{label} {:.1} MiB", b as f64 / (1024.0 * 1024.0)),
+                None => format!("{label} -"),
+            };
+            writeln!(
+                w,
+                "memory: {}  {}  {}  allocs {}",
+                field("peak RSS", mem.peak_rss_bytes),
+                field("heap live", mem.heap_live_bytes),
+                field("heap peak", mem.heap_peak_bytes),
+                mem.heap_alloc_calls
+                    .map_or_else(|| "-".to_string(), |c| c.to_string())
+            )
+            .unwrap();
+        }
         out
     }
 
@@ -551,7 +596,7 @@ impl ScenarioReport {
             ",\"finalize\":{{\"memo_hits\":{},\"memo_misses\":{},\"memo_bypassed\":{},\
              \"refresh_skipped\":{},\"refresh_evaluated\":{},\"discover_pruned\":{},\
              \"batched_estimates\":{},\
-             \"pair_hash\":{{\"hits\":{},\"misses\":{},\"delegated\":{},\"flushes\":{}}}}}}}",
+             \"pair_hash\":{{\"hits\":{},\"misses\":{},\"delegated\":{},\"flushes\":{}}}}}",
             f.memo_hits,
             f.memo_misses,
             f.memo_bypassed,
@@ -563,6 +608,17 @@ impl ScenarioReport {
             f.pair_hash.misses,
             f.pair_hash.delegated,
             f.pair_hash.flushes
+        )
+        .unwrap();
+        let mem = &self.memory;
+        write!(
+            w,
+            ",\"memory\":{{\"peak_rss_bytes\":{},\"heap_live_bytes\":{},\
+             \"heap_peak_bytes\":{},\"heap_alloc_calls\":{}}}}}",
+            json_opt_u64(mem.peak_rss_bytes),
+            json_opt_u64(mem.heap_live_bytes),
+            json_opt_u64(mem.heap_peak_bytes),
+            json_opt_u64(mem.heap_alloc_calls)
         )
         .unwrap();
         out
@@ -589,6 +645,10 @@ fn json_f64(value: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+fn json_opt_u64(value: Option<u64>) -> String {
+    value.map_or_else(|| "null".to_string(), |v| v.to_string())
 }
 
 #[cfg(test)]
@@ -671,6 +731,12 @@ mod tests {
                     ..Default::default()
                 },
                 ..Default::default()
+            },
+            memory: MemoryStats {
+                peak_rss_bytes: Some(512 * 1024 * 1024),
+                heap_live_bytes: Some(100 * 1024 * 1024),
+                heap_peak_bytes: Some(300 * 1024 * 1024),
+                heap_alloc_calls: Some(123_456),
             },
         }
     }
@@ -795,5 +861,31 @@ mod tests {
         let mut b = sample_report();
         b.finalize = avmem::FinalizeStats::default();
         assert_eq!(a, b, "finalize counters must not affect report equality");
+    }
+
+    #[test]
+    fn equality_ignores_memory_observations() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.memory = MemoryStats::default();
+        assert_eq!(a, b, "memory gauges must not affect report equality");
+    }
+
+    #[test]
+    fn renderings_carry_memory_observations() {
+        let report = sample_report();
+        let text = report.render_text();
+        assert!(text.contains("memory: peak RSS 512.0 MiB"), "{text}");
+        assert!(text.contains("heap peak 300.0 MiB"), "{text}");
+        assert!(text.contains("allocs 123456"), "{text}");
+        let json = report.render_json();
+        assert!(json.contains("\"memory\":{\"peak_rss_bytes\":536870912"), "{json}");
+        assert!(json.contains("\"heap_alloc_calls\":123456"), "{json}");
+        // A build with no observations drops the text line but keeps the
+        // JSON object (nulls) for a stable schema.
+        let mut quiet = sample_report();
+        quiet.memory = MemoryStats::default();
+        assert!(!quiet.render_text().contains("memory: peak RSS"));
+        assert!(quiet.render_json().contains("\"memory\":{\"peak_rss_bytes\":null"));
     }
 }

@@ -47,8 +47,8 @@ use avmem_trace::ChurnTrace;
 use avmem_util::{NodeId, Rng, SplitMix64};
 
 use crate::report::{
-    AnycastStats, AttackStats, EstimatorAccuracy, HealthSample, MulticastStats, ScenarioReport,
-    DECILES, HOPS_BUCKETS,
+    AnycastStats, AttackStats, EstimatorAccuracy, HealthSample, MemoryStats, MulticastStats,
+    ScenarioReport, DECILES, HOPS_BUCKETS,
 };
 use crate::spec::{BandSpec, MaintenanceModeSpec, ScenarioError, ScenarioSpec};
 
@@ -64,10 +64,6 @@ const STREAM_NET: u64 = 0x5ce0_0005;
 const STREAM_PROBE: u64 = 0x5ce0_0006;
 /// Estimator-accuracy sampling; keyed by health-sample index, not op.
 const STREAM_MAE: u64 = 0x5ce0_0007;
-
-/// (querier, target) pairs drawn per health boundary for the estimator
-/// MAE series.
-const MAE_SAMPLES_PER_HEALTH: u64 = 512;
 
 /// Rejection-sampling tries before an initiator pick falls back to the
 /// exact eligible scan. With fraction `p` of the population eligible,
@@ -306,6 +302,9 @@ struct ScenarioInstruments {
     largest_component: Gauge,
     backlog: Gauge,
     mae: Gauge,
+    heap_live: Gauge,
+    heap_peak: Gauge,
+    rss_peak: Gauge,
 }
 
 impl ScenarioInstruments {
@@ -370,6 +369,21 @@ impl ScenarioInstruments {
                 "Sampled estimator mean absolute error.",
                 &[("strategy", strategy)],
             ),
+            heap_live: registry.gauge(
+                "avmem_heap_live_bytes",
+                "Live heap bytes (counting allocator; 0 without heap-stats).",
+                &[],
+            ),
+            heap_peak: registry.gauge(
+                "avmem_heap_peak_bytes",
+                "Peak heap bytes since process start (counting allocator).",
+                &[],
+            ),
+            rss_peak: registry.gauge(
+                "avmem_rss_peak_bytes",
+                "Kernel peak resident set size (VmHWM; 0 off-Linux).",
+                &[],
+            ),
         }
     }
 
@@ -379,6 +393,14 @@ impl ScenarioInstruments {
         self.largest_component.set(sample.largest_component);
         self.backlog.set(backlog as f64);
         self.mae.set(mae);
+        // Memory refreshes on the health cadence too: cheap (one atomic
+        // read per heap gauge, one /proc read) and exactly the rhythm a
+        // live dashboard samples at.
+        let heap = avmem_util::heap::heap_stats();
+        self.heap_live.set(heap.live_bytes as f64);
+        self.heap_peak.set(heap.peak_bytes as f64);
+        self.rss_peak
+            .set(avmem_util::heap::peak_rss_bytes().unwrap_or(0) as f64);
     }
 }
 
@@ -476,6 +498,7 @@ impl ScenarioRunner {
             },
             timings: avmem::PhaseTimings::default(),
             finalize: avmem::FinalizeStats::default(),
+            memory: MemoryStats::default(),
         };
         Ok(RunSession {
             spec,
@@ -487,6 +510,7 @@ impl ScenarioRunner {
             attack_since_last: (0, 0),
             health_index: 0,
             bands,
+            pick_scratch: Vec::new(),
             instruments: None,
         })
     }
@@ -508,6 +532,9 @@ pub struct RunSession {
     attack_since_last: (u64, u64),
     health_index: u64,
     bands: BandIndex,
+    /// Rejection-sampling fallback scratch for [`RunSession::pick_initiator`],
+    /// reused across operations so the rare exact scan never reallocates.
+    pick_scratch: Vec<u32>,
     instruments: Option<ScenarioInstruments>,
 }
 
@@ -641,6 +668,7 @@ impl RunSession {
         self.report.health.push(sample);
         self.report.timings = self.sim.phase_timings();
         self.report.finalize = self.sim.finalize_stats();
+        self.report.memory = observe_memory();
         self.report
     }
 
@@ -654,7 +682,7 @@ impl RunSession {
         let now = self.sim.now();
         let n = trace.num_nodes();
         let accuracy = &mut self.report.estimator;
-        for _ in 0..MAE_SAMPLES_PER_HEALTH {
+        for _ in 0..self.spec.report.estimator_samples {
             let querier = rng.index(n);
             let target = rng.index(n);
             accuracy.drawn += 1;
@@ -675,11 +703,14 @@ impl RunSession {
     /// population (or the static band list), accepting the first online
     /// candidate. On exhaustion it falls back to the exact eligible scan,
     /// continuing the same stream — the pick stays a pure function of
-    /// `(spec, seed, op index, overlay state)` either way.
-    fn pick_initiator(&self, index: u64, band: BandSpec, stream: u64) -> Option<NodeId> {
+    /// `(spec, seed, op index, overlay state)` either way. The fallback
+    /// scan collects into `pick_scratch`, reused across operations so
+    /// thin-population runs never reallocate per pick.
+    fn pick_initiator(&mut self, index: u64, band: BandSpec, stream: u64) -> Option<NodeId> {
         let trace = self.sim.trace();
         let now = self.sim.now();
         let mut rng = SplitMix64::keyed(&[self.spec.seed, stream, index]);
+        let eligible = &mut self.pick_scratch;
         if matches!(band, BandSpec::Any) {
             let n = trace.num_nodes();
             for _ in 0..PICK_TRIES {
@@ -688,11 +719,9 @@ impl RunSession {
                     return Some(NodeId::new(i as u64));
                 }
             }
-            let eligible: Vec<u32> = (0..n)
-                .filter(|&i| trace.is_online(i, now))
-                .map(|i| i as u32)
-                .collect();
-            return pick_from(&eligible, &mut rng);
+            eligible.clear();
+            eligible.extend((0..n).filter(|&i| trace.is_online(i, now)).map(|i| i as u32));
+            return pick_from(eligible, &mut rng);
         }
         let list = self.bands.list(band);
         if list.is_empty() {
@@ -704,12 +733,9 @@ impl RunSession {
                 return Some(NodeId::new(u64::from(i)));
             }
         }
-        let eligible: Vec<u32> = list
-            .iter()
-            .copied()
-            .filter(|&i| trace.is_online(i as usize, now))
-            .collect();
-        pick_from(&eligible, &mut rng)
+        eligible.clear();
+        eligible.extend(list.iter().copied().filter(|&i| trace.is_online(i as usize, now)));
+        pick_from(eligible, &mut rng)
     }
 
     /// Executes one scheduled operation against the live overlay.
@@ -915,6 +941,21 @@ fn pick_from<R: Rng>(eligible: &[u32], rng: &mut R) -> Option<NodeId> {
     }
 }
 
+/// Snapshots process memory for the sealed report: kernel peak RSS when
+/// the platform exposes it, counting-allocator figures when the
+/// `heap-stats` feature installed the tracker. Environment observations
+/// only — [`ScenarioReport`] equality ignores them, like timings.
+fn observe_memory() -> MemoryStats {
+    let heap = avmem_util::heap::heap_tracking_installed()
+        .then(avmem_util::heap::heap_stats);
+    MemoryStats {
+        peak_rss_bytes: avmem_util::heap::peak_rss_bytes(),
+        heap_live_bytes: heap.map(|h| h.live_bytes),
+        heap_peak_bytes: heap.map(|h| h.peak_bytes),
+        heap_alloc_calls: heap.map(|h| h.alloc_calls),
+    }
+}
+
 /// Population size past which health sampling switches from overlay
 /// snapshots to the streaming [`AvmemSim::health_stats`] path. A
 /// snapshot clones every node's sliver lists; at 10⁵–10⁶ hosts that
@@ -973,10 +1014,12 @@ mod tests {
         // One sample per health interval plus the final one.
         assert!(report.health.len() >= 2, "health series too short");
         assert!(report.health.windows(2).all(|w| w[0].at_mins < w[1].at_mins));
-        // Estimator accuracy sampled at every health boundary.
+        // Estimator accuracy sampled at every health boundary, at the
+        // default `[report] estimator_samples` budget.
         assert_eq!(
             report.estimator.drawn,
-            report.health.len() as u64 * MAE_SAMPLES_PER_HEALTH
+            report.health.len() as u64
+                * crate::spec::ReportSpec::default().estimator_samples
         );
         assert_eq!(report.estimator.strategy, "exact");
         // The exact oracle answers everything with zero error.
@@ -989,6 +1032,31 @@ mod tests {
     fn same_spec_same_report() {
         let runner = ScenarioRunner::new(tiny_spec()).unwrap();
         assert_eq!(runner.run().unwrap(), runner.run().unwrap());
+    }
+
+    #[test]
+    fn estimator_sampling_budget_is_a_spec_knob() {
+        let base = ScenarioRunner::new(tiny_spec()).unwrap().run().unwrap();
+        let mut spec = tiny_spec();
+        spec.report.estimator_samples = 32;
+        let trimmed = ScenarioRunner::new(spec).unwrap().run().unwrap();
+        assert_eq!(trimmed.estimator.drawn, trimmed.health.len() as u64 * 32);
+        // The budget shapes what the report measures, never the run.
+        assert_eq!(base.health, trimmed.health);
+        assert_eq!(base.anycast, trimmed.anycast);
+        assert_eq!(base.multicast, trimmed.multicast);
+    }
+
+    #[test]
+    fn sealed_reports_carry_memory_observations() {
+        let report = ScenarioRunner::new(tiny_spec()).unwrap().run().unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(report.memory.peak_rss_bytes.unwrap_or(0) > 0);
+        }
+        if avmem_util::heap::heap_tracking_installed() {
+            assert!(report.memory.heap_peak_bytes.unwrap_or(0) > 0);
+            assert!(report.memory.heap_alloc_calls.unwrap_or(0) > 0);
+        }
     }
 
     #[test]

@@ -67,6 +67,8 @@ pub struct ScenarioSpec {
     pub adversary: Option<AdversarySpec>,
     /// Optional service-mode defaults for `scenario serve`.
     pub serve: Option<ServeSpec>,
+    /// Report/diagnostic sampling budgets.
+    pub report: ReportSpec,
 }
 
 /// The churn model driving node up/down state.
@@ -364,6 +366,27 @@ impl Default for ServeSpec {
             ops_per_day: None,
             pace: 0.0,
             lag_budget_ms: 2_000,
+        }
+    }
+}
+
+/// Report/diagnostic sampling budgets — knobs shaping what the report
+/// *measures about* the run, never what the run *does*: the simulated
+/// overlay, operations, and maintenance are bit-identical across any
+/// `[report]` settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportSpec {
+    /// `(querier, target)` pairs drawn per health boundary for the
+    /// estimator MAE series. `0` disables the series. At 10⁶ hosts each
+    /// AVMON estimate walks the monitor set, so this budget is the knob
+    /// that keeps report finalization off the critical path.
+    pub estimator_samples: u64,
+}
+
+impl Default for ReportSpec {
+    fn default() -> ReportSpec {
+        ReportSpec {
+            estimator_samples: 512,
         }
     }
 }

@@ -150,7 +150,17 @@ fn headline(report: &ScenarioReport) -> Vec<(&'static str, f64)> {
         ),
         ("skipped_ops", report.skipped_ops as f64),
         ("estimator_mae", report.estimator.mae()),
+        // Memory observations: environment facts excluded from report
+        // equality, but exactly what a capacity sweep wants min/median/max
+        // of. Zero when the platform/build does not expose the source.
+        ("peak_rss_mib", mib(report.memory.peak_rss_bytes)),
+        ("peak_heap_mib", mib(report.memory.heap_peak_bytes)),
     ]
+}
+
+/// Optional byte count → MiB, `0.0` when unobserved.
+fn mib(bytes: Option<u64>) -> f64 {
+    bytes.map_or(0.0, |b| b as f64 / (1024.0 * 1024.0))
 }
 
 fn aggregate(reports: &[ScenarioReport]) -> Vec<SweepMetric> {
@@ -306,6 +316,15 @@ mod tests {
         assert!(delivery.min <= delivery.median && delivery.median <= delivery.max);
         // Different seeds really produce different runs.
         assert_ne!(summary.reports[0], summary.reports[1]);
+        // Memory observations aggregate alongside the quality metrics.
+        let rss = summary
+            .metrics
+            .iter()
+            .find(|m| m.name == "peak_rss_mib")
+            .expect("memory metric");
+        if cfg!(target_os = "linux") {
+            assert!(rss.min > 0.0, "peak RSS unobserved on linux");
+        }
     }
 
     #[test]

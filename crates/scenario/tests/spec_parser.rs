@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use avmem_scenario::{
     parse_spec, AdversarySpec, AssignmentSpec, BandSpec, ChurnSpec, EngineSpec,
     MaintenanceModeSpec, MaintenanceSpec, MulticastSpec, OracleSpec, PolicySpec, PredicateSpec,
-    ScenarioSpec, ScopeSpec, ServeSpec, TargetMix, TargetSpec, WorkloadSpec,
+    ReportSpec, ScenarioSpec, ScopeSpec, ServeSpec, TargetMix, TargetSpec, WorkloadSpec,
 };
 
 fn arb_churn() -> impl Strategy<Value = ChurnSpec> {
@@ -181,6 +181,13 @@ fn arb_serve() -> impl Strategy<Value = Option<ServeSpec>> {
     ]
 }
 
+fn arb_report() -> impl Strategy<Value = ReportSpec> {
+    prop_oneof![
+        Just(ReportSpec::default()),
+        (0u64..10_000).prop_map(|estimator_samples| ReportSpec { estimator_samples }),
+    ]
+}
+
 fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
     (
         (0u64..1000, 0u64..u64::from(u32::MAX), 1u64..3000, 0u64..3000, 1u64..240),
@@ -188,7 +195,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         arb_predicate(),
         arb_oracle(),
         arb_maintenance(),
-        (arb_workload(), arb_adversary(), arb_serve()),
+        (arb_workload(), arb_adversary(), arb_serve(), arb_report()),
     )
         .prop_map(
             |(
@@ -197,7 +204,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                 predicate,
                 oracle,
                 maintenance,
-                (workload, adversary, serve),
+                (workload, adversary, serve, report),
             )| {
                 ScenarioSpec {
                     name: format!("generated-{name_tag}"),
@@ -212,6 +219,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     workload,
                     adversary,
                     serve,
+                    report,
                 }
             },
         )

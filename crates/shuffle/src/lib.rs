@@ -27,10 +27,12 @@
 //! microbenchmarks.
 
 pub mod node;
+pub mod pool;
 pub mod sim;
 pub mod view;
 
 pub use node::{ShuffleConfig, ShuffleMessage, ShuffleNode, ShuffleProposal};
+pub use pool::EntryPool;
 pub use view::{View, ViewEntry};
 
 /// The view size minimizing memory/bandwidth vs discovery time, per the

@@ -8,6 +8,7 @@
 use avmem_util::{NodeId, Rng, SplitMix64};
 use serde::{Deserialize, Serialize};
 
+use crate::pool::EntryPool;
 use crate::view::{View, ViewEntry};
 
 /// Configuration of the shuffle protocol.
@@ -136,6 +137,12 @@ impl ShuffleProposal {
             },
         )
     }
+
+    /// Consumes a proposal that will never become a request (e.g. its
+    /// target is offline), recycling the entry buffer into `pool`.
+    pub fn recycle_into(self, pool: &mut EntryPool) {
+        pool.recycle(self.entries);
+    }
 }
 
 impl ShuffleNode {
@@ -194,11 +201,25 @@ impl ShuffleNode {
     /// computed from; pass it to [`ShuffleNode::apply`] before anything
     /// else touches this node.
     pub fn propose<R: Rng>(&self, rng: &mut R) -> Option<ShuffleProposal> {
+        self.propose_with(rng, &mut EntryPool::new())
+    }
+
+    /// [`ShuffleNode::propose`] drawing its entry buffer from `pool`.
+    ///
+    /// Draw-for-draw identical to the allocating form; batch drivers use
+    /// this with a per-shard pool so proposal buffers are recycled across
+    /// cohorts instead of reallocated.
+    pub fn propose_with<R: Rng>(
+        &self,
+        rng: &mut R,
+        pool: &mut EntryPool,
+    ) -> Option<ShuffleProposal> {
         if self.in_flight.is_some() {
             return None;
         }
         let target = self.view.oldest()?.id;
-        let mut entries = rng.sample(
+        let mut entries = pool.take(self.config.shuffle_length);
+        rng.sample_into(
             self.view
                 .iter()
                 .filter(|e| e.id != target)
@@ -207,6 +228,7 @@ impl ShuffleNode {
                     age: e.age.saturating_add(1),
                 }),
             self.config.shuffle_length - 1,
+            &mut entries,
         );
         entries.push(ViewEntry::fresh(self.id));
         Some(ShuffleProposal { target, entries })
@@ -224,6 +246,17 @@ impl ShuffleNode {
     /// target is no longer in the view, or an exchange is in flight) —
     /// i.e. if the view changed between `propose` and `apply`.
     pub fn apply(&mut self, proposal: &ShuffleProposal) {
+        self.apply_with(proposal, &mut EntryPool::new());
+    }
+
+    /// [`ShuffleNode::apply`] drawing its in-flight bookkeeping buffer
+    /// from `pool` instead of cloning the proposal entries into a fresh
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShuffleNode::apply`].
+    pub fn apply_with(&mut self, proposal: &ShuffleProposal, pool: &mut EntryPool) {
         assert!(
             self.in_flight.is_none(),
             "apply with an exchange already in flight"
@@ -233,9 +266,11 @@ impl ShuffleNode {
             .view
             .remove(proposal.target)
             .expect("proposal target vanished from the view before apply");
+        let mut sent = pool.take(proposal.entries.len());
+        sent.extend_from_slice(&proposal.entries);
         self.in_flight = Some(InFlight {
             target: proposal.target,
-            sent: proposal.entries.clone(),
+            sent,
             removed_target_entry,
         });
     }
@@ -261,13 +296,28 @@ impl ShuffleNode {
     ///
     /// Panics if called with a [`ShuffleMessage::Reply`].
     pub fn handle_request(&mut self, message: ShuffleMessage) -> ShuffleMessage {
+        self.handle_request_with(message, &mut EntryPool::new())
+    }
+
+    /// [`ShuffleNode::handle_request`] drawing the reply buffer from
+    /// `pool` and recycling the spent request entries into it.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShuffleNode::handle_request`].
+    pub fn handle_request_with(
+        &mut self,
+        message: ShuffleMessage,
+        pool: &mut EntryPool,
+    ) -> ShuffleMessage {
         let ShuffleMessage::Request { entries } = message else {
             panic!("handle_request expects a Request message");
         };
-        let reply = self
-            .view
-            .random_subset(&mut self.rng, self.config.shuffle_length, None);
+        let mut reply = pool.take(self.config.shuffle_length);
+        self.view
+            .random_subset_into(&mut self.rng, self.config.shuffle_length, None, &mut reply);
         self.view.merge(self.id, &entries, &reply);
+        pool.recycle(entries);
         ShuffleMessage::Reply { entries: reply }
     }
 
@@ -279,22 +329,43 @@ impl ShuffleNode {
     ///
     /// Panics if called with a [`ShuffleMessage::Request`].
     pub fn handle_reply(&mut self, message: ShuffleMessage) {
+        self.handle_reply_with(message, &mut EntryPool::new());
+    }
+
+    /// [`ShuffleNode::handle_reply`] recycling the spent reply and
+    /// in-flight buffers into `pool`.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShuffleNode::handle_reply`].
+    pub fn handle_reply_with(&mut self, message: ShuffleMessage, pool: &mut EntryPool) {
         let ShuffleMessage::Reply { entries } = message else {
             panic!("handle_reply expects a Reply message");
         };
         let Some(in_flight) = self.in_flight.take() else {
+            pool.recycle(entries);
             return;
         };
         self.view.merge(self.id, &entries, &in_flight.sent);
+        pool.recycle(entries);
+        pool.recycle(in_flight.sent);
     }
 
     /// Reports that the in-flight target never answered. CYCLON's
     /// self-cleaning: the dead entry stays removed. Entries we planned to
     /// trade are retained.
     pub fn handle_timeout(&mut self, target: NodeId) {
+        self.handle_timeout_with(target, &mut EntryPool::new());
+    }
+
+    /// [`ShuffleNode::handle_timeout`] recycling the in-flight buffer
+    /// into `pool`.
+    pub fn handle_timeout_with(&mut self, target: NodeId, pool: &mut EntryPool) {
         if let Some(in_flight) = &self.in_flight {
             if in_flight.target == target {
-                self.in_flight = None;
+                if let Some(in_flight) = self.in_flight.take() {
+                    pool.recycle(in_flight.sent);
+                }
             }
         }
     }

@@ -2,14 +2,17 @@
 
 use proptest::prelude::*;
 
-use avmem_shuffle::{sim::RoundSim, ShuffleConfig, ShuffleMessage, ShuffleNode, View, ViewEntry};
-use avmem_util::NodeId;
+use avmem_shuffle::{
+    sim::RoundSim, EntryPool, ShuffleConfig, ShuffleMessage, ShuffleNode, View, ViewEntry,
+};
+use avmem_util::{NodeId, SplitMix64};
 
 proptest! {
     #[test]
     fn view_never_exceeds_capacity(
         capacity in 1usize..16,
-        inserts in proptest::collection::vec((any::<u64>(), 0u32..100), 0..64),
+        // View ids are index-space: u32 by contract.
+        inserts in proptest::collection::vec((any::<u32>().prop_map(u64::from), 0u32..100), 0..64),
     ) {
         let mut view = View::new(capacity);
         for (id, age) in inserts {
@@ -95,6 +98,72 @@ proptest! {
             a.handle_reply(ShuffleMessage::Reply { entries });
             prop_assert!(a.view().len() <= 8);
             prop_assert!(!a.view().contains(NodeId::new(0)));
+        }
+    }
+
+    #[test]
+    fn pooled_paths_match_allocating_paths_with_a_dirty_pool(
+        seed in any::<u64>(),
+        peers_a in 1u64..10,
+        peers_b in 0u64..12,
+        junk in proptest::collection::vec((0u32..50, 0u32..9), 0..8),
+    ) {
+        // Twin protocol runs: `fresh` uses the allocating entry points
+        // (a brand-new pool per call), `pooled` threads one long-lived
+        // pool through every call. Buffer reuse must be invisible — any
+        // recycled contents leaking into a later exchange diverges the
+        // twins immediately.
+        let cfg = ShuffleConfig::new(8, 4);
+        let mut pool = EntryPool::new();
+        // Pre-dirty the pool with buffers that held unrelated entries.
+        for &(id, age) in &junk {
+            let mut buf = pool.take(2);
+            buf.push(ViewEntry { id: NodeId::new(u64::from(id)), age });
+            buf.push(ViewEntry::fresh(NodeId::new(u64::from(id) + 1)));
+            pool.recycle(buf);
+        }
+        let mut a_fresh = ShuffleNode::new(NodeId::new(0), cfg, seed);
+        let mut a_pooled = ShuffleNode::new(NodeId::new(0), cfg, seed);
+        a_fresh.bootstrap((1..=peers_a).map(NodeId::new));
+        a_pooled.bootstrap((1..=peers_a).map(NodeId::new));
+        let mut b_fresh = ShuffleNode::new(NodeId::new(100), cfg, seed.wrapping_add(1));
+        let mut b_pooled = ShuffleNode::new(NodeId::new(100), cfg, seed.wrapping_add(1));
+        b_fresh.bootstrap((101..101 + peers_b).map(NodeId::new));
+        b_pooled.bootstrap((101..101 + peers_b).map(NodeId::new));
+
+        for round in 0..6u64 {
+            let mut rng_fresh = SplitMix64::keyed(&[seed, round]);
+            let mut rng_pooled = rng_fresh.clone();
+            let proposal_fresh = a_fresh.propose(&mut rng_fresh);
+            let proposal_pooled = a_pooled.propose_with(&mut rng_pooled, &mut pool);
+            prop_assert_eq!(&proposal_fresh, &proposal_pooled, "round {}", round);
+            prop_assert_eq!(rng_fresh, rng_pooled, "round {}: rng consumption", round);
+            let (Some(pf), Some(pp)) = (proposal_fresh, proposal_pooled) else {
+                break;
+            };
+            if round % 3 == 2 {
+                // A proposal abandoned before becoming a request (its
+                // target went offline, in harness terms).
+                pp.recycle_into(&mut pool);
+                continue;
+            }
+            let target = pf.target();
+            a_fresh.apply(&pf);
+            a_pooled.apply_with(&pp, &mut pool);
+            let (_, request_fresh) = pf.into_request();
+            let (_, request_pooled) = pp.into_request();
+            let reply_fresh = b_fresh.handle_request(request_fresh);
+            let reply_pooled = b_pooled.handle_request_with(request_pooled, &mut pool);
+            prop_assert_eq!(&reply_fresh, &reply_pooled, "round {}", round);
+            if round % 2 == 0 {
+                a_fresh.handle_reply(reply_fresh);
+                a_pooled.handle_reply_with(reply_pooled, &mut pool);
+            } else {
+                a_fresh.handle_timeout(target);
+                a_pooled.handle_timeout_with(target, &mut pool);
+            }
+            prop_assert_eq!(a_fresh.view(), a_pooled.view(), "round {}: initiator", round);
+            prop_assert_eq!(b_fresh.view(), b_pooled.view(), "round {}: responder", round);
         }
     }
 }

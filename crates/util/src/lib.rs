@@ -43,6 +43,7 @@
 
 pub mod availability;
 pub mod hash;
+pub mod heap;
 pub mod id;
 pub mod parallel;
 pub mod ring;
@@ -55,6 +56,7 @@ pub use hash::{
     consistent_hash, consistent_hash_keyed, consistent_point_keyed, normalized_hash, sha256,
     Digest,
 };
+pub use heap::{heap_stats, heap_tracking_installed, peak_rss_bytes, HeapStats};
 pub use id::NodeId;
 pub use ring::HashRing;
 pub use rng::{Rng, SplitMix64, Xoshiro256};

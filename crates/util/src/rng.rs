@@ -102,6 +102,34 @@ pub trait Rng {
         }
         reservoir
     }
+
+    /// Reservoir sampling into a caller-provided buffer.
+    ///
+    /// Draw-for-draw identical to [`Rng::sample`] — the RNG consumption
+    /// depends only on the iterator length and `k`, never on the buffer —
+    /// so hot paths can reuse pooled Vecs without perturbing determinism.
+    /// The buffer is cleared first.
+    fn sample_into<T, I>(&mut self, iter: I, k: usize, out: &mut Vec<T>)
+    where
+        I: IntoIterator<Item = T>,
+        Self: Sized,
+    {
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        out.reserve(k);
+        for (seen, item) in iter.into_iter().enumerate() {
+            if seen < k {
+                out.push(item);
+            } else {
+                let j = self.index(seen + 1);
+                if j < k {
+                    out[j] = item;
+                }
+            }
+        }
+    }
 }
 
 /// SplitMix64: fast, tiny state; ideal for seed expansion and for deriving
@@ -320,6 +348,19 @@ mod tests {
         let mut rng = Xoshiro256::new(34);
         let picked = rng.sample(0..3u32, 10);
         assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn sample_into_is_bit_identical_to_sample() {
+        for (n, k) in [(0usize, 5usize), (3, 10), (50, 7), (1000, 50), (8, 8)] {
+            let mut a = Xoshiro256::new(97);
+            let mut b = Xoshiro256::new(97);
+            let allocated = a.sample(0..n as u32, k);
+            let mut pooled = vec![0u32; 13]; // stale contents must not leak
+            b.sample_into(0..n as u32, k, &mut pooled);
+            assert_eq!(allocated, pooled, "n={n} k={k}");
+            assert_eq!(a.next_u64(), b.next_u64(), "stream diverged n={n} k={k}");
+        }
     }
 
     #[test]
